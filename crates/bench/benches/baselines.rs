@@ -1,0 +1,73 @@
+//! NP-hard baselines vs the FPT algorithms: where the crossover falls.
+//!
+//! PRIMALITY is NP-complete in general (paper §2.1); with bounded
+//! treewidth the Figure 6 program is linear. This bench shows the
+//! brute-force `2^|R|` check and the Lucchesi–Osborn key enumeration
+//! against the FPT solver on the block-tree family, plus the MONA-style
+//! determinization cost for 3-Colorability against the linear automaton
+//! run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdtw_core::is_prime_fpt_with_td;
+use mdtw_decomp::{NiceOptions, NiceTd};
+use mdtw_fta::{mona_style_3col, nfta_3col, DetBudget};
+use mdtw_graph::partial_k_tree;
+use mdtw_schema::{block_tree_instance, encode_schema};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_primality_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/primality");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for k in [2usize, 4, 6] {
+        let inst = block_tree_instance(k);
+        let target = inst.schema.attr("u0").unwrap();
+        group.bench_with_input(BenchmarkId::new("fpt", k), &k, |b, _| {
+            b.iter(|| {
+                let enc = encode_schema(&inst.schema);
+                black_box(is_prime_fpt_with_td(enc, inst.td.clone(), target))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bruteforce", k), &k, |b, _| {
+            b.iter(|| black_box(inst.schema.is_prime_bruteforce(target)))
+        });
+        group.bench_with_input(BenchmarkId::new("lucchesi_osborn", k), &k, |b, _| {
+            b.iter(|| black_box(inst.schema.is_prime_exact(target)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fta_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines/fta_3col");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for w in [1usize, 2] {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (g, td) = partial_k_tree(&mut rng, 40, w, 0.8);
+        let nice = NiceTd::from_td(&td, NiceOptions::default());
+        group.bench_with_input(BenchmarkId::new("nfta_linear", w), &w, |b, _| {
+            b.iter(|| black_box(nfta_3col(&g, &nice)))
+        });
+        group.bench_with_input(BenchmarkId::new("mona_determinize", w), &w, |b, _| {
+            b.iter(|| {
+                let budget = DetBudget {
+                    max_states: 50_000,
+                    max_transitions: 1 << 22,
+                };
+                black_box(mona_style_3col(&g, &nice, budget).map(|(ok, _)| ok))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primality_baselines, bench_fta_baseline);
+criterion_main!(benches);

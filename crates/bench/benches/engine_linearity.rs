@@ -1,0 +1,75 @@
+//! Theorem 4.4 ablation: quasi-guarded evaluation runs in `O(|P| · |𝒜|)`.
+//!
+//! A fixed reachability program is evaluated over chains of growing
+//! length with (a) the quasi-guarded grounding + LTUR pipeline and (b)
+//! the general semi-naive engine. The quasi-guarded series must scale
+//! linearly in `|𝒜|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdtw_datalog::{eval_quasi_guarded, eval_seminaive, parse_program, FdCatalog, Program};
+use mdtw_structure::{Domain, ElemId, Signature, Structure};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn chain(n: usize) -> Structure {
+    let sig = Arc::new(Signature::from_pairs([("next", 2), ("first", 1)]));
+    let dom = Domain::anonymous(n);
+    let mut s = Structure::new(sig, dom);
+    let next = s.signature().lookup("next").unwrap();
+    let first = s.signature().lookup("first").unwrap();
+    s.insert(first, &[ElemId(0)]);
+    for i in 0..n - 1 {
+        s.insert(next, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+    }
+    s
+}
+
+fn program(s: &Structure) -> (Program, FdCatalog) {
+    let p = parse_program(
+        "reach(X) :- first(X).\nreach(Y) :- reach(X), next(X, Y).\n\
+         inner(X) :- reach(X), next(X, Y), !first(X).",
+        s,
+    )
+    .unwrap();
+    let mut cat = FdCatalog::new();
+    let next = s.signature().lookup("next").unwrap();
+    cat.declare(next, vec![0], vec![1]);
+    cat.declare(next, vec![1], vec![0]);
+    (p, cat)
+}
+
+fn bench_quasi_guarded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/quasi_guarded");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [1_000usize, 2_000, 4_000, 8_000] {
+        let s = chain(n);
+        let (p, cat) = program(&s);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eval_quasi_guarded(&p, &s, &cat).unwrap().0.fact_count()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_seminaive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/seminaive");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [1_000usize, 2_000, 4_000] {
+        let s = chain(n);
+        let (p, _) = program(&s);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(eval_seminaive(&p, &s).0.fact_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_quasi_guarded, bench_seminaive);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! §5.3 ablation: the linear-time PRIMALITY *enumeration* (one bottom-up
+//! plus one top-down pass) against the naive quadratic alternative the
+//! section opens with ("one can consider the tree decomposition as rooted
+//! at various nodes … obviously quadratic time complexity"): re-running
+//! the §5.2 decision once per attribute.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdtw_core::{enumerate_primes, is_prime_fpt_with_td, PrimalityContext};
+use mdtw_schema::{block_tree_instance, encode_schema};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration/solve_down");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for k in [2usize, 4, 8, 16] {
+        let inst = block_tree_instance(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let ctx = PrimalityContext::from_parts(
+                    encode_schema(&inst.schema),
+                    inst.td.clone(),
+                );
+                black_box(enumerate_primes(&ctx).0.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_repeated_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration/repeated_decision");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for k in [2usize, 4, 8, 16] {
+        let inst = block_tree_instance(k);
+        let attrs: Vec<_> = inst.schema.attrs().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut primes = 0usize;
+                for &a in &attrs {
+                    let enc = encode_schema(&inst.schema);
+                    if is_prime_fpt_with_td(enc, inst.td.clone(), a) {
+                        primes += 1;
+                    }
+                }
+                black_box(primes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_enumeration, bench_repeated_decision);
+criterion_main!(benches);

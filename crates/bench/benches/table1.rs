@@ -1,0 +1,59 @@
+//! Criterion version of Table 1 (paper §6): PRIMALITY decision time for
+//! the block-tree workloads, monadic datalog vs the MSO baseline.
+//!
+//! The MD series must grow linearly in the instance size; the MSO series
+//! blows up and is only measured on the first rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdtw_core::is_prime_fpt_with_td;
+use mdtw_mso::{eval_unary, primality, Budget, IndVar};
+use mdtw_schema::{block_tree_instance, encode_schema};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_md(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/md");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for k in [1usize, 3, 7, 15, 31] {
+        let inst = block_tree_instance(k);
+        let target = inst.schema.attr("u0").unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let enc = encode_schema(&inst.schema);
+                black_box(is_prime_fpt_with_td(enc, inst.td.clone(), target))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_mona(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/mona_sim");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    // Only the rows the exponential baseline can finish.
+    for k in [1usize, 2, 3] {
+        let inst = block_tree_instance(k);
+        let target = inst.schema.attr("u0").unwrap();
+        let elem = inst.encoding.elem_of_attr(target);
+        let phi = primality();
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut budget = Budget::unlimited();
+                black_box(
+                    eval_unary(&phi, IndVar(0), &inst.encoding.structure, elem, &mut budget)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_md, bench_mona);
+criterion_main!(benches);

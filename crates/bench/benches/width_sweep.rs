@@ -1,0 +1,53 @@
+//! Width-sensitivity ablation (the `f(w)` constant of Theorems 5.1/5.3):
+//! fixed graph size, growing treewidth. Also quantifies §6 optimization
+//! (1): the reachable DP table vs the fully materialized ground monadic
+//! program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdtw_core::{ground_three_col, ThreeColSolver};
+use mdtw_decomp::{NiceOptions, NiceTd};
+use mdtw_graph::partial_k_tree;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_dp_by_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("width_sweep/figure5_dp");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for w in [1usize, 2, 3, 4, 5] {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let (g, td) = partial_k_tree(&mut rng, 80, w, 0.8);
+        let nice = NiceTd::from_td(&td, NiceOptions::default());
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| black_box(ThreeColSolver::run(&g, &nice).is_colorable()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_grounding_by_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("width_sweep/ground_monadic");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for w in [1usize, 2, 3, 4, 5] {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let (g, td) = partial_k_tree(&mut rng, 80, w, 0.8);
+        let nice = NiceTd::from_td(&td, NiceOptions::default());
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
+            b.iter(|| {
+                let ground = ground_three_col(&g, &nice);
+                black_box(ground.succeeds())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_by_width, bench_grounding_by_width);
+criterion_main!(benches);

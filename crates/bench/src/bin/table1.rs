@@ -1,0 +1,32 @@
+//! Regenerates the paper's Table 1 (§6): PRIMALITY processing time,
+//! monadic datalog vs MSO model checking (the MONA substitute).
+//!
+//! ```text
+//! cargo run -p mdtw-bench --bin table1 --release [mona_rows]
+//! ```
+//!
+//! `mona_rows` (default 4) caps how many rows the exponential baseline is
+//! attempted on; rows beyond its budget print "-" like the paper's
+//! out-of-memory entries.
+
+fn main() {
+    let mona_rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    eprintln!("regenerating Table 1 (PRIMALITY, tw = 3); this runs the");
+    eprintln!("exponential MSO baseline on the first {mona_rows} rows…");
+    let rows = mdtw_bench::table1(mona_rows);
+    println!("{}", mdtw_bench::render_table1(&rows));
+    let linear_check: Vec<f64> = rows
+        .iter()
+        .map(|r| r.md_micros / r.n_tn as f64)
+        .collect();
+    println!(
+        "MD microseconds per tree node (flat ⇒ linear data complexity): {:?}",
+        linear_check
+            .iter()
+            .map(|x| (x * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,273 @@
+//! Propositional abduction over definite Horn theories (paper §7).
+//!
+//! The conclusion of the paper points out that the *relevance* problem of
+//! propositional abduction — is hypothesis `h` part of some minimal
+//! explanation of the observed manifestations? — is "basically the same
+//! as the problem of deciding primality in a subschema" when the theory
+//! is definite Horn and explanations are minimal. This module implements
+//! that bridge: a definite Horn theory is a relational schema in disguise
+//! (clause `b₁ ∧ … ∧ b_k → h` ↔ FD `b₁…b_k → h`), explanations are
+//! hypothesis sets whose closure covers the manifestations, and relevance
+//! reduces to membership in a minimal covering set.
+//!
+//! The solver here is the *exact* (exponential) reference; the paper
+//! defers the FPT datalog treatment of general clausal abduction to its
+//! \[20\]. Tests cross-check the reduction against brute force.
+
+use mdtw_schema::{AttrId, Schema};
+
+/// A definite-Horn abduction instance: the theory lives in `schema`
+/// (variables = attributes, clauses = FDs), with designated hypothesis
+/// and manifestation variables.
+#[derive(Debug, Clone)]
+pub struct AbductionInstance {
+    /// The theory as a schema.
+    pub schema: Schema,
+    /// Hypotheses `H ⊆ R`.
+    pub hypotheses: Vec<AttrId>,
+    /// Manifestations `M ⊆ R`.
+    pub manifestations: Vec<AttrId>,
+}
+
+impl AbductionInstance {
+    /// True if `explanation ⊆ H` entails all manifestations.
+    pub fn explains(&self, explanation: &[AttrId]) -> bool {
+        let closure = self.schema.closure(explanation);
+        self.manifestations.iter().all(|m| closure.contains(m))
+    }
+
+    /// True if `explanation` is a *minimal* explanation.
+    pub fn is_minimal_explanation(&self, explanation: &[AttrId]) -> bool {
+        if !self.explains(explanation) {
+            return false;
+        }
+        (0..explanation.len()).all(|i| {
+            let mut smaller = explanation.to_vec();
+            smaller.remove(i);
+            !self.explains(&smaller)
+        })
+    }
+
+    /// Shrinks an explanation to a minimal one, preferring to drop
+    /// elements other than `keep` first (so a relevant hypothesis
+    /// survives minimization when possible).
+    fn minimize_keeping(&self, explanation: &[AttrId], keep: Option<AttrId>) -> Vec<AttrId> {
+        let mut e = explanation.to_vec();
+        // Try dropping non-kept attributes first, then the kept one.
+        let mut order: Vec<usize> = (0..e.len()).collect();
+        if let Some(k) = keep {
+            order.sort_by_key(|&i| e[i] == k);
+        }
+        let mut i = 0;
+        while i < order.len() {
+            let mut candidate = e.clone();
+            let victim = order[i];
+            candidate.remove(victim);
+            if self.explains(&candidate) {
+                e = candidate;
+                order.remove(i);
+                for o in order.iter_mut() {
+                    if *o > victim {
+                        *o -= 1;
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        e
+    }
+
+    /// Exact relevance: is `h` a member of some minimal explanation?
+    /// NP-hard in general; this reference implementation enumerates
+    /// subsets of `H ∖ {h}` and is limited to `|H| ≤ 22`.
+    pub fn relevant_bruteforce(&self, h: AttrId) -> bool {
+        if !self.hypotheses.contains(&h) {
+            return false;
+        }
+        let others: Vec<AttrId> = self
+            .hypotheses
+            .iter()
+            .copied()
+            .filter(|&x| x != h)
+            .collect();
+        assert!(others.len() <= 22, "brute force limited to |H| ≤ 22");
+        for mask in 0u64..(1u64 << others.len()) {
+            let mut e: Vec<AttrId> = (0..others.len())
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| others[i])
+                .collect();
+            e.push(h);
+            if self.is_minimal_explanation(&e) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Relevance via greedy minimization (the subschema-primality view):
+    /// `h` is relevant iff some explanation containing `h` minimizes to a
+    /// minimal explanation still containing `h`; greedily dropping the
+    /// other hypotheses first finds one whenever it exists.
+    pub fn relevant(&self, h: AttrId) -> bool {
+        if !self.hypotheses.contains(&h) || !self.explains(&self.hypotheses.clone()) {
+            return false;
+        }
+        let e = self.minimize_keeping(&self.hypotheses.clone(), Some(h));
+        if e.contains(&h) && self.is_minimal_explanation(&e) {
+            return true;
+        }
+        // Greedy from the full set can get stuck; fall back to the exact
+        // search (still exponential — relevance is NP-hard).
+        self.relevant_bruteforce(h)
+    }
+
+    /// All minimal explanations (exponential; for tests and examples).
+    pub fn minimal_explanations(&self) -> Vec<Vec<AttrId>> {
+        let h = &self.hypotheses;
+        assert!(h.len() <= 22, "enumeration limited to |H| ≤ 22");
+        let mut out: Vec<Vec<AttrId>> = Vec::new();
+        for mask in 0u64..(1u64 << h.len()) {
+            let e: Vec<AttrId> = (0..h.len())
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| h[i])
+                .collect();
+            if self.is_minimal_explanation(&e) {
+                out.push(e);
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Builds an abduction instance from clause syntax: variables are named,
+/// clauses are `(body, head)` pairs.
+pub fn instance_from_clauses(
+    variables: &[&str],
+    clauses: &[(&[&str], &str)],
+    hypotheses: &[&str],
+    manifestations: &[&str],
+) -> AbductionInstance {
+    let mut schema = Schema::new();
+    for v in variables {
+        schema.add_attr(*v);
+    }
+    for (body, head) in clauses {
+        let lhs: Vec<AttrId> = body
+            .iter()
+            .map(|b| schema.attr(b).expect("declared variable"))
+            .collect();
+        let rhs = schema.attr(head).expect("declared variable");
+        schema.add_fd(&lhs, rhs);
+    }
+    let resolve = |names: &[&str], schema: &Schema| -> Vec<AttrId> {
+        names
+            .iter()
+            .map(|n| schema.attr(n).expect("declared variable"))
+            .collect()
+    };
+    let hypotheses = resolve(hypotheses, &schema);
+    let manifestations = resolve(manifestations, &schema);
+    AbductionInstance {
+        schema,
+        hypotheses,
+        manifestations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small diagnosis theory:
+    ///   broken_pump ∧ power → no_water
+    ///   clogged_pipe → no_water
+    ///   power → lights
+    fn diagnosis() -> AbductionInstance {
+        instance_from_clauses(
+            &["broken_pump", "power", "clogged_pipe", "no_water", "lights"],
+            &[
+                (&["broken_pump", "power"], "no_water"),
+                (&["clogged_pipe"], "no_water"),
+                (&["power"], "lights"),
+            ],
+            &["broken_pump", "power", "clogged_pipe"],
+            &["no_water", "lights"],
+        )
+    }
+
+    #[test]
+    fn minimal_explanations_of_diagnosis() {
+        let inst = diagnosis();
+        let expl = inst.minimal_explanations();
+        // {broken_pump, power} and {clogged_pipe, power}.
+        assert_eq!(expl.len(), 2);
+        for e in &expl {
+            assert!(inst.is_minimal_explanation(e));
+            assert_eq!(e.len(), 2);
+        }
+    }
+
+    #[test]
+    fn relevance_matches_bruteforce() {
+        let inst = diagnosis();
+        for &h in &inst.hypotheses {
+            assert_eq!(inst.relevant(h), inst.relevant_bruteforce(h));
+            // All three hypotheses are relevant here.
+            assert!(inst.relevant(h));
+        }
+    }
+
+    #[test]
+    fn irrelevant_hypothesis() {
+        // Add a hypothesis that no manifestation needs.
+        let inst = instance_from_clauses(
+            &["a", "b", "m", "junk"],
+            &[(&["a"], "m"), (&["b"], "m")],
+            &["a", "b", "junk"],
+            &["m"],
+        );
+        let junk = inst.schema.attr("junk").unwrap();
+        assert!(!inst.relevant(junk));
+        let a = inst.schema.attr("a").unwrap();
+        let b = inst.schema.attr("b").unwrap();
+        assert!(inst.relevant(a));
+        assert!(inst.relevant(b));
+    }
+
+    #[test]
+    fn unexplainable_manifestations() {
+        let inst = instance_from_clauses(
+            &["a", "m", "unreachable"],
+            &[(&["a"], "m")],
+            &["a"],
+            &["unreachable"],
+        );
+        let a = inst.schema.attr("a").unwrap();
+        assert!(!inst.relevant(a));
+        assert!(inst.minimal_explanations().is_empty());
+    }
+
+    #[test]
+    fn relevance_on_random_instances_matches_bruteforce() {
+        use mdtw_schema::{random_schema, seeded_rng};
+        let mut rng = seeded_rng(31);
+        for i in 0..20 {
+            let schema = random_schema(&mut rng, 6, 4, 2);
+            let attrs: Vec<AttrId> = schema.attrs().collect();
+            let inst = AbductionInstance {
+                schema,
+                hypotheses: attrs[..3].to_vec(),
+                manifestations: attrs[3..5].to_vec(),
+            };
+            for &h in &inst.hypotheses {
+                assert_eq!(
+                    inst.relevant(h),
+                    inst.relevant_bruteforce(h),
+                    "instance {i}, hypothesis {h:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Lowering the succinct 3-Colorability program to *ground monadic
+//! datalog* — the other side of the Theorem 5.1 argument.
+//!
+//! The proof of Theorem 5.1 observes that `solve(s, R, G, B)` is "simply a
+//! succinct representation of constantly many monadic predicates
+//! solve⟨r1,r2,r3⟩(s)". This module materializes that monadic program for
+//! a concrete input: one ground atom per (node, bag coloring) and one
+//! ground rule per Figure 5 transition, evaluated by the linear-time LTUR
+//! solver of `mdtw-datalog` (propositional datalog, §2.4 fact (1)).
+//!
+//! Unlike the dynamic program of [`crate::three_col`], the grounding
+//! enumerates **all** candidate states at every node — including the ones
+//! the bottom-up computation never reaches. Comparing the two quantifies
+//! optimization (1) of the paper's §6 ("the vast majority of possible
+//! instantiations is never computed since they are not reachable along
+//! the bottom-up computation"); the `width_sweep` bench plots it.
+
+use mdtw_datalog::{HornProgram, HornRule};
+use mdtw_decomp::{NiceKind, NiceTd, NodeId};
+use mdtw_graph::Graph;
+use mdtw_structure::fx::FxHashMap;
+use mdtw_structure::ElemId;
+
+/// The materialized ground program plus bookkeeping.
+#[derive(Debug)]
+pub struct GroundThreeCol {
+    /// The propositional program.
+    pub horn: HornProgram,
+    /// Atom 0 is `success`; the map stores (node, r, g) → atom id.
+    atoms: FxHashMap<(u32, u64, u64), u32>,
+}
+
+impl GroundThreeCol {
+    /// The number of ground atoms (materialized `solve⟨r,g,b⟩(s)` facts).
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len() + 1
+    }
+
+    /// The number of ground rules.
+    pub fn rule_count(&self) -> usize {
+        self.horn.rules.len()
+    }
+
+    /// Evaluates the program; true iff `success` is in the least model.
+    pub fn succeeds(&self) -> bool {
+        self.horn.least_model()[0]
+    }
+}
+
+/// All `(r, g)` partitions of an `n`-element bag.
+fn all_states(n: usize) -> Vec<(u64, u64)> {
+    let full: u64 = (1u64 << n) - 1;
+    let mut out = Vec::new();
+    for r in 0..=full {
+        let rest = full & !r;
+        let mut g = rest;
+        loop {
+            out.push((r, g));
+            if g == 0 {
+                break;
+            }
+            g = (g - 1) & rest;
+        }
+        if r == full {
+            break;
+        }
+    }
+    out
+}
+
+fn proper_class(graph: &Graph, bag: &[ElemId], class: u64) -> bool {
+    let mut bits = class;
+    while bits != 0 {
+        let i = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        let mut rest = bits;
+        while rest != 0 {
+            let j = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            if graph.has_edge(bag[i].0, bag[j].0) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn allowed(graph: &Graph, bag: &[ElemId], n: usize, r: u64, g: u64) -> bool {
+    let full = (1u64 << n) - 1;
+    let b = full & !(r | g);
+    proper_class(graph, bag, r) && proper_class(graph, bag, g) && proper_class(graph, bag, b)
+}
+
+#[inline]
+fn lift(mask: u64, at: usize) -> u64 {
+    let low = mask & ((1u64 << at) - 1);
+    let high = (mask >> at) << (at + 1);
+    low | high
+}
+
+/// Materializes the Figure 5 program over `(graph, td)` as ground monadic
+/// datalog. Size is `O(3^{w+1} · |td|)` — linear in the data for fixed
+/// width, as Theorem 4.4 requires, but with the full `f(w)` constant paid
+/// up front.
+pub fn ground_three_col(graph: &Graph, td: &NiceTd) -> GroundThreeCol {
+    let mut atoms: FxHashMap<(u32, u64, u64), u32> = FxHashMap::default();
+    let mut horn = HornProgram::default();
+    // Atom 0 = success.
+    let intern = |atoms: &mut FxHashMap<(u32, u64, u64), u32>, node: NodeId, r: u64, g: u64| {
+        let next = atoms.len() as u32 + 1;
+        *atoms.entry((node.0, r, g)).or_insert(next)
+    };
+
+    for node in td.post_order() {
+        let bag = td.bag(node);
+        let n = bag.len();
+        match td.kind(node) {
+            NiceKind::Leaf => {
+                for (r, g) in all_states(n) {
+                    if allowed(graph, bag, n, r, g) {
+                        let head = intern(&mut atoms, node, r, g);
+                        horn.rules.push(HornRule { head, body: vec![] });
+                    }
+                }
+            }
+            NiceKind::Introduce(v) => {
+                let child = td.node(node).children[0];
+                let vpos = bag.binary_search(&v).expect("introduced in bag");
+                for (r, g) in all_states(n - 1) {
+                    let body_atom = intern(&mut atoms, child, r, g);
+                    let (lr, lg) = (lift(r, vpos), lift(g, vpos));
+                    for color in 0..3u8 {
+                        let (nr, ng) = match color {
+                            0 => (lr | 1 << vpos, lg),
+                            1 => (lr, lg | 1 << vpos),
+                            _ => (lr, lg),
+                        };
+                        if allowed(graph, bag, n, nr, ng) {
+                            let head = intern(&mut atoms, node, nr, ng);
+                            horn.rules.push(HornRule {
+                                head,
+                                body: vec![body_atom],
+                            });
+                        }
+                    }
+                }
+            }
+            NiceKind::Forget(v) => {
+                let child = td.node(node).children[0];
+                let child_bag = td.bag(child);
+                let vpos = child_bag.binary_search(&v).expect("forgotten in child");
+                let drop = |mask: u64| -> u64 {
+                    let low = mask & ((1u64 << vpos) - 1);
+                    let high = (mask >> (vpos + 1)) << vpos;
+                    low | high
+                };
+                for (r, g) in all_states(n + 1) {
+                    let body_atom = intern(&mut atoms, child, r, g);
+                    let head = intern(&mut atoms, node, drop(r), drop(g));
+                    horn.rules.push(HornRule {
+                        head,
+                        body: vec![body_atom],
+                    });
+                }
+            }
+            NiceKind::Branch => {
+                let children = &td.node(node).children;
+                let (c1, c2) = (children[0], children[1]);
+                for (r, g) in all_states(n) {
+                    let b1 = intern(&mut atoms, c1, r, g);
+                    let b2 = intern(&mut atoms, c2, r, g);
+                    let head = intern(&mut atoms, node, r, g);
+                    horn.rules.push(HornRule {
+                        head,
+                        body: vec![b1, b2],
+                    });
+                }
+            }
+        }
+    }
+    // success ← solve(root, R, G, B) for every root state.
+    let root = td.root();
+    for (r, g) in all_states(td.bag(root).len()) {
+        let body_atom = intern(&mut atoms, root, r, g);
+        horn.rules.push(HornRule {
+            head: 0,
+            body: vec![body_atom],
+        });
+    }
+    horn.n_atoms = atoms.len() + 1;
+    GroundThreeCol { horn, atoms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::three_col::ThreeColSolver;
+    use mdtw_decomp::NiceOptions;
+    use mdtw_graph::{complete, cycle, encode_graph, partial_k_tree, petersen, wheel};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn nice_of(g: &Graph) -> NiceTd {
+        let s = encode_graph(g);
+        let td = mdtw_decomp::decompose(&s, mdtw_decomp::Heuristic::MinFill);
+        NiceTd::from_td(&td, NiceOptions::default())
+    }
+
+    #[test]
+    fn grounding_agrees_with_dp_on_classics() {
+        for (g, expect) in [
+            (cycle(5), true),
+            (complete(4), false),
+            (wheel(5), false),
+            (wheel(6), true),
+            (petersen(), true),
+        ] {
+            let td = nice_of(&g);
+            let ground = ground_three_col(&g, &td);
+            assert_eq!(ground.succeeds(), expect, "{g}");
+            let dp = ThreeColSolver::run(&g, &td);
+            assert_eq!(ground.succeeds(), dp.is_colorable(), "{g}");
+        }
+    }
+
+    #[test]
+    fn grounding_agrees_with_dp_on_random_inputs() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for i in 0..12 {
+            let (g, td) = partial_k_tree(&mut rng, 14 + i, 2 + i % 3, 0.8);
+            let nice = NiceTd::from_td(&td, NiceOptions::default());
+            let ground = ground_three_col(&g, &nice);
+            let dp = ThreeColSolver::run(&g, &nice);
+            assert_eq!(ground.succeeds(), dp.is_colorable(), "instance {i}");
+        }
+    }
+
+    #[test]
+    fn grounding_materializes_more_facts_than_dp_reaches() {
+        // §6 optimization (1): the DP table is (weakly) smaller than the
+        // full materialization at every width.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (g, td) = partial_k_tree(&mut rng, 20, 3, 0.7);
+        let nice = NiceTd::from_td(&td, NiceOptions::default());
+        let ground = ground_three_col(&g, &nice);
+        let dp = ThreeColSolver::run(&g, &nice);
+        assert!(ground.atom_count() >= dp.fact_count);
+        assert!(ground.rule_count() > 0);
+    }
+
+    #[test]
+    fn state_enumeration_counts() {
+        assert_eq!(all_states(0).len(), 1);
+        assert_eq!(all_states(1).len(), 3);
+        assert_eq!(all_states(2).len(), 9);
+        assert_eq!(all_states(3).len(), 27);
+    }
+}

@@ -1,0 +1,485 @@
+//! Bottom-up evaluation: naive and semi-naive least-fixpoint computation
+//! of semipositive datalog over a finite structure (paper §2.4).
+//!
+//! The naive evaluator is the executable definition of the minimal-model
+//! semantics and serves as ground truth; the semi-naive evaluator is the
+//! general-purpose engine. The *linear-time* evaluation of quasi-guarded
+//! programs (Theorem 4.4) lives in the `ground` and `horn` modules.
+
+use crate::ast::{Atom, IdbId, PredRef, Program, Rule, Term, Var};
+use mdtw_structure::fx::FxHashSet;
+use mdtw_structure::{ElemId, Structure};
+
+/// The computed least fixpoint: one relation per intensional predicate.
+#[derive(Debug, Clone)]
+pub struct IdbStore {
+    rels: Vec<FxHashSet<Box<[ElemId]>>>,
+    names: Vec<String>,
+}
+
+impl IdbStore {
+    fn new(program: &Program) -> Self {
+        Self {
+            rels: vec![FxHashSet::default(); program.idb_count()],
+            names: program.idb_names.clone(),
+        }
+    }
+
+    /// True if `pred(args)` is in the least fixpoint.
+    pub fn holds(&self, pred: IdbId, args: &[ElemId]) -> bool {
+        self.rels[pred.index()].contains(args)
+    }
+
+    /// Looks a predicate up by name and tests membership.
+    pub fn holds_named(&self, name: &str, args: &[ElemId]) -> bool {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .is_some_and(|i| self.rels[i].contains(args))
+    }
+
+    /// All tuples of `pred`, sorted for determinism.
+    pub fn tuples(&self, pred: IdbId) -> Vec<Vec<ElemId>> {
+        let mut out: Vec<Vec<ElemId>> =
+            self.rels[pred.index()].iter().map(|t| t.to_vec()).collect();
+        out.sort();
+        out
+    }
+
+    /// The elements `x` with `pred(x)` in the fixpoint (unary predicates).
+    pub fn unary(&self, pred: IdbId) -> Vec<ElemId> {
+        let mut out: Vec<ElemId> = self.rels[pred.index()]
+            .iter()
+            .map(|t| {
+                debug_assert_eq!(t.len(), 1);
+                t[0]
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total number of derived facts.
+    pub fn fact_count(&self) -> usize {
+        self.rels.iter().map(FxHashSet::len).sum()
+    }
+
+    fn insert(&mut self, pred: IdbId, args: Box<[ElemId]>) -> bool {
+        self.rels[pred.index()].insert(args)
+    }
+
+    /// Creates an empty store shaped for `program` (used by the
+    /// quasi-guarded evaluator to decode LTUR models).
+    pub(crate) fn new_for(program: &Program) -> Self {
+        Self::new(program)
+    }
+
+    /// Direct insertion (used when decoding a ground model).
+    pub(crate) fn insert_raw(&mut self, pred: IdbId, args: Box<[ElemId]>) {
+        self.rels[pred.index()].insert(args);
+    }
+}
+
+/// Evaluation statistics (for the linearity experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of successful rule instantiations considered (including
+    /// re-derivations).
+    pub firings: usize,
+    /// Number of distinct facts derived.
+    pub facts: usize,
+    /// Number of fixpoint rounds.
+    pub rounds: usize,
+}
+
+/// Naive evaluation: apply all rules until nothing changes.
+pub fn eval_naive(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
+    let mut store = IdbStore::new(program);
+    let mut stats = EvalStats::default();
+    loop {
+        stats.rounds += 1;
+        let mut new_facts: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
+        for rule in &program.rules {
+            for_each_match(rule, structure, &store, None, &mut |head_args| {
+                stats.firings += 1;
+                if let PredRef::Idb(id) = rule.head.pred {
+                    if !store.holds(id, &head_args) {
+                        new_facts.push((id, head_args));
+                    }
+                }
+            });
+        }
+        let mut changed = false;
+        for (id, args) in new_facts {
+            if store.insert(id, args) {
+                changed = true;
+                stats.facts += 1;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (store, stats)
+}
+
+/// Semi-naive evaluation: after the first round, a rule fires only with at
+/// least one body atom taken from the previous round's delta.
+pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
+    let mut store = IdbStore::new(program);
+    let mut stats = EvalStats::default();
+
+    // Round 0: all rules, unconstrained.
+    stats.rounds += 1;
+    let mut delta: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
+    for rule in &program.rules {
+        for_each_match(rule, structure, &store, None, &mut |head_args| {
+            stats.firings += 1;
+            if let PredRef::Idb(id) = rule.head.pred {
+                if !store.holds(id, &head_args) {
+                    delta.push((id, head_args));
+                }
+            }
+        });
+    }
+    let mut frontier: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
+    for (id, args) in delta {
+        if store.insert(id, args.clone()) {
+            stats.facts += 1;
+            frontier.push((id, args));
+        }
+    }
+
+    while !frontier.is_empty() {
+        stats.rounds += 1;
+        let delta_set: FxHashSet<(IdbId, Box<[ElemId]>)> = frontier.drain(..).collect();
+        let mut new_facts: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
+        for rule in &program.rules {
+            // One pass per IDB body position: that position must match the
+            // delta; other positions use the full store.
+            let idb_positions: Vec<usize> = rule
+                .body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.positive && matches!(l.atom.pred, PredRef::Idb(_)))
+                .map(|(i, _)| i)
+                .collect();
+            for &pos in &idb_positions {
+                for_each_match(
+                    rule,
+                    structure,
+                    &store,
+                    Some((pos, &delta_set)),
+                    &mut |head_args| {
+                        stats.firings += 1;
+                        if let PredRef::Idb(id) = rule.head.pred {
+                            if !store.holds(id, &head_args) {
+                                new_facts.push((id, head_args));
+                            }
+                        }
+                    },
+                );
+            }
+        }
+        for (id, args) in new_facts {
+            if store.insert(id, args.clone()) {
+                stats.facts += 1;
+                frontier.push((id, args));
+            }
+        }
+    }
+    (store, stats)
+}
+
+/// Enumerates all substitutions satisfying `rule`'s body and yields the
+/// instantiated head arguments.
+///
+/// `delta`: if `Some((pos, set))`, the body literal at `pos` must match a
+/// tuple in `set` (semi-naive restriction).
+fn for_each_match(
+    rule: &Rule,
+    structure: &Structure,
+    store: &IdbStore,
+    delta: Option<(usize, &FxHashSet<(IdbId, Box<[ElemId]>)>)>,
+    emit: &mut dyn FnMut(Box<[ElemId]>),
+) {
+    let mut bindings: Vec<Option<ElemId>> = vec![None; rule.var_count as usize];
+
+    // Literal processing order: positive literals first (greedy: most
+    // bound variables first at each step), negative literals as soon as
+    // fully bound. We precompute just a static order: positives in body
+    // order, then after each positive we flush any negative whose
+    // variables are all bound. Simpler: recursive descent over positives
+    // in body order, checking negatives whenever bound.
+    let positives: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.positive)
+        .map(|(i, _)| i)
+        .collect();
+    let negatives: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.positive)
+        .map(|(i, _)| i)
+        .collect();
+
+    descend(
+        rule,
+        structure,
+        store,
+        delta,
+        &positives,
+        0,
+        &negatives,
+        &mut bindings,
+        emit,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    rule: &Rule,
+    structure: &Structure,
+    store: &IdbStore,
+    delta: Option<(usize, &FxHashSet<(IdbId, Box<[ElemId]>)>)>,
+    positives: &[usize],
+    next: usize,
+    negatives: &[usize],
+    bindings: &mut Vec<Option<ElemId>>,
+    emit: &mut dyn FnMut(Box<[ElemId]>),
+) {
+    if next == positives.len() {
+        // All positives matched; check negatives (safety guarantees all
+        // their variables are bound) and emit.
+        for &ni in negatives {
+            let lit = &rule.body[ni];
+            let args = instantiate(&lit.atom, bindings)
+                .expect("safe rule: negative literal fully bound");
+            let holds = match lit.atom.pred {
+                PredRef::Edb(p) => structure.holds(p, &args),
+                PredRef::Idb(_) => unreachable!("semipositive program"),
+            };
+            if holds {
+                return;
+            }
+        }
+        let head_args = instantiate(&rule.head, bindings).expect("safe rule: head bound");
+        emit(head_args);
+        return;
+    }
+
+    let li = positives[next];
+    let lit = &rule.body[li];
+    let is_delta_pos = delta.is_some_and(|(pos, _)| pos == li);
+
+    // Enumerate candidate tuples for this literal.
+    let try_tuple = |tuple: &[ElemId],
+                     bindings: &mut Vec<Option<ElemId>>,
+                     emit: &mut dyn FnMut(Box<[ElemId]>)| {
+        let mut touched: Vec<Var> = Vec::new();
+        if unify(&lit.atom, tuple, bindings, &mut touched) {
+            descend(
+                rule, structure, store, delta, positives, next + 1, negatives, bindings, emit,
+            );
+        }
+        for v in touched {
+            bindings[v.index()] = None;
+        }
+    };
+
+    match (lit.atom.pred, is_delta_pos) {
+        (PredRef::Edb(p), _) => {
+            for tuple in structure.relation(p).iter() {
+                try_tuple(tuple, bindings, emit);
+            }
+        }
+        (PredRef::Idb(id), false) => {
+            for tuple in store.rels[id.index()].iter() {
+                try_tuple(tuple, bindings, emit);
+            }
+        }
+        (PredRef::Idb(id), true) => {
+            let (_, set) = delta.expect("delta position implies delta set");
+            for (tid, tuple) in set.iter() {
+                if *tid == id {
+                    try_tuple(tuple, bindings, emit);
+                }
+            }
+        }
+    }
+}
+
+/// Tries to unify `atom` with `tuple` under the current bindings;
+/// records newly bound variables in `touched`.
+fn unify(
+    atom: &Atom,
+    tuple: &[ElemId],
+    bindings: &mut [Option<ElemId>],
+    touched: &mut Vec<Var>,
+) -> bool {
+    debug_assert_eq!(atom.terms.len(), tuple.len());
+    for (term, &value) in atom.terms.iter().zip(tuple) {
+        match term {
+            Term::Const(c) => {
+                if *c != value {
+                    for v in touched.drain(..) {
+                        bindings[v.index()] = None;
+                    }
+                    return false;
+                }
+            }
+            Term::Var(v) => match bindings[v.index()] {
+                Some(bound) if bound != value => {
+                    for v in touched.drain(..) {
+                        bindings[v.index()] = None;
+                    }
+                    return false;
+                }
+                Some(_) => {}
+                None => {
+                    bindings[v.index()] = Some(value);
+                    touched.push(*v);
+                }
+            },
+        }
+    }
+    true
+}
+
+/// Instantiates an atom under complete bindings.
+fn instantiate(atom: &Atom, bindings: &[Option<ElemId>]) -> Option<Box<[ElemId]>> {
+    atom.terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => Some(*c),
+            Term::Var(v) => bindings[v.index()],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use mdtw_structure::{Domain, Signature};
+    use std::sync::Arc;
+
+    fn chain(n: usize) -> Structure {
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let dom = Domain::anonymous(n);
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        for i in 0..n - 1 {
+            s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+        }
+        s
+    }
+
+    const TC: &str = "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).";
+
+    #[test]
+    fn transitive_closure_naive() {
+        let s = chain(5);
+        let p = parse_program(TC, &s).unwrap();
+        let (store, _) = eval_naive(&p, &s);
+        let path = p.idb("path").unwrap();
+        assert_eq!(store.tuples(path).len(), 4 + 3 + 2 + 1);
+        assert!(store.holds(path, &[ElemId(0), ElemId(4)]));
+        assert!(!store.holds(path, &[ElemId(4), ElemId(0)]));
+    }
+
+    #[test]
+    fn seminaive_agrees_with_naive() {
+        let s = chain(7);
+        let p = parse_program(TC, &s).unwrap();
+        let (naive, _) = eval_naive(&p, &s);
+        let (semi, _) = eval_seminaive(&p, &s);
+        let path = p.idb("path").unwrap();
+        assert_eq!(naive.tuples(path), semi.tuples(path));
+    }
+
+    #[test]
+    fn seminaive_fires_less_than_naive() {
+        let s = chain(12);
+        let p = parse_program(TC, &s).unwrap();
+        let (_, naive_stats) = eval_naive(&p, &s);
+        let (_, semi_stats) = eval_seminaive(&p, &s);
+        assert!(semi_stats.firings < naive_stats.firings);
+        assert_eq!(semi_stats.facts, naive_stats.facts);
+    }
+
+    #[test]
+    fn negation_on_edb() {
+        let s = chain(4);
+        let p = parse_program(
+            "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).\n\
+             skip(X, Y) :- path(X, Y), !e(X, Y).",
+            &s,
+        )
+        .unwrap();
+        let (store, _) = eval_seminaive(&p, &s);
+        let skip = p.idb("skip").unwrap();
+        assert!(store.holds(skip, &[ElemId(0), ElemId(2)]));
+        assert!(!store.holds(skip, &[ElemId(0), ElemId(1)]));
+    }
+
+    #[test]
+    fn zero_ary_goal() {
+        let s = chain(3);
+        let p = parse_program(
+            "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).\n\
+             reachable :- path(x0, x2).",
+            &s,
+        )
+        .unwrap();
+        let (store, _) = eval_seminaive(&p, &s);
+        let g = p.idb("reachable").unwrap();
+        assert!(store.holds(g, &[]));
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        let s = chain(4);
+        let p = parse_program("from_start(Y) :- e(x0, Y).", &s).unwrap();
+        let (store, _) = eval_seminaive(&p, &s);
+        let q = p.idb("from_start").unwrap();
+        assert_eq!(store.unary(q), vec![ElemId(1)]);
+    }
+
+    #[test]
+    fn facts_in_program() {
+        let s = chain(3);
+        let p = parse_program("mark(x1). marked2(X) :- mark(X), e(X, Y).", &s).unwrap();
+        let (store, _) = eval_seminaive(&p, &s);
+        let m2 = p.idb("marked2").unwrap();
+        assert_eq!(store.unary(m2), vec![ElemId(1)]);
+    }
+
+    #[test]
+    fn repeated_variables_filter() {
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let dom = Domain::anonymous(3);
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        s.insert(e, &[ElemId(0), ElemId(0)]);
+        s.insert(e, &[ElemId(0), ElemId(1)]);
+        let p = parse_program("loop(X) :- e(X, X).", &s).unwrap();
+        let (store, _) = eval_seminaive(&p, &s);
+        let l = p.idb("loop").unwrap();
+        assert_eq!(store.unary(l), vec![ElemId(0)]);
+    }
+
+    #[test]
+    fn empty_relation_derives_nothing() {
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let dom = Domain::anonymous(2);
+        let s = Structure::new(sig, dom);
+        let p = parse_program(TC, &s).unwrap();
+        let (store, stats) = eval_seminaive(&p, &s);
+        assert_eq!(store.fact_count(), 0);
+        assert_eq!(stats.facts, 0);
+    }
+}

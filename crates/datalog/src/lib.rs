@@ -1,0 +1,33 @@
+//! # mdtw-datalog
+//!
+//! A from-scratch datalog engine for the *Monadic Datalog over Finite
+//! Structures with Bounded Treewidth* reproduction (Gottlob, Pichler &
+//! Wei, PODS 2007).
+//!
+//! The engine evaluates *semipositive* datalog (negation only on
+//! extensional atoms — the fragment produced by the paper's MSO-to-datalog
+//! construction) over the finite structures of [`mdtw_structure`]:
+//!
+//! * [`ast`] / [`parser`] — programs as data or text;
+//! * [`eval`] — naive and semi-naive least-fixpoint evaluation (the
+//!   reference semantics of §2.4);
+//! * [`ground`](mod@crate::ground) — **quasi-guarded** datalog (Definition 4.3): guard
+//!   analysis with declared functional dependencies, grounding in
+//!   `O(|P|·|𝒜|)`, and the linear-time evaluation of Theorem 4.4;
+//! * [`horn`] — the LTUR/Dowling–Gallier linear-time propositional Horn
+//!   solver the grounding is handed to.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod ground;
+pub mod horn;
+pub mod parser;
+
+pub use ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term, Var};
+pub use eval::{eval_naive, eval_seminaive, EvalStats, IdbStore};
+pub use ground::{eval_quasi_guarded, ground, FdCatalog, FuncDep, Grounding, QgError, QgStats};
+pub use horn::{HornProgram, HornRule};
+pub use parser::{parse_program, ParseError};

@@ -1,0 +1,401 @@
+//! A small textual syntax for datalog programs.
+//!
+//! ```text
+//! % transitive closure
+//! path(X, Y) :- e(X, Y).
+//! path(X, Z) :- path(X, Y), e(Y, Z).
+//! far(X)     :- path(a, X), !e(a, X).
+//! flag.
+//! ```
+//!
+//! Conventions: identifiers starting with an upper-case letter (or `_`)
+//! are variables; everything else is a constant or predicate name.
+//! Negation is written `!atom` or `not atom`; comments run from `%` or
+//! `#` to end of line. Predicates named in the input structure's signature
+//! are extensional; all others are intensional.
+
+use crate::ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term, Var};
+use mdtw_structure::fx::FxHashMap;
+use mdtw_structure::Structure;
+use std::fmt;
+
+/// A parse or resolution error with a line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line where the error occurred (0 = global).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses `source` and resolves predicate/constant names against
+/// `structure`. Returns a ready-to-evaluate [`Program`].
+pub fn parse_program(source: &str, structure: &Structure) -> Result<Program, ParseError> {
+    let mut program = Program::default();
+    // First pass: collect heads so intensional predicates are known even
+    // when a body mentions them before their defining rule.
+    let statements = split_statements(source)?;
+    for (line, text) in &statements {
+        let (head_txt, _) = split_rule(text);
+        let head = parse_atom(head_txt.trim(), *line)?;
+        if structure.signature().lookup(&head.pred).is_some() {
+            return Err(ParseError {
+                line: *line,
+                message: format!("extensional predicate `{}` in rule head", head.pred),
+            });
+        }
+        program
+            .intern_idb(&head.pred, head.args.len())
+            .map_err(|message| ParseError {
+                line: *line,
+                message,
+            })?;
+    }
+    for (line, text) in &statements {
+        let rule = parse_rule(text, *line, structure, &mut program)?;
+        program.rules.push(rule);
+    }
+    program.check_semipositive().map_err(|message| ParseError {
+        line: 0,
+        message,
+    })?;
+    Ok(program)
+}
+
+/// Splits source into `.`-terminated statements with their line numbers,
+/// stripping comments.
+fn split_statements(source: &str) -> Result<Vec<(usize, String)>, ParseError> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut start_line = 1;
+    for (idx, raw_line) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = match raw_line.find(['%', '#']) {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        for ch in line.chars() {
+            if current.trim().is_empty() {
+                start_line = line_no;
+            }
+            if ch == '.' {
+                let stmt = current.trim().to_owned();
+                if !stmt.is_empty() {
+                    out.push((start_line, stmt));
+                }
+                current.clear();
+            } else {
+                current.push(ch);
+            }
+        }
+        current.push(' ');
+    }
+    if !current.trim().is_empty() {
+        return Err(ParseError {
+            line: start_line,
+            message: format!("statement not terminated by `.`: `{}`", current.trim()),
+        });
+    }
+    Ok(out)
+}
+
+fn split_rule(text: &str) -> (&str, Option<&str>) {
+    match text.find(":-") {
+        Some(pos) => (&text[..pos], Some(&text[pos + 2..])),
+        None => (text, None),
+    }
+}
+
+/// Raw, unresolved atom.
+struct RawAtom {
+    pred: String,
+    args: Vec<String>,
+}
+
+fn parse_atom(text: &str, line: usize) -> Result<RawAtom, ParseError> {
+    let text = text.trim();
+    let err = |message: String| ParseError { line, message };
+    if text.is_empty() {
+        return Err(err("empty atom".into()));
+    }
+    match text.find('(') {
+        None => {
+            validate_ident(text, line)?;
+            Ok(RawAtom {
+                pred: text.to_owned(),
+                args: Vec::new(),
+            })
+        }
+        Some(open) => {
+            if !text.ends_with(')') {
+                return Err(err(format!("missing `)` in `{text}`")));
+            }
+            let pred = text[..open].trim();
+            validate_ident(pred, line)?;
+            let inner = &text[open + 1..text.len() - 1];
+            let args: Vec<String> = inner
+                .split(',')
+                .map(|a| a.trim().to_owned())
+                .collect();
+            if args.iter().any(String::is_empty) {
+                return Err(err(format!("empty argument in `{text}`")));
+            }
+            for a in &args {
+                validate_ident(a, line)?;
+            }
+            Ok(RawAtom {
+                pred: pred.to_owned(),
+                args,
+            })
+        }
+    }
+}
+
+fn validate_ident(s: &str, line: usize) -> Result<(), ParseError> {
+    let ok = !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '\'');
+    if ok {
+        Ok(())
+    } else {
+        Err(ParseError {
+            line,
+            message: format!("invalid identifier `{s}`"),
+        })
+    }
+}
+
+fn is_variable(name: &str) -> bool {
+    name.starts_with(|c: char| c.is_uppercase() || c == '_')
+}
+
+/// Splits a rule body on top-level commas (arguments contain commas inside
+/// parentheses).
+fn split_body(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                out.push(&text[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&text[start..]);
+    out
+}
+
+fn parse_rule(
+    text: &str,
+    line: usize,
+    structure: &Structure,
+    program: &mut Program,
+) -> Result<Rule, ParseError> {
+    let (head_txt, body_txt) = split_rule(text);
+    let head_raw = parse_atom(head_txt, line)?;
+
+    let mut vars: FxHashMap<String, Var> = FxHashMap::default();
+    let mut var_names: Vec<String> = Vec::new();
+    let mut resolve_term = |name: &str| -> Result<Term, ParseError> {
+        if is_variable(name) {
+            let next = Var(vars.len() as u32);
+            let v = *vars.entry(name.to_owned()).or_insert_with(|| {
+                var_names.push(name.to_owned());
+                next
+            });
+            Ok(Term::Var(v))
+        } else {
+            match structure.domain().lookup(name) {
+                Some(c) => Ok(Term::Const(c)),
+                None => Err(ParseError {
+                    line,
+                    message: format!("unknown constant `{name}`"),
+                }),
+            }
+        }
+    };
+
+    let resolve_atom = |raw: &RawAtom,
+                            program: &mut Program,
+                            resolve_term: &mut dyn FnMut(&str) -> Result<Term, ParseError>|
+     -> Result<Atom, ParseError> {
+        let terms: Result<Vec<Term>, ParseError> =
+            raw.args.iter().map(|a| resolve_term(a)).collect();
+        let terms = terms?;
+        let pred = match structure.signature().lookup(&raw.pred) {
+            Some(p) => {
+                let arity = structure.signature().arity(p);
+                if arity != terms.len() {
+                    return Err(ParseError {
+                        line,
+                        message: format!(
+                            "`{}` has arity {arity}, used with {} arguments",
+                            raw.pred,
+                            terms.len()
+                        ),
+                    });
+                }
+                PredRef::Edb(p)
+            }
+            None => {
+                let id: IdbId = program
+                    .intern_idb(&raw.pred, terms.len())
+                    .map_err(|message| ParseError { line, message })?;
+                PredRef::Idb(id)
+            }
+        };
+        Ok(Atom { pred, terms })
+    };
+
+    let head = resolve_atom(&head_raw, program, &mut resolve_term)?;
+
+    let mut body = Vec::new();
+    if let Some(body_txt) = body_txt {
+        for lit_txt in split_body(body_txt) {
+            let lit_txt = lit_txt.trim();
+            if lit_txt.is_empty() {
+                return Err(ParseError {
+                    line,
+                    message: "empty body literal".into(),
+                });
+            }
+            let (positive, atom_txt) = if let Some(stripped) = lit_txt.strip_prefix('!') {
+                (false, stripped.trim())
+            } else if let Some(stripped) = lit_txt.strip_prefix("not ") {
+                (false, stripped.trim())
+            } else {
+                (true, lit_txt)
+            };
+            let raw = parse_atom(atom_txt, line)?;
+            let atom = resolve_atom(&raw, program, &mut resolve_term)?;
+            body.push(Literal { atom, positive });
+        }
+    }
+
+    Ok(Rule {
+        head,
+        body,
+        var_count: var_names.len() as u32,
+        var_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdtw_structure::{Domain, ElemId, Signature};
+    use std::sync::Arc;
+
+    fn tiny_structure() -> Structure {
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let mut dom = Domain::new();
+        let a = dom.insert("a");
+        let b = dom.insert("b");
+        let c = dom.insert("c");
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        s.insert(e, &[a, b]);
+        s.insert(e, &[b, c]);
+        s
+    }
+
+    #[test]
+    fn parses_transitive_closure() {
+        let s = tiny_structure();
+        let p = parse_program(
+            "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.idb_count(), 1);
+        assert_eq!(p.rules[1].body.len(), 2);
+        assert_eq!(p.rules[1].var_count, 3);
+    }
+
+    #[test]
+    fn parses_negation_and_constants() {
+        let s = tiny_structure();
+        let p = parse_program("far(X) :- path(a, X), !e(a, X). path(X,Y) :- e(X,Y).", &s)
+            .unwrap();
+        let rule = &p.rules[0];
+        assert_eq!(rule.body.len(), 2);
+        assert!(!rule.body[1].positive);
+        assert!(matches!(rule.body[0].atom.terms[0], Term::Const(ElemId(0))));
+    }
+
+    #[test]
+    fn parses_zero_ary_and_facts() {
+        let s = tiny_structure();
+        let p = parse_program("flag :- e(a, b). marked(a).", &s).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(p.idb("flag").is_some());
+        assert!(p.rules[1].body.is_empty());
+    }
+
+    #[test]
+    fn comments_and_multiline_statements() {
+        let s = tiny_structure();
+        let p = parse_program(
+            "% a comment\npath(X, Y) :-\n   e(X, Y). # trailing\n",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(p.rules.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_constant() {
+        let s = tiny_structure();
+        let err = parse_program("q(X) :- e(X, zz).", &s).unwrap_err();
+        assert!(err.message.contains("unknown constant"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch_on_edb() {
+        let s = tiny_structure();
+        let err = parse_program("q(X) :- e(X).", &s).unwrap_err();
+        assert!(err.message.contains("arity"));
+    }
+
+    #[test]
+    fn rejects_extensional_head() {
+        let s = tiny_structure();
+        let err = parse_program("e(X, Y) :- e(Y, X).", &s).unwrap_err();
+        assert!(err.message.contains("extensional"));
+    }
+
+    #[test]
+    fn rejects_unterminated_statement() {
+        let s = tiny_structure();
+        let err = parse_program("q(X) :- e(X, Y)", &s).unwrap_err();
+        assert!(err.message.contains("not terminated"));
+    }
+
+    #[test]
+    fn rejects_unsafe_rule() {
+        let s = tiny_structure();
+        let err = parse_program("q(X, Y) :- e(X, X).", &s).unwrap_err();
+        assert!(err.message.contains("unsafe"));
+    }
+
+    #[test]
+    fn rejects_negated_idb() {
+        let s = tiny_structure();
+        let err = parse_program("q(X) :- e(X, Y), !r(X). r(X) :- e(X, X).", &s).unwrap_err();
+        assert!(err.message.contains("negated intensional"));
+    }
+}

@@ -1,0 +1,392 @@
+//! Tree-decomposition construction.
+//!
+//! Bodlaender's linear-time algorithm (\[3\] in the paper) is famously
+//! impractical; like the paper's own prototype we rely on elimination-order
+//! heuristics (min-degree, min-fill) which are exact on chordal inputs and
+//! near-optimal on the bounded-treewidth workloads used here, plus an exact
+//! exponential search for small instances (used in tests to certify widths,
+//! e.g. that Example 2.2 has treewidth 2).
+
+use crate::tree::{NodeId, TreeDecomposition};
+use mdtw_structure::fx::FxHashSet;
+use mdtw_structure::{ElemId, Structure};
+
+/// The primal (Gaifman) graph of a structure: one vertex per domain
+/// element, an edge whenever two elements co-occur in some EDB tuple.
+#[derive(Debug, Clone)]
+pub struct PrimalGraph {
+    /// `adj[v]` is the sorted set of neighbours of `v`.
+    adj: Vec<Vec<u32>>,
+}
+
+impl PrimalGraph {
+    /// Builds the primal graph of `structure`.
+    pub fn of(structure: &Structure) -> Self {
+        let n = structure.domain().len();
+        let mut sets: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+        for p in structure.signature().preds() {
+            for t in structure.relation(p).iter() {
+                for (i, &a) in t.iter().enumerate() {
+                    for &b in &t[i + 1..] {
+                        if a != b {
+                            sets[a.index()].insert(b.0);
+                            sets[b.index()].insert(a.0);
+                        }
+                    }
+                }
+            }
+        }
+        let adj = sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<u32> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        Self { adj }
+    }
+
+    /// Builds a primal graph directly from an edge list on `n` vertices.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut sets: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+        for &(a, b) in edges {
+            if a != b {
+                sets[a as usize].insert(b);
+                sets[b as usize].insert(a);
+            }
+        }
+        let adj = sets
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<u32> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        Self { adj }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+}
+
+/// Elimination-order heuristic to use for decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Heuristic {
+    /// Repeatedly eliminate a vertex of minimum current degree.
+    MinDegree,
+    /// Repeatedly eliminate a vertex adding the fewest fill-in edges.
+    MinFill,
+}
+
+/// Work graph for elimination: mutable adjacency sets.
+struct WorkGraph {
+    adj: Vec<FxHashSet<u32>>,
+    alive: Vec<bool>,
+}
+
+impl WorkGraph {
+    fn new(g: &PrimalGraph) -> Self {
+        Self {
+            adj: g
+                .adj
+                .iter()
+                .map(|ns| ns.iter().copied().collect())
+                .collect(),
+            alive: vec![true; g.len()],
+        }
+    }
+
+    fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    fn fill_in(&self, v: u32) -> usize {
+        let ns: Vec<u32> = self.adj[v as usize].iter().copied().collect();
+        let mut missing = 0;
+        for (i, &a) in ns.iter().enumerate() {
+            for &b in &ns[i + 1..] {
+                if !self.adj[a as usize].contains(&b) {
+                    missing += 1;
+                }
+            }
+        }
+        missing
+    }
+
+    /// Eliminates `v`: connects its neighbourhood into a clique, removes `v`.
+    /// Returns the bag `{v} ∪ N(v)`.
+    fn eliminate(&mut self, v: u32) -> Vec<u32> {
+        let ns: Vec<u32> = self.adj[v as usize].iter().copied().collect();
+        for (i, &a) in ns.iter().enumerate() {
+            for &b in &ns[i + 1..] {
+                self.adj[a as usize].insert(b);
+                self.adj[b as usize].insert(a);
+            }
+        }
+        for &u in &ns {
+            self.adj[u as usize].remove(&v);
+        }
+        self.adj[v as usize].clear();
+        self.alive[v as usize] = false;
+        let mut bag = ns;
+        bag.push(v);
+        bag.sort_unstable();
+        bag
+    }
+}
+
+/// Computes an elimination order with the given heuristic.
+pub fn elimination_order(g: &PrimalGraph, heuristic: Heuristic) -> Vec<u32> {
+    let n = g.len();
+    let mut wg = WorkGraph::new(g);
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n as u32)
+            .filter(|&v| wg.alive[v as usize])
+            .min_by_key(|&v| match heuristic {
+                Heuristic::MinDegree => (wg.degree(v), v),
+                Heuristic::MinFill => (wg.fill_in(v), v),
+            })
+            .expect("alive vertex exists");
+        wg.eliminate(v);
+        order.push(v);
+    }
+    order
+}
+
+/// Builds a rooted tree decomposition from an elimination order over the
+/// primal graph (the standard "elimination tree" construction: the bag of
+/// `v` is `{v} ∪ N(v)` at elimination time; its parent is the bag of the
+/// earliest-eliminated element of `N(v)`).
+pub fn decompose_with_order(g: &PrimalGraph, order: &[u32]) -> TreeDecomposition {
+    let n = g.len();
+    assert_eq!(order.len(), n, "order must cover all vertices");
+    if n == 0 {
+        return TreeDecomposition::singleton(Vec::new());
+    }
+    let mut pos = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    let mut wg = WorkGraph::new(g);
+    let mut bags: Vec<Vec<u32>> = Vec::with_capacity(n);
+    for &v in order {
+        bags.push(wg.eliminate(v));
+    }
+    // Parent of bag i: the elimination-position of the earliest-eliminated
+    // *other* member of the bag that is eliminated after v.
+    // (All members other than v are eliminated after v by construction.)
+    // Build the tree rooted at the last-eliminated vertex's bag.
+    // First compute parent indices.
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for (i, bag) in bags.iter().enumerate() {
+        let v = order[i];
+        let p = bag
+            .iter()
+            .filter(|&&u| u != v)
+            .map(|&u| pos[u as usize])
+            .min();
+        parent[i] = p;
+    }
+    // Roots: bags with no parent (one per connected component). Chain the
+    // components together under the last root so we return a single tree
+    // (bags may be disjoint; attaching preserves all conditions because the
+    // connecting edges carry no shared elements).
+    let roots: Vec<usize> = (0..n).filter(|&i| parent[i].is_none()).collect();
+    let main_root = *roots.last().expect("at least one root");
+    // Build via DFS from main_root over child lists.
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, p) in parent.iter().enumerate() {
+        if let Some(p) = p {
+            children[*p].push(i);
+        }
+    }
+    for &r in &roots {
+        if r != main_root {
+            children[main_root].push(r);
+        }
+    }
+    let to_elems = |b: &Vec<u32>| b.iter().map(|&x| ElemId(x)).collect::<Vec<_>>();
+    let mut td = TreeDecomposition::singleton(to_elems(&bags[main_root]));
+    let mut stack: Vec<(usize, NodeId)> = vec![(main_root, td.root())];
+    while let Some((i, node)) = stack.pop() {
+        for &c in &children[i] {
+            let child_node = td.add_child(node, to_elems(&bags[c]));
+            stack.push((c, child_node));
+        }
+    }
+    td
+}
+
+/// Convenience: decomposes `structure` with the given heuristic.
+pub fn decompose(structure: &Structure, heuristic: Heuristic) -> TreeDecomposition {
+    let g = PrimalGraph::of(structure);
+    let order = elimination_order(&g, heuristic);
+    decompose_with_order(&g, &order)
+}
+
+/// Exact treewidth by dynamic programming over vertex subsets
+/// (Bodlaender–Held–Karp style, `O(2^n · n²)`). Only for `n ≤ 20`;
+/// intended for tests and tiny instances.
+///
+/// Returns the treewidth of the primal graph.
+pub fn exact_treewidth(g: &PrimalGraph) -> usize {
+    let n = g.len();
+    assert!(n <= 20, "exact_treewidth is exponential; n ≤ 20 required");
+    if n == 0 {
+        return 0;
+    }
+    // f[S] = minimal over elimination orders of S (eliminated first) of the
+    // maximal back-degree encountered. Back-degree of v w.r.t. already
+    // eliminated set E: number of vertices outside E∪{v} reachable from v
+    // through E.
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut f = vec![u8::MAX; (full as usize) + 1];
+    f[0] = 0;
+    // Iterate subsets in increasing popcount order implicitly: increasing
+    // numeric order suffices since S' = S \ {v} < S numerically.
+    for s in 1..=full {
+        let su = s as usize;
+        let mut best = u8::MAX;
+        let mut bits = s;
+        while bits != 0 {
+            let v = bits.trailing_zeros();
+            bits &= bits - 1;
+            let prev = f[(s & !(1 << v)) as usize];
+            if prev == u8::MAX {
+                continue;
+            }
+            let deg = reach_degree(g, v, s & !(1 << v)) as u8;
+            best = best.min(prev.max(deg));
+        }
+        f[su] = best;
+    }
+    f[full as usize] as usize
+}
+
+/// Number of vertices outside `eliminated ∪ {v}` reachable from `v` via
+/// vertices in `eliminated`.
+fn reach_degree(g: &PrimalGraph, v: u32, eliminated: u32) -> usize {
+    let mut seen = 1u32 << v;
+    let mut stack = vec![v];
+    let mut degree = 0;
+    while let Some(u) = stack.pop() {
+        for &w in g.neighbors(u) {
+            let bit = 1u32 << w;
+            if seen & bit != 0 {
+                continue;
+            }
+            seen |= bit;
+            if eliminated & bit != 0 {
+                stack.push(w);
+            } else {
+                degree += 1;
+            }
+        }
+    }
+    degree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> PrimalGraph {
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        PrimalGraph::from_edges(n, &edges)
+    }
+
+    fn clique(n: usize) -> PrimalGraph {
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in i + 1..n as u32 {
+                edges.push((i, j));
+            }
+        }
+        PrimalGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn exact_treewidth_of_known_graphs() {
+        assert_eq!(exact_treewidth(&cycle(5)), 2);
+        assert_eq!(exact_treewidth(&clique(4)), 3);
+        assert_eq!(exact_treewidth(&clique(6)), 5);
+        // A tree (star) has treewidth 1.
+        let star = PrimalGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(exact_treewidth(&star), 1);
+        // A single vertex / empty graph.
+        assert_eq!(exact_treewidth(&PrimalGraph::from_edges(1, &[])), 0);
+    }
+
+    #[test]
+    fn heuristics_produce_valid_width_on_cycle() {
+        let g = cycle(8);
+        for h in [Heuristic::MinDegree, Heuristic::MinFill] {
+            let order = elimination_order(&g, h);
+            let td = decompose_with_order(&g, &order);
+            // Heuristics are exact on cycles: width 2.
+            assert_eq!(td.width(), 2, "{h:?}");
+        }
+    }
+
+    #[test]
+    fn decomposition_of_structure_is_valid() {
+        use mdtw_structure::{Domain, Signature};
+        use std::sync::Arc;
+        // Build a small 2-tree-ish structure with a ternary relation.
+        let sig = Arc::new(Signature::from_pairs([("r", 3), ("e", 2)]));
+        let dom = Domain::anonymous(7);
+        let mut s = Structure::new(sig, dom);
+        let r = s.signature().lookup("r").unwrap();
+        let e = s.signature().lookup("e").unwrap();
+        s.insert(r, &[ElemId(0), ElemId(1), ElemId(2)]);
+        s.insert(r, &[ElemId(2), ElemId(3), ElemId(4)]);
+        s.insert(e, &[ElemId(4), ElemId(5)]);
+        s.insert(e, &[ElemId(5), ElemId(6)]);
+        for h in [Heuristic::MinDegree, Heuristic::MinFill] {
+            let td = decompose(&s, h);
+            assert_eq!(td.validate(&s), Ok(()), "{h:?}");
+            assert!(td.width() <= 2);
+        }
+    }
+
+    #[test]
+    fn disconnected_structure_still_decomposes() {
+        use mdtw_structure::{Domain, Signature};
+        use std::sync::Arc;
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let dom = Domain::anonymous(4);
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        s.insert(e, &[ElemId(0), ElemId(1)]);
+        s.insert(e, &[ElemId(2), ElemId(3)]);
+        let td = decompose(&s, Heuristic::MinDegree);
+        assert_eq!(td.validate(&s), Ok(()));
+    }
+
+    #[test]
+    fn elimination_tree_parent_is_earliest_neighbor() {
+        // Path 0-1-2, order (0,2,1): bag(0)={0,1}, bag(2)={1,2}, bag(1)={1}.
+        let g = PrimalGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let td = decompose_with_order(&g, &[0, 2, 1]);
+        assert_eq!(td.len(), 3);
+        assert_eq!(td.width(), 1);
+    }
+}

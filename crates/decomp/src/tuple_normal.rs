@@ -1,0 +1,682 @@
+//! The normalized tree decompositions of Definition 2.3 and the
+//! linear-time normalization of Proposition 2.4.
+//!
+//! Bags become *tuples* of exactly `w+1` pairwise distinct elements; every
+//! internal node has one or two children; a node with one child is a
+//! *permutation node* (child bag is a permutation of the parent's) or an
+//! *element replacement node* (child bag replaces position 0); a node with
+//! two children is a *branch node* (children carry the parent's tuple).
+
+use crate::tree::{NodeId, TreeDecomposition};
+use mdtw_structure::ElemId;
+
+/// Kinds of nodes in a normalized (tuple-form) tree decomposition.
+///
+/// The kind describes how the *children* of a node relate to it, matching
+/// the wording of Definition 2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TupleNodeKind {
+    /// No children.
+    Leaf,
+    /// One child whose bag is a permutation of this node's bag.
+    Permutation,
+    /// One child whose bag replaces the element at position 0.
+    ElementReplacement,
+    /// Two children, both carrying this node's tuple.
+    Branch,
+}
+
+/// One node of a [`TupleTd`].
+#[derive(Debug, Clone)]
+pub struct TupleNode {
+    /// The bag as an ordered tuple `(a₀, …, a_w)` of distinct elements.
+    pub bag: Vec<ElemId>,
+    /// Children (at most two).
+    pub children: Vec<NodeId>,
+    /// Parent link; `None` for the root.
+    pub parent: Option<NodeId>,
+}
+
+/// A tree decomposition in the normal form of Definition 2.3.
+#[derive(Debug, Clone)]
+pub struct TupleTd {
+    nodes: Vec<TupleNode>,
+    root: NodeId,
+    width: usize,
+}
+
+/// Errors raised when normalizing a decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormalizeError {
+    /// The domain has fewer than `w+1` elements (the paper's standing
+    /// assumption in Proposition 2.4).
+    DomainTooSmall {
+        /// Required minimum number of elements (`w+1`).
+        need: usize,
+        /// Actual domain size.
+        have: usize,
+    },
+}
+
+impl std::fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NormalizeError::DomainTooSmall { need, have } => write!(
+                f,
+                "normalization requires ≥ {need} domain elements, found {have}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+impl TupleTd {
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always false: a `TupleTd` has at least one node.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The decomposition width `w` (all bags have `w+1` entries).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Node access.
+    #[inline]
+    pub fn node(&self, id: NodeId) -> &TupleNode {
+        &self.nodes[id.index()]
+    }
+
+    /// The ordered bag of `id`.
+    #[inline]
+    pub fn bag(&self, id: NodeId) -> &[ElemId] {
+        &self.nodes[id.index()].bag
+    }
+
+    /// Iterates over node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Classifies a node per Definition 2.3.
+    ///
+    /// # Panics
+    /// Panics if the decomposition is malformed (use
+    /// [`validate_normal_form`](Self::validate_normal_form) first when in
+    /// doubt).
+    pub fn kind(&self, id: NodeId) -> TupleNodeKind {
+        let node = self.node(id);
+        match node.children.len() {
+            0 => TupleNodeKind::Leaf,
+            1 => {
+                let child = self.bag(node.children[0]);
+                if is_permutation(&node.bag, child) {
+                    TupleNodeKind::Permutation
+                } else {
+                    TupleNodeKind::ElementReplacement
+                }
+            }
+            2 => TupleNodeKind::Branch,
+            n => panic!("normalized node with {n} children"),
+        }
+    }
+
+    /// Post-order traversal (children before parents).
+    pub fn post_order(&self) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        let mut stack = vec![(self.root, 0usize)];
+        while let Some(last) = stack.len().checked_sub(1) {
+            let (node, cursor) = stack[last];
+            let children = &self.nodes[node.index()].children;
+            if cursor < children.len() {
+                stack[last].1 += 1;
+                stack.push((children[cursor], 0));
+            } else {
+                out.push(node);
+                stack.pop();
+            }
+        }
+        out
+    }
+
+    /// Converts back to a set-form [`TreeDecomposition`] (for validation
+    /// against the underlying structure).
+    pub fn to_set_td(&self) -> TreeDecomposition {
+        let mut td = TreeDecomposition::singleton(self.bag(self.root).to_vec());
+        let mut stack = vec![(self.root, td.root())];
+        while let Some((old, new)) = stack.pop() {
+            for &c in &self.node(old).children {
+                let nc = td.add_child(new, self.bag(c).to_vec());
+                stack.push((c, nc));
+            }
+        }
+        td
+    }
+
+    /// Checks every clause of Definition 2.3; returns a human-readable
+    /// description of the first violation.
+    pub fn validate_normal_form(&self) -> Result<(), String> {
+        for id in self.node_ids() {
+            let node = self.node(id);
+            if node.bag.len() != self.width + 1 {
+                return Err(format!(
+                    "bag of {id} has {} entries, expected {}",
+                    node.bag.len(),
+                    self.width + 1
+                ));
+            }
+            let mut sorted = node.bag.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != node.bag.len() {
+                return Err(format!("bag of {id} has repeated elements"));
+            }
+            match node.children.len() {
+                0 => {}
+                1 => {
+                    let child = self.bag(node.children[0]);
+                    let perm = is_permutation(&node.bag, child);
+                    let repl = is_pos0_replacement(&node.bag, child);
+                    if !perm && !repl {
+                        return Err(format!(
+                            "node {id}: child bag is neither a permutation nor a \
+                             position-0 replacement"
+                        ));
+                    }
+                }
+                2 => {
+                    for &c in &node.children {
+                        if self.bag(c) != &node.bag[..] {
+                            return Err(format!(
+                                "branch node {id}: child {c} does not carry an \
+                                 identical bag"
+                            ));
+                        }
+                    }
+                }
+                n => return Err(format!("node {id} has {n} children")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Normalizes an arbitrary tree decomposition into the form of
+    /// Definition 2.3 (Proposition 2.4). The width is preserved except
+    /// that width-0 inputs are lifted to width 1 (the paper assumes
+    /// `w ≥ 1`); `domain_size` must be at least `w+1`.
+    pub fn from_td(td: &TreeDecomposition, domain_size: usize) -> Result<Self, NormalizeError> {
+        let w = td.width().max(1);
+        Self::from_td_with_width(td, domain_size, w)
+    }
+
+    /// Like [`from_td`](Self::from_td) but pads every bag to a caller-chosen
+    /// width `w ≥ max(width(td), 1)`.
+    pub fn from_td_with_width(
+        td: &TreeDecomposition,
+        domain_size: usize,
+        w: usize,
+    ) -> Result<Self, NormalizeError> {
+        assert!(w >= td.width().max(1), "target width below input width");
+        if domain_size < w + 1 {
+            return Err(NormalizeError::DomainTooSmall {
+                need: w + 1,
+                have: domain_size,
+            });
+        }
+
+        // --- Step 1 (Prop. 2.4 (1)): pad all bags to w+1 elements by
+        // pulling elements from neighbouring bags. Pulling from a
+        // neighbour always preserves connectedness (the occurrence subtree
+        // grows by an adjacent node); termination is guaranteed because a
+        // global stall would imply the union of all bags has < w+1
+        // elements, contradicting coverage of a domain with ≥ w+1 elements
+        // -- provided the input decomposition covers the domain. If it
+        // covers fewer elements (legal for sub-structures) we fall back to
+        // padding with arbitrary uncovered elements appended consistently
+        // at the root-side, which keeps occurrence sets connected because
+        // those elements occur nowhere else.
+        let mut sets: Vec<Vec<ElemId>> = td.node_ids().map(|id| td.bag(id).to_vec()).collect();
+        let parent_of: Vec<Option<NodeId>> = td.node_ids().map(|id| td.node(id).parent).collect();
+        let children_of: Vec<Vec<NodeId>> =
+            td.node_ids().map(|id| td.node(id).children.clone()).collect();
+        loop {
+            let mut changed = false;
+            let mut all_full = true;
+            for i in 0..sets.len() {
+                if sets[i].len() >= w + 1 {
+                    continue;
+                }
+                all_full = false;
+                let mut neighbors: Vec<NodeId> = Vec::new();
+                if let Some(p) = parent_of[i] {
+                    neighbors.push(p);
+                }
+                neighbors.extend(children_of[i].iter().copied());
+                for nb in neighbors {
+                    if sets[i].len() >= w + 1 {
+                        break;
+                    }
+                    let candidates: Vec<ElemId> = sets[nb.index()]
+                        .iter()
+                        .copied()
+                        .filter(|e| !sets[i].contains(e))
+                        .collect();
+                    for e in candidates {
+                        if sets[i].len() >= w + 1 {
+                            break;
+                        }
+                        sets[i].push(e);
+                        changed = true;
+                    }
+                }
+            }
+            if all_full {
+                break;
+            }
+            if !changed {
+                // The decomposition covers fewer than w+1 elements in some
+                // component; pad every short bag with globally fresh
+                // elements (each used in a single connected blob).
+                let covered: std::collections::BTreeSet<ElemId> =
+                    sets.iter().flatten().copied().collect();
+                let mut fresh: Vec<ElemId> = (0..domain_size as u32)
+                    .map(ElemId)
+                    .filter(|e| !covered.contains(e))
+                    .collect();
+                fresh.reverse();
+                // Add one fresh element to *all* bags at once so its
+                // occurrence set is the whole (connected) tree.
+                let e = fresh.pop().expect("domain_size ≥ w+1 guarantees spare");
+                for s in sets.iter_mut() {
+                    if !s.contains(&e) {
+                        s.push(e);
+                    }
+                }
+            }
+        }
+        for s in sets.iter_mut() {
+            s.sort_unstable();
+            s.truncate(w + 1);
+        }
+
+        // Build a scratch set-form tree we can freely rewrite.
+        let mut scratch = Scratch::from_parts(sets, parent_of, children_of, td.root());
+
+        // --- Step 2 (Prop. 2.4 (2)): binarize nodes with > 2 children.
+        scratch.binarize();
+        // --- Step 3 (Prop. 2.4 (3)): give branch nodes identical children.
+        scratch.equalize_branches();
+        // --- Step 4 (Prop. 2.4 (4)): interpolate edges that differ in more
+        // than one element.
+        scratch.interpolate();
+        // --- Step 5 (Prop. 2.4 (5)): orient bags as tuples, inserting
+        // permutation nodes so replacements happen at position 0.
+        Ok(scratch.into_tuple_td(w))
+    }
+}
+
+fn is_permutation(a: &[ElemId], b: &[ElemId]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut x = a.to_vec();
+    let mut y = b.to_vec();
+    x.sort_unstable();
+    y.sort_unstable();
+    x == y
+}
+
+fn is_pos0_replacement(parent: &[ElemId], child: &[ElemId]) -> bool {
+    parent.len() == child.len()
+        && !parent.is_empty()
+        && parent[1..] == child[1..]
+        && parent[0] != child[0]
+        && !child[1..].contains(&child[0])
+}
+
+/// Mutable set-form scratch tree used during normalization.
+struct Scratch {
+    bags: Vec<Vec<ElemId>>, // sorted sets
+    parent: Vec<Option<usize>>,
+    children: Vec<Vec<usize>>,
+    root: usize,
+}
+
+impl Scratch {
+    fn from_parts(
+        bags: Vec<Vec<ElemId>>,
+        parent: Vec<Option<NodeId>>,
+        children: Vec<Vec<NodeId>>,
+        root: NodeId,
+    ) -> Self {
+        Self {
+            bags,
+            parent: parent.into_iter().map(|p| p.map(NodeId::index)).collect(),
+            children: children
+                .into_iter()
+                .map(|cs| cs.into_iter().map(NodeId::index).collect())
+                .collect(),
+            root: root.index(),
+        }
+    }
+
+    fn add_node(&mut self, bag: Vec<ElemId>, parent: Option<usize>) -> usize {
+        let id = self.bags.len();
+        self.bags.push(bag);
+        self.parent.push(parent);
+        self.children.push(Vec::new());
+        id
+    }
+
+    /// Replaces edge `parent -> child` with `parent -> mid -> child`.
+    fn splice(&mut self, parent: usize, child: usize, bag: Vec<ElemId>) -> usize {
+        let mid = self.add_node(bag, Some(parent));
+        let slot = self.children[parent]
+            .iter()
+            .position(|&c| c == child)
+            .expect("child edge exists");
+        self.children[parent][slot] = mid;
+        self.children[mid].push(child);
+        self.parent[child] = Some(mid);
+        mid
+    }
+
+    fn binarize(&mut self) {
+        let mut queue: Vec<usize> = (0..self.bags.len()).collect();
+        while let Some(s) = queue.pop() {
+            if self.children[s].len() <= 2 {
+                continue;
+            }
+            // Keep the first child; move the rest under a copy of s.
+            let mut rest = self.children[s].split_off(1);
+            let copy = self.add_node(self.bags[s].clone(), Some(s));
+            self.children[s].push(copy);
+            for &c in &rest {
+                self.parent[c] = Some(copy);
+            }
+            self.children[copy].append(&mut rest);
+            queue.push(copy);
+        }
+    }
+
+    fn equalize_branches(&mut self) {
+        for s in 0..self.bags.len() {
+            if self.children[s].len() != 2 {
+                continue;
+            }
+            let cs = self.children[s].clone();
+            for c in cs {
+                if self.bags[c] != self.bags[s] {
+                    self.splice(s, c, self.bags[s].clone());
+                }
+            }
+        }
+    }
+
+    fn interpolate(&mut self) {
+        let node_count = self.bags.len();
+        for s in 0..node_count {
+            for c in self.children[s].clone() {
+                self.interpolate_edge(s, c);
+            }
+        }
+    }
+
+    /// Inserts intermediate bags so that consecutive bags differ by at most
+    /// one element exchange. Bags all have size w+1, so
+    /// `|A_s ∖ A_c| = |A_c ∖ A_s| = k`; we swap one element per step.
+    fn interpolate_edge(&mut self, s: usize, c: usize) {
+        let out: Vec<ElemId> = self.bags[s]
+            .iter()
+            .copied()
+            .filter(|e| !self.bags[c].contains(e))
+            .collect();
+        let inn: Vec<ElemId> = self.bags[c]
+            .iter()
+            .copied()
+            .filter(|e| !self.bags[s].contains(e))
+            .collect();
+        debug_assert_eq!(out.len(), inn.len());
+        if out.len() <= 1 {
+            return;
+        }
+        let mut upper = s;
+        let mut current = self.bags[s].clone();
+        for i in 0..out.len() - 1 {
+            current.retain(|e| *e != out[i]);
+            current.push(inn[i]);
+            current.sort_unstable();
+            upper = self.splice(upper, c, current.clone());
+        }
+    }
+
+    /// Assigns tuples top-down and emits the final `TupleTd`, inserting
+    /// permutation nodes in front of element replacements.
+    fn into_tuple_td(self, w: usize) -> TupleTd {
+        let mut em = Emitter { nodes: Vec::new() };
+
+        // Root tuple: sorted order.
+        let root_tuple = self.bags[self.root].clone();
+        let root_id = em.add(root_tuple, None);
+
+        // DFS: (scratch node, emitted node carrying its tuple).
+        let mut stack: Vec<(usize, NodeId)> = vec![(self.root, root_id)];
+        while let Some((s, emitted)) = stack.pop() {
+            let kids = self.children[s].clone();
+            match kids.len() {
+                0 => {}
+                1 => {
+                    let c = kids[0];
+                    let child_id = em.emit_single_edge(emitted, &self.bags[c]);
+                    stack.push((c, child_id));
+                }
+                2 => {
+                    // Branch: children carry the parent's tuple verbatim.
+                    let parent_tuple = em.nodes[emitted.index()].bag.clone();
+                    for c in kids {
+                        debug_assert!(is_permutation(&parent_tuple, &self.bags[c]));
+                        let child_id = em.add(parent_tuple.clone(), Some(emitted));
+                        stack.push((c, child_id));
+                    }
+                }
+                n => unreachable!("binarized tree has ≤ 2 children, found {n}"),
+            }
+        }
+
+        let td = TupleTd {
+            nodes: em.nodes,
+            root: root_id,
+            width: w,
+        };
+        debug_assert_eq!(td.validate_normal_form(), Ok(()));
+        td
+    }
+}
+
+/// Builds the final tuple-form node arena.
+struct Emitter {
+    nodes: Vec<TupleNode>,
+}
+
+impl Emitter {
+    fn add(&mut self, bag: Vec<ElemId>, parent: Option<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(TupleNode {
+            bag,
+            children: Vec::new(),
+            parent,
+        });
+        if let Some(p) = parent {
+            self.nodes[p.index()].children.push(id);
+        }
+        id
+    }
+
+    /// Emits the nodes for a single-child edge from the already-emitted
+    /// `emitted` node to a child whose bag (as a set) is `child_set`:
+    /// possibly a permutation node bringing the leaving element to
+    /// position 0, then the replacement child. Returns the child node id.
+    fn emit_single_edge(&mut self, emitted: NodeId, child_set: &[ElemId]) -> NodeId {
+        let parent_tuple = self.nodes[emitted.index()].bag.clone();
+        let out: Vec<ElemId> = parent_tuple
+            .iter()
+            .copied()
+            .filter(|e| !child_set.contains(e))
+            .collect();
+        if out.is_empty() {
+            // Same set: child is a permutation (identity) of the parent.
+            return self.add(parent_tuple, Some(emitted));
+        }
+        debug_assert_eq!(out.len(), 1, "interpolation left a multi-element edge");
+        let leaving = out[0];
+        let entering = *child_set
+            .iter()
+            .find(|e| !parent_tuple.contains(e))
+            .expect("equal-size bags: one in, one out");
+        // Bring `leaving` to position 0 (inserting a permutation node if it
+        // is not already there), then replace position 0.
+        let (attach, attach_tuple) = if parent_tuple[0] == leaving {
+            (emitted, parent_tuple)
+        } else {
+            let mut permuted = vec![leaving];
+            permuted.extend(parent_tuple.iter().copied().filter(|&e| e != leaving));
+            let node = self.add(permuted.clone(), Some(emitted));
+            (node, permuted)
+        };
+        let mut child_tuple = attach_tuple;
+        child_tuple[0] = entering;
+        self.add(child_tuple, Some(attach))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> ElemId {
+        ElemId(i)
+    }
+
+    #[test]
+    fn normalize_small_path() {
+        let mut td = TreeDecomposition::singleton(vec![e(0), e(1)]);
+        let c = td.add_child(td.root(), vec![e(1), e(2)]);
+        td.add_child(c, vec![e(2), e(3)]);
+        let norm = TupleTd::from_td(&td, 4).unwrap();
+        assert_eq!(norm.validate_normal_form(), Ok(()));
+        assert_eq!(norm.width(), 1);
+    }
+
+    #[test]
+    fn normalize_wide_star() {
+        // A root with 5 children forces binarization.
+        let mut td = TreeDecomposition::singleton(vec![e(0), e(1), e(2)]);
+        for i in 0..5u32 {
+            td.add_child(td.root(), vec![e(0), e(3 + i)]);
+        }
+        let norm = TupleTd::from_td(&td, 8).unwrap();
+        assert_eq!(norm.validate_normal_form(), Ok(()));
+        assert_eq!(norm.width(), 2);
+        for id in norm.node_ids() {
+            assert!(norm.node(id).children.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn normalize_with_multi_element_jump() {
+        // Adjacent bags sharing nothing: requires interpolation.
+        let mut td = TreeDecomposition::singleton(vec![e(0), e(1), e(2)]);
+        td.add_child(td.root(), vec![e(3), e(4), e(5)]);
+        let norm = TupleTd::from_td(&td, 6).unwrap();
+        assert_eq!(norm.validate_normal_form(), Ok(()));
+        // Every edge is now a permutation or a pos-0 replacement.
+        for id in norm.node_ids() {
+            let _ = norm.kind(id); // must not panic
+        }
+    }
+
+    #[test]
+    fn width_zero_input_is_lifted_to_width_one() {
+        let mut td = TreeDecomposition::singleton(vec![e(0)]);
+        td.add_child(td.root(), vec![e(1)]);
+        let norm = TupleTd::from_td(&td, 2).unwrap();
+        assert_eq!(norm.width(), 1);
+        assert_eq!(norm.validate_normal_form(), Ok(()));
+    }
+
+    #[test]
+    fn domain_too_small_is_reported() {
+        let td = TreeDecomposition::singleton(vec![e(0)]);
+        assert!(matches!(
+            TupleTd::from_td(&td, 1),
+            Err(NormalizeError::DomainTooSmall { need: 2, have: 1 })
+        ));
+    }
+
+    #[test]
+    fn padding_to_requested_width() {
+        let mut td = TreeDecomposition::singleton(vec![e(0), e(1)]);
+        td.add_child(td.root(), vec![e(1), e(2)]);
+        let norm = TupleTd::from_td_with_width(&td, 5, 3).unwrap();
+        assert_eq!(norm.width(), 3);
+        assert_eq!(norm.validate_normal_form(), Ok(()));
+        for id in norm.node_ids() {
+            assert_eq!(norm.bag(id).len(), 4);
+        }
+    }
+
+    #[test]
+    fn to_set_td_roundtrip_is_still_a_decomposition() {
+        use mdtw_structure::{Domain, Signature, Structure};
+        use std::sync::Arc;
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let dom = Domain::anonymous(4);
+        let mut s = Structure::new(sig, dom);
+        let ep = s.signature().lookup("e").unwrap();
+        s.insert(ep, &[e(0), e(1)]);
+        s.insert(ep, &[e(1), e(2)]);
+        s.insert(ep, &[e(2), e(3)]);
+        let mut td = TreeDecomposition::singleton(vec![e(0), e(1)]);
+        let c = td.add_child(td.root(), vec![e(1), e(2)]);
+        td.add_child(c, vec![e(2), e(3)]);
+        assert_eq!(td.validate(&s), Ok(()));
+        let norm = TupleTd::from_td(&td, 4).unwrap();
+        let back = norm.to_set_td();
+        assert_eq!(back.validate(&s), Ok(()));
+        assert_eq!(back.width(), norm.width());
+    }
+
+    #[test]
+    fn kinds_cover_definition() {
+        let mut td = TreeDecomposition::singleton(vec![e(0), e(1)]);
+        let c1 = td.add_child(td.root(), vec![e(1), e(2)]);
+        td.add_child(c1, vec![e(2), e(3)]);
+        td.add_child(c1, vec![e(1), e(2)]);
+        let norm = TupleTd::from_td(&td, 4).unwrap();
+        let mut saw_branch = false;
+        let mut saw_leaf = false;
+        for id in norm.node_ids() {
+            match norm.kind(id) {
+                TupleNodeKind::Branch => saw_branch = true,
+                TupleNodeKind::Leaf => saw_leaf = true,
+                _ => {}
+            }
+        }
+        assert!(saw_branch && saw_leaf);
+    }
+}

@@ -1,0 +1,224 @@
+//! Nondeterministic bottom-up finite tree automata (NFTA).
+//!
+//! The FTA layer underlying the classical route to Courcelle's Theorem
+//! (Thatcher–Wright / Doner, [29, 6] in the paper): MSO over trees equals
+//! tree-automata recognizability. Running an NFTA over an input tree is
+//! linear via on-the-fly subset simulation; building a *deterministic*
+//! automaton (what MONA does internally) lives in the [`determinize`](mod@crate::determinize) module
+//! and is where the state explosion happens.
+
+use crate::tree::{ColoredTree, Symbol};
+use mdtw_structure::fx::{FxHashMap, FxHashSet};
+
+/// An automaton state.
+pub type State = u32;
+
+/// A nondeterministic bottom-up tree automaton.
+#[derive(Debug, Clone, Default)]
+pub struct Nfta {
+    /// Number of states (states are `0..n_states`).
+    pub n_states: u32,
+    /// Leaf transitions: symbol → possible states.
+    pub leaf: FxHashMap<Symbol, Vec<State>>,
+    /// Unary transitions: (symbol, child state) → possible states.
+    pub unary: FxHashMap<(Symbol, State), Vec<State>>,
+    /// Binary transitions: (symbol, left, right) → possible states.
+    pub binary: FxHashMap<(Symbol, State, State), Vec<State>>,
+    /// Accepting (final) states.
+    pub finals: FxHashSet<State>,
+}
+
+impl Nfta {
+    /// Runs the automaton, returning the set of states reachable at the
+    /// root (on-the-fly subset simulation; linear in `|tree| · |Q|²`).
+    pub fn run(&self, tree: &ColoredTree) -> FxHashSet<State> {
+        let mut state_sets: Vec<FxHashSet<State>> = vec![FxHashSet::default(); tree.len()];
+        for i in tree.post_order() {
+            let node = tree.node(i);
+            let mut here = FxHashSet::default();
+            match node.children.len() {
+                0 => {
+                    if let Some(qs) = self.leaf.get(&node.symbol) {
+                        here.extend(qs.iter().copied());
+                    }
+                }
+                1 => {
+                    let child = &state_sets[node.children[0] as usize];
+                    for &q in child {
+                        if let Some(qs) = self.unary.get(&(node.symbol, q)) {
+                            here.extend(qs.iter().copied());
+                        }
+                    }
+                }
+                2 => {
+                    let left = &state_sets[node.children[0] as usize];
+                    let right = &state_sets[node.children[1] as usize];
+                    for &q1 in left {
+                        for &q2 in right {
+                            if let Some(qs) = self.binary.get(&(node.symbol, q1, q2)) {
+                                here.extend(qs.iter().copied());
+                            }
+                        }
+                    }
+                }
+                _ => unreachable!("colored trees are binary"),
+            }
+            state_sets[i as usize] = here;
+        }
+        std::mem::take(&mut state_sets[tree.root() as usize])
+    }
+
+    /// True if some accepting state is reachable at the root.
+    pub fn accepts(&self, tree: &ColoredTree) -> bool {
+        self.run(tree).iter().any(|q| self.finals.contains(q))
+    }
+
+    /// Total number of transitions (a size measure).
+    pub fn transition_count(&self) -> usize {
+        self.leaf.values().map(Vec::len).sum::<usize>()
+            + self.unary.values().map(Vec::len).sum::<usize>()
+            + self.binary.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// The set of states reachable from leaves over the given alphabet
+    /// (emptiness analysis: the language is nonempty iff a final state is
+    /// reachable).
+    pub fn reachable_states(&self, alphabet: &[(Symbol, u8)]) -> FxHashSet<State> {
+        let mut reach: FxHashSet<State> = FxHashSet::default();
+        for &(sym, rank) in alphabet {
+            if rank == 0 {
+                if let Some(qs) = self.leaf.get(&sym) {
+                    reach.extend(qs.iter().copied());
+                }
+            }
+        }
+        loop {
+            let snapshot: Vec<State> = reach.iter().copied().collect();
+            let before = reach.len();
+            for &(sym, rank) in alphabet {
+                match rank {
+                    1 => {
+                        for &q in &snapshot {
+                            if let Some(qs) = self.unary.get(&(sym, q)) {
+                                reach.extend(qs.iter().copied());
+                            }
+                        }
+                    }
+                    2 => {
+                        for &q1 in &snapshot {
+                            for &q2 in &snapshot {
+                                if let Some(qs) = self.binary.get(&(sym, q1, q2)) {
+                                    reach.extend(qs.iter().copied());
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if reach.len() == before {
+                break;
+            }
+        }
+        reach
+    }
+
+    /// True if the automaton accepts no tree over `alphabet`.
+    pub fn is_empty(&self, alphabet: &[(Symbol, u8)]) -> bool {
+        !self
+            .reachable_states(alphabet)
+            .iter()
+            .any(|q| self.finals.contains(q))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::CtNode;
+
+    /// An automaton over {a/0, f/1, g/2} accepting trees with an even
+    /// number of `f` nodes. States: 0 = even, 1 = odd.
+    fn parity() -> Nfta {
+        let mut a = Nfta {
+            n_states: 2,
+            ..Default::default()
+        };
+        a.leaf.insert(0, vec![0]);
+        a.unary.insert((1, 0), vec![1]);
+        a.unary.insert((1, 1), vec![0]);
+        // g combines parities by xor.
+        a.binary.insert((2, 0, 0), vec![0]);
+        a.binary.insert((2, 0, 1), vec![1]);
+        a.binary.insert((2, 1, 0), vec![1]);
+        a.binary.insert((2, 1, 1), vec![0]);
+        a.finals.insert(0);
+        a
+    }
+
+    fn tree_ffa() -> ColoredTree {
+        // f(f(a)): two f's → even.
+        ColoredTree::from_nodes(
+            vec![
+                CtNode { symbol: 0, children: vec![] },
+                CtNode { symbol: 1, children: vec![0] },
+                CtNode { symbol: 1, children: vec![1] },
+            ],
+            2,
+        )
+    }
+
+    fn tree_g_fa_a() -> ColoredTree {
+        // g(f(a), a): one f → odd.
+        ColoredTree::from_nodes(
+            vec![
+                CtNode { symbol: 0, children: vec![] },
+                CtNode { symbol: 1, children: vec![0] },
+                CtNode { symbol: 0, children: vec![] },
+                CtNode { symbol: 2, children: vec![1, 2] },
+            ],
+            3,
+        )
+    }
+
+    #[test]
+    fn parity_automaton_runs() {
+        let a = parity();
+        assert!(a.accepts(&tree_ffa()));
+        assert!(!a.accepts(&tree_g_fa_a()));
+    }
+
+    #[test]
+    fn reachability_and_emptiness() {
+        let a = parity();
+        let alphabet = vec![(0, 0), (1, 1), (2, 2)];
+        let reach = a.reachable_states(&alphabet);
+        assert_eq!(reach.len(), 2);
+        assert!(!a.is_empty(&alphabet));
+        // Without the leaf symbol nothing is reachable.
+        let no_leaf = vec![(1, 1), (2, 2)];
+        assert!(a.is_empty(&no_leaf));
+    }
+
+    #[test]
+    fn nondeterminism_unions_states() {
+        let mut a = Nfta {
+            n_states: 2,
+            ..Default::default()
+        };
+        a.leaf.insert(0, vec![0, 1]);
+        a.finals.insert(1);
+        let t = ColoredTree::from_nodes(vec![CtNode { symbol: 0, children: vec![] }], 0);
+        assert_eq!(a.run(&t).len(), 2);
+        assert!(a.accepts(&t));
+    }
+
+    #[test]
+    fn missing_transitions_reject() {
+        let a = parity();
+        // Unknown leaf symbol 9: no run.
+        let t = ColoredTree::from_nodes(vec![CtNode { symbol: 9, children: vec![] }], 0);
+        assert!(a.run(&t).is_empty());
+        assert!(!a.accepts(&t));
+    }
+}

@@ -1,0 +1,302 @@
+//! Determinization — the step where MONA-style pipelines explode.
+//!
+//! The subset construction makes the automaton *total and deterministic*
+//! over a given alphabet: DFTA states are sets of NFTA states, and the
+//! transition tables are completed for **every** symbol and every (pair
+//! of) reachable subset state(s). The paper's §1 and §6 recount how this
+//! is precisely the "state explosion" that sinks the MSO-to-FTA approach
+//! in practice (\[15, 26\]); the explicit [`DetBudget`] turns that blow-up
+//! into a reportable condition instead of an out-of-memory crash.
+
+use crate::automaton::{Nfta, State};
+use crate::tree::{ColoredTree, Symbol};
+use mdtw_structure::fx::FxHashMap;
+
+/// Resource budget for determinization.
+#[derive(Debug, Clone, Copy)]
+pub struct DetBudget {
+    /// Maximum number of subset states.
+    pub max_states: usize,
+    /// Maximum number of transition-table entries.
+    pub max_transitions: usize,
+}
+
+impl Default for DetBudget {
+    fn default() -> Self {
+        Self {
+            max_states: 1 << 16,
+            max_transitions: 1 << 22,
+        }
+    }
+}
+
+/// Determinization failure: the automaton exceeded the budget (the
+/// "out-of-memory" outcome of the paper's MONA experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exploded {
+    /// Subset states built before giving up.
+    pub states: usize,
+    /// Transitions built before giving up.
+    pub transitions: usize,
+}
+
+impl std::fmt::Display for Exploded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "determinization exploded: {} states, {} transitions",
+            self.states, self.transitions
+        )
+    }
+}
+
+impl std::error::Error for Exploded {}
+
+/// A deterministic, total bottom-up tree automaton over an explicit
+/// alphabet. States are `0..n_states`; state 0 need not be special.
+#[derive(Debug, Clone)]
+pub struct Dfta {
+    /// Number of states.
+    pub n_states: usize,
+    /// The alphabet `(symbol, rank)` the automaton is total over.
+    pub alphabet: Vec<(Symbol, u8)>,
+    /// Leaf table: symbol → state.
+    pub leaf: FxHashMap<Symbol, u32>,
+    /// Unary table: (symbol, child) → state.
+    pub unary: FxHashMap<(Symbol, u32), u32>,
+    /// Binary table: (symbol, left, right) → state.
+    pub binary: FxHashMap<(Symbol, u32, u32), u32>,
+    /// Acceptance per state.
+    pub accepting: Vec<bool>,
+}
+
+impl Dfta {
+    /// Runs the automaton (deterministic, linear in the tree size).
+    /// Returns the root state, or `None` on a symbol outside the alphabet.
+    pub fn run(&self, tree: &ColoredTree) -> Option<u32> {
+        let mut states: Vec<u32> = vec![0; tree.len()];
+        for i in tree.post_order() {
+            let node = tree.node(i);
+            let q = match node.children.len() {
+                0 => *self.leaf.get(&node.symbol)?,
+                1 => *self
+                    .unary
+                    .get(&(node.symbol, states[node.children[0] as usize]))?,
+                2 => *self.binary.get(&(
+                    node.symbol,
+                    states[node.children[0] as usize],
+                    states[node.children[1] as usize],
+                ))?,
+                _ => unreachable!("colored trees are binary"),
+            };
+            states[i as usize] = q;
+        }
+        Some(states[tree.root() as usize])
+    }
+
+    /// Acceptance test.
+    pub fn accepts(&self, tree: &ColoredTree) -> bool {
+        self.run(tree).is_some_and(|q| self.accepting[q as usize])
+    }
+
+    /// Transition-table size.
+    pub fn transition_count(&self) -> usize {
+        self.leaf.len() + self.unary.len() + self.binary.len()
+    }
+}
+
+/// Subset construction over `alphabet`, with budget.
+pub fn determinize(
+    nfta: &Nfta,
+    alphabet: &[(Symbol, u8)],
+    budget: DetBudget,
+) -> Result<Dfta, Exploded> {
+    // Subset states, canonically sorted.
+    let mut subsets: Vec<Vec<State>> = Vec::new();
+    let mut index: FxHashMap<Vec<State>, u32> = FxHashMap::default();
+    let intern = |set: Vec<State>,
+                      subsets: &mut Vec<Vec<State>>,
+                      index: &mut FxHashMap<Vec<State>, u32>|
+     -> u32 {
+        if let Some(&i) = index.get(&set) {
+            return i;
+        }
+        let i = subsets.len() as u32;
+        index.insert(set.clone(), i);
+        subsets.push(set);
+        i
+    };
+
+    let mut dfta = Dfta {
+        n_states: 0,
+        alphabet: alphabet.to_vec(),
+        leaf: FxHashMap::default(),
+        unary: FxHashMap::default(),
+        binary: FxHashMap::default(),
+        accepting: Vec::new(),
+    };
+
+    // Leaf states.
+    for &(sym, rank) in alphabet {
+        if rank != 0 {
+            continue;
+        }
+        let mut set: Vec<State> = nfta.leaf.get(&sym).cloned().unwrap_or_default();
+        set.sort_unstable();
+        set.dedup();
+        let i = intern(set, &mut subsets, &mut index);
+        dfta.leaf.insert(sym, i);
+    }
+
+    // Saturate: totality means every (symbol, state…) combination gets an
+    // entry — the cross product that blows up.
+    let mut processed = 0usize;
+    while processed < subsets.len() {
+        if subsets.len() > budget.max_states || dfta.transition_count() > budget.max_transitions {
+            return Err(Exploded {
+                states: subsets.len(),
+                transitions: dfta.transition_count(),
+            });
+        }
+        // Process all symbols against the newly added subset(s).
+        let upto = subsets.len();
+        for si in 0..upto {
+            for &(sym, rank) in alphabet {
+                match rank {
+                    1 => {
+                        if dfta.unary.contains_key(&(sym, si as u32)) {
+                            continue;
+                        }
+                        let mut out: Vec<State> = Vec::new();
+                        for &q in &subsets[si] {
+                            if let Some(qs) = nfta.unary.get(&(sym, q)) {
+                                out.extend(qs.iter().copied());
+                            }
+                        }
+                        out.sort_unstable();
+                        out.dedup();
+                        let t = intern(out, &mut subsets, &mut index);
+                        dfta.unary.insert((sym, si as u32), t);
+                    }
+                    2 => {
+                        for sj in 0..upto {
+                            for (a, b) in [(si, sj), (sj, si)] {
+                                if dfta.binary.contains_key(&(sym, a as u32, b as u32)) {
+                                    continue;
+                                }
+                                let mut out: Vec<State> = Vec::new();
+                                for &q1 in &subsets[a] {
+                                    for &q2 in &subsets[b] {
+                                        if let Some(qs) = nfta.binary.get(&(sym, q1, q2)) {
+                                            out.extend(qs.iter().copied());
+                                        }
+                                    }
+                                }
+                                out.sort_unstable();
+                                out.dedup();
+                                let t = intern(out, &mut subsets, &mut index);
+                                dfta.binary.insert((sym, a as u32, b as u32), t);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                if subsets.len() > budget.max_states
+                    || dfta.transition_count() > budget.max_transitions
+                {
+                    return Err(Exploded {
+                        states: subsets.len(),
+                        transitions: dfta.transition_count(),
+                    });
+                }
+            }
+        }
+        processed = upto;
+    }
+
+    dfta.n_states = subsets.len();
+    dfta.accepting = subsets
+        .iter()
+        .map(|set| set.iter().any(|q| nfta.finals.contains(q)))
+        .collect();
+    Ok(dfta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::CtNode;
+
+    fn parity() -> (Nfta, Vec<(Symbol, u8)>) {
+        let mut a = Nfta {
+            n_states: 2,
+            ..Default::default()
+        };
+        a.leaf.insert(0, vec![0]);
+        a.unary.insert((1, 0), vec![1]);
+        a.unary.insert((1, 1), vec![0]);
+        a.binary.insert((2, 0, 0), vec![0]);
+        a.binary.insert((2, 0, 1), vec![1]);
+        a.binary.insert((2, 1, 0), vec![1]);
+        a.binary.insert((2, 1, 1), vec![0]);
+        a.finals.insert(0);
+        (a, vec![(0, 0), (1, 1), (2, 2)])
+    }
+
+    #[test]
+    fn determinized_agrees_with_nfta() {
+        let (nfta, alphabet) = parity();
+        let dfta = determinize(&nfta, &alphabet, DetBudget::default()).unwrap();
+        let trees = [
+            ColoredTree::from_nodes(vec![CtNode { symbol: 0, children: vec![] }], 0),
+            ColoredTree::from_nodes(
+                vec![
+                    CtNode { symbol: 0, children: vec![] },
+                    CtNode { symbol: 1, children: vec![0] },
+                ],
+                1,
+            ),
+            ColoredTree::from_nodes(
+                vec![
+                    CtNode { symbol: 0, children: vec![] },
+                    CtNode { symbol: 1, children: vec![0] },
+                    CtNode { symbol: 0, children: vec![] },
+                    CtNode { symbol: 2, children: vec![1, 2] },
+                ],
+                3,
+            ),
+        ];
+        for (i, t) in trees.iter().enumerate() {
+            assert_eq!(dfta.accepts(t), nfta.accepts(t), "tree {i}");
+        }
+    }
+
+    #[test]
+    fn dfta_is_total_over_alphabet() {
+        let (nfta, alphabet) = parity();
+        let dfta = determinize(&nfta, &alphabet, DetBudget::default()).unwrap();
+        // Every (symbol, state) and (symbol, state, state) combination has
+        // an entry.
+        for s in 0..dfta.n_states as u32 {
+            assert!(dfta.unary.contains_key(&(1, s)));
+            for s2 in 0..dfta.n_states as u32 {
+                assert!(dfta.binary.contains_key(&(2, s, s2)));
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (nfta, alphabet) = parity();
+        let err = determinize(
+            &nfta,
+            &alphabet,
+            DetBudget {
+                max_states: 1,
+                max_transitions: 1,
+            },
+        )
+        .unwrap_err();
+        assert!(err.states >= 1 || err.transitions >= 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! # mdtw-fta
+//!
+//! Bottom-up finite tree automata for the *Monadic Datalog over Finite
+//! Structures with Bounded Treewidth* reproduction: the classical
+//! MSO-to-FTA route to Courcelle's Theorem that the paper's monadic
+//! datalog approach replaces.
+//!
+//! * [`tree`] — colored binary trees encoding nice tree decompositions;
+//! * [`automaton`] — nondeterministic bottom-up tree automata with
+//!   linear-time on-the-fly runs;
+//! * [`determinize`](mod@crate::determinize) — the subset construction over a full alphabet, with
+//!   an explicit budget: this is where MONA-style pipelines suffer the
+//!   "state explosion" of the paper's §1/§6;
+//! * [`ops`] — product / complement / emptiness (the connective layer of
+//!   MSO-to-FTA compilation);
+//! * [`three_col`] — the 3-Colorability automaton: nondeterministic runs
+//!   reproduce Figure 5, determinization-first reproduces the baseline's
+//!   blow-up.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod automaton;
+pub mod determinize;
+pub mod ops;
+pub mod three_col;
+pub mod tree;
+
+pub use automaton::{Nfta, State};
+pub use determinize::{determinize, DetBudget, Dfta, Exploded};
+pub use ops::{complement, is_empty, product};
+pub use three_col::{
+    encode_three_col, full_alphabet, mona_style_3col, nfta_3col, three_col_nfta, SymbolTable,
+    ThreeColSym,
+};
+pub use tree::{ColoredTree, CtNode, Symbol};

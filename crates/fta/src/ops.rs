@@ -1,0 +1,185 @@
+//! Boolean operations on deterministic tree automata.
+//!
+//! The MSO-to-FTA compilation translates connectives into automata
+//! operations: conjunction = product, negation = complement (which needs
+//! determinism and totality — another reason MONA must determinize).
+
+use crate::determinize::Dfta;
+use crate::tree::Symbol;
+use mdtw_structure::fx::FxHashMap;
+
+/// Complement: flips acceptance. Sound because [`Dfta`]s are total over
+/// their alphabet.
+pub fn complement(d: &Dfta) -> Dfta {
+    let mut out = d.clone();
+    for a in out.accepting.iter_mut() {
+        *a = !*a;
+    }
+    out
+}
+
+/// Product construction; `conj` selects intersection (`true`) or union.
+///
+/// # Panics
+/// Panics if the alphabets differ.
+pub fn product(d1: &Dfta, d2: &Dfta, conj: bool) -> Dfta {
+    assert_eq!(d1.alphabet, d2.alphabet, "product needs a common alphabet");
+    let pair = |a: u32, b: u32| -> u32 { a * d2.n_states as u32 + b };
+    let n = d1.n_states * d2.n_states;
+    let mut leaf: FxHashMap<Symbol, u32> = FxHashMap::default();
+    for (&sym, &q1) in &d1.leaf {
+        let q2 = d2.leaf[&sym];
+        leaf.insert(sym, pair(q1, q2));
+    }
+    let mut unary: FxHashMap<(Symbol, u32), u32> = FxHashMap::default();
+    for &(sym, _) in d1.alphabet.iter().filter(|&&(_, r)| r == 1) {
+        for a in 0..d1.n_states as u32 {
+            for b in 0..d2.n_states as u32 {
+                let t1 = d1.unary[&(sym, a)];
+                let t2 = d2.unary[&(sym, b)];
+                unary.insert((sym, pair(a, b)), pair(t1, t2));
+            }
+        }
+    }
+    let mut binary: FxHashMap<(Symbol, u32, u32), u32> = FxHashMap::default();
+    for &(sym, _) in d1.alphabet.iter().filter(|&&(_, r)| r == 2) {
+        for a1 in 0..d1.n_states as u32 {
+            for b1 in 0..d2.n_states as u32 {
+                for a2 in 0..d1.n_states as u32 {
+                    for b2 in 0..d2.n_states as u32 {
+                        let t1 = d1.binary[&(sym, a1, a2)];
+                        let t2 = d2.binary[&(sym, b1, b2)];
+                        binary.insert((sym, pair(a1, b1), pair(a2, b2)), pair(t1, t2));
+                    }
+                }
+            }
+        }
+    }
+    let mut accepting = vec![false; n];
+    for a in 0..d1.n_states {
+        for b in 0..d2.n_states {
+            let acc = if conj {
+                d1.accepting[a] && d2.accepting[b]
+            } else {
+                d1.accepting[a] || d2.accepting[b]
+            };
+            accepting[a * d2.n_states + b] = acc;
+        }
+    }
+    Dfta {
+        n_states: n,
+        alphabet: d1.alphabet.clone(),
+        leaf,
+        unary,
+        binary,
+        accepting,
+    }
+}
+
+/// True if no accepting state is reachable (language emptiness).
+pub fn is_empty(d: &Dfta) -> bool {
+    let mut reach = vec![false; d.n_states];
+    for &q in d.leaf.values() {
+        reach[q as usize] = true;
+    }
+    loop {
+        let mut changed = false;
+        for (&(_, q), &t) in &d.unary {
+            if reach[q as usize] && !reach[t as usize] {
+                reach[t as usize] = true;
+                changed = true;
+            }
+        }
+        for (&(_, q1, q2), &t) in &d.binary {
+            if reach[q1 as usize] && reach[q2 as usize] && !reach[t as usize] {
+                reach[t as usize] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    !reach
+        .iter()
+        .zip(&d.accepting)
+        .any(|(&r, &a)| r && a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::automaton::Nfta;
+    use crate::determinize::{determinize, DetBudget};
+    use crate::tree::{ColoredTree, CtNode};
+
+    /// Parity-of-f automaton (deterministic after subset construction).
+    fn parity_dfta(accept_even: bool) -> Dfta {
+        let mut a = Nfta {
+            n_states: 2,
+            ..Default::default()
+        };
+        a.leaf.insert(0, vec![0]);
+        a.unary.insert((1, 0), vec![1]);
+        a.unary.insert((1, 1), vec![0]);
+        a.binary.insert((2, 0, 0), vec![0]);
+        a.binary.insert((2, 0, 1), vec![1]);
+        a.binary.insert((2, 1, 0), vec![1]);
+        a.binary.insert((2, 1, 1), vec![0]);
+        a.finals.insert(if accept_even { 0 } else { 1 });
+        determinize(&a, &[(0, 0), (1, 1), (2, 2)], DetBudget::default()).unwrap()
+    }
+
+    fn sample_trees() -> Vec<ColoredTree> {
+        vec![
+            ColoredTree::from_nodes(vec![CtNode { symbol: 0, children: vec![] }], 0),
+            ColoredTree::from_nodes(
+                vec![
+                    CtNode { symbol: 0, children: vec![] },
+                    CtNode { symbol: 1, children: vec![0] },
+                ],
+                1,
+            ),
+            ColoredTree::from_nodes(
+                vec![
+                    CtNode { symbol: 0, children: vec![] },
+                    CtNode { symbol: 1, children: vec![0] },
+                    CtNode { symbol: 1, children: vec![1] },
+                    CtNode { symbol: 0, children: vec![] },
+                    CtNode { symbol: 2, children: vec![2, 3] },
+                ],
+                4,
+            ),
+        ]
+    }
+
+    #[test]
+    fn complement_flips_acceptance() {
+        let even = parity_dfta(true);
+        let not_even = complement(&even);
+        for t in sample_trees() {
+            assert_eq!(even.accepts(&t), !not_even.accepts(&t));
+        }
+    }
+
+    #[test]
+    fn product_intersection_and_union() {
+        let even = parity_dfta(true);
+        let odd = parity_dfta(false);
+        let both = product(&even, &odd, true);
+        let either = product(&even, &odd, false);
+        for t in sample_trees() {
+            assert!(!both.accepts(&t), "even ∧ odd is empty");
+            assert!(either.accepts(&t), "even ∨ odd is everything");
+        }
+    }
+
+    #[test]
+    fn emptiness_detection() {
+        let even = parity_dfta(true);
+        let odd = parity_dfta(false);
+        assert!(!is_empty(&even));
+        assert!(is_empty(&product(&even, &odd, true)));
+        assert!(!is_empty(&product(&even, &odd, false)));
+    }
+}

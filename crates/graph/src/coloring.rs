@@ -1,0 +1,121 @@
+//! Exact 3-coloring baselines: the NP-complete problem the paper's §5.1
+//! FPT algorithm is compared against.
+
+use crate::graph::Graph;
+
+/// A proper coloring: `colors[v] ∈ {0, 1, 2}`.
+pub type Coloring = Vec<u8>;
+
+/// True if `colors` is a proper coloring of `g` with colors `< palette`.
+pub fn is_proper_coloring(g: &Graph, colors: &[u8], palette: u8) -> bool {
+    if colors.len() != g.len() {
+        return false;
+    }
+    if colors.iter().any(|&c| c >= palette) {
+        return false;
+    }
+    g.edges().iter().all(|&(a, b)| colors[a as usize] != colors[b as usize])
+}
+
+/// Exact 3-colorability by backtracking with degree-ordered vertices.
+/// Exponential in the worst case — this is the baseline against which the
+/// linear FPT algorithm is benchmarked. Returns a witness coloring.
+pub fn three_color_backtracking(g: &Graph) -> Option<Coloring> {
+    let n = g.len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Order vertices by decreasing degree (classic heuristic).
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    let mut colors: Vec<u8> = vec![u8::MAX; n];
+
+    fn assign(g: &Graph, order: &[u32], pos: usize, colors: &mut Vec<u8>) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let v = order[pos];
+        // Symmetry breaking: the first vertex tries one color, the second
+        // at most two.
+        let limit = if pos == 0 {
+            1
+        } else if pos == 1 {
+            2
+        } else {
+            3
+        };
+        'colors: for c in 0..limit {
+            for &u in g.neighbors(v) {
+                if colors[u as usize] == c {
+                    continue 'colors;
+                }
+            }
+            colors[v as usize] = c;
+            if assign(g, order, pos + 1, colors) {
+                return true;
+            }
+            colors[v as usize] = u8::MAX;
+        }
+        false
+    }
+
+    if assign(g, &order, 0, &mut colors) {
+        debug_assert!(is_proper_coloring(g, &colors, 3));
+        Some(colors)
+    } else {
+        None
+    }
+}
+
+/// Decision form of [`three_color_backtracking`].
+pub fn is_three_colorable_exact(g: &Graph) -> bool {
+    three_color_backtracking(g).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, grid, path, petersen, wheel};
+
+    #[test]
+    fn known_yes_instances() {
+        assert!(is_three_colorable_exact(&path(6)));
+        assert!(is_three_colorable_exact(&cycle(5))); // odd cycle: 3 colors
+        assert!(is_three_colorable_exact(&cycle(6)));
+        assert!(is_three_colorable_exact(&grid(4, 4)));
+        assert!(is_three_colorable_exact(&complete(3)));
+        assert!(is_three_colorable_exact(&petersen()));
+    }
+
+    #[test]
+    fn known_no_instances() {
+        assert!(!is_three_colorable_exact(&complete(4)));
+        // Odd wheel: hub + odd cycle needs 4 colors.
+        assert!(!is_three_colorable_exact(&wheel(5)));
+        assert!(!is_three_colorable_exact(&wheel(7)));
+        // Even wheel is 3-colorable.
+        assert!(is_three_colorable_exact(&wheel(6)));
+    }
+
+    #[test]
+    fn witness_is_proper() {
+        let g = petersen();
+        let colors = three_color_backtracking(&g).unwrap();
+        assert!(is_proper_coloring(&g, &colors, 3));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_three_colorable_exact(&Graph::new(0)));
+        assert!(is_three_colorable_exact(&Graph::new(1)));
+    }
+
+    #[test]
+    fn proper_coloring_validation() {
+        let g = cycle(4);
+        assert!(is_proper_coloring(&g, &[0, 1, 0, 1], 3));
+        assert!(!is_proper_coloring(&g, &[0, 0, 1, 1], 3));
+        assert!(!is_proper_coloring(&g, &[0, 1, 0], 3)); // wrong length
+        assert!(!is_proper_coloring(&g, &[0, 3, 0, 1], 3)); // bad palette
+    }
+}

@@ -1,0 +1,175 @@
+//! Graph families: fixed topologies for tests and random partial k-trees
+//! (the canonical bounded-treewidth workload) for benchmarks.
+
+use crate::graph::Graph;
+use mdtw_decomp::TreeDecomposition;
+use mdtw_structure::ElemId;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The cycle `C_n` (treewidth 2 for `n ≥ 3`).
+pub fn cycle(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(i as u32, ((i + 1) % n) as u32);
+    }
+    g
+}
+
+/// The path `P_n` (treewidth 1).
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n.saturating_sub(1) {
+        g.add_edge(i as u32, i as u32 + 1);
+    }
+    g
+}
+
+/// The complete graph `K_n` (treewidth n−1; 3-colorable iff n ≤ 3).
+pub fn complete(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n as u32 {
+        for j in i + 1..n as u32 {
+            g.add_edge(i, j);
+        }
+    }
+    g
+}
+
+/// The `r × c` grid (treewidth min(r, c); always 2-colorable).
+pub fn grid(r: usize, c: usize) -> Graph {
+    let mut g = Graph::new(r * c);
+    let id = |i: usize, j: usize| (i * c + j) as u32;
+    for i in 0..r {
+        for j in 0..c {
+            if i + 1 < r {
+                g.add_edge(id(i, j), id(i + 1, j));
+            }
+            if j + 1 < c {
+                g.add_edge(id(i, j), id(i, j + 1));
+            }
+        }
+    }
+    g
+}
+
+/// The Petersen graph (3-chromatic, treewidth 4).
+pub fn petersen() -> Graph {
+    let mut g = Graph::new(10);
+    for i in 0..5u32 {
+        g.add_edge(i, (i + 1) % 5); // outer cycle
+        g.add_edge(5 + i, 5 + (i + 2) % 5); // inner pentagram
+        g.add_edge(i, 5 + i); // spokes
+    }
+    g
+}
+
+/// An odd wheel `W_n` (hub + odd cycle): not 3-colorable for odd `n ≥ 3`
+/// is false — the wheel over an odd cycle needs 4 colors. Treewidth 3.
+pub fn wheel(n: usize) -> Graph {
+    let mut g = cycle(n);
+    let mut out = Graph::new(n + 1);
+    for (a, b) in g.edges() {
+        out.add_edge(a, b);
+    }
+    for i in 0..n as u32 {
+        out.add_edge(n as u32, i);
+    }
+    g = out;
+    g
+}
+
+/// A random k-tree plus edge deletion: the classical generator of graphs
+/// with treewidth ≤ k. Returns the graph together with the natural
+/// width-k tree decomposition built during generation (decomposition-first,
+/// like the paper's §6 workloads).
+///
+/// `keep_prob` is the probability of keeping each k-tree edge (1.0 gives
+/// a full k-tree).
+pub fn partial_k_tree(
+    rng: &mut SmallRng,
+    n: usize,
+    k: usize,
+    keep_prob: f64,
+) -> (Graph, TreeDecomposition) {
+    assert!(n >= k + 1, "need at least k+1 vertices");
+    assert!(k >= 1);
+    let mut g = Graph::new(n);
+    // Seed clique on vertices 0..=k.
+    for i in 0..=k as u32 {
+        for j in i + 1..=k as u32 {
+            g.add_edge(i, j);
+        }
+    }
+    let seed_bag: Vec<ElemId> = (0..=k as u32).map(ElemId).collect();
+    let mut td = TreeDecomposition::singleton(seed_bag.clone());
+    // cliques[i] = (k-clique vertices, td node the clique lives in).
+    let mut cliques: Vec<(Vec<u32>, mdtw_decomp::NodeId)> = Vec::new();
+    for drop in 0..=k {
+        let mut c: Vec<u32> = (0..=k as u32).collect();
+        c.remove(drop);
+        cliques.push((c, td.root()));
+    }
+    for v in (k + 1) as u32..n as u32 {
+        let (clique, host) = cliques[rng.random_range(0..cliques.len())].clone();
+        for &u in &clique {
+            g.add_edge(v, u);
+        }
+        let mut bag: Vec<ElemId> = clique.iter().map(|&u| ElemId(u)).collect();
+        bag.push(ElemId(v));
+        let node = td.add_child(host, bag);
+        // New k-cliques: {v} ∪ (clique ∖ {u}) for each u.
+        for drop in 0..clique.len() {
+            let mut c = clique.clone();
+            c[drop] = v;
+            c.sort_unstable();
+            cliques.push((c, node));
+        }
+    }
+    // Edge deletion preserves the decomposition's validity.
+    if keep_prob < 1.0 {
+        for (a, b) in g.edges() {
+            if rng.random::<f64>() > keep_prob {
+                g.remove_edge(a, b);
+            }
+        }
+    }
+    (g, td)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_graph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_families_have_expected_sizes() {
+        assert_eq!(cycle(5).edge_count(), 5);
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(grid(3, 4).edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(petersen().edge_count(), 15);
+        assert_eq!(wheel(5).edge_count(), 10);
+    }
+
+    #[test]
+    fn partial_k_tree_decomposition_is_valid() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for (n, k, p) in [(8, 2, 1.0), (20, 3, 0.7), (30, 1, 0.5)] {
+            let (g, td) = partial_k_tree(&mut rng, n, k, p);
+            assert_eq!(g.len(), n);
+            assert!(td.width() <= k);
+            let enc = encode_graph(&g);
+            assert_eq!(td.validate(&enc), Ok(()), "n={n} k={k} p={p}");
+        }
+    }
+
+    #[test]
+    fn full_k_tree_has_expected_edges() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (g, _) = partial_k_tree(&mut rng, 10, 2, 1.0);
+        // k-tree edge count: C(k+1,2) + k*(n-k-1).
+        assert_eq!(g.edge_count(), 3 + 2 * 7);
+    }
+}

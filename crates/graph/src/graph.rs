@@ -1,0 +1,156 @@
+//! Simple undirected graphs (the input domain of the paper's §5.1
+//! 3-Colorability algorithm).
+
+use mdtw_structure::fx::FxHashSet;
+use std::fmt;
+
+/// An undirected graph on vertices `0..n`.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    n: usize,
+    adj: Vec<Vec<u32>>,
+    edges: FxHashSet<(u32, u32)>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            adj: vec![Vec::new(); n],
+            edges: FxHashSet::default(),
+        }
+    }
+
+    /// Builds a graph from an edge list.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Self::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge; self-loops and duplicates are ignored.
+    /// Returns `true` if the edge was new.
+    pub fn add_edge(&mut self, a: u32, b: u32) -> bool {
+        assert!(
+            (a as usize) < self.n && (b as usize) < self.n,
+            "edge ({a},{b}) outside vertex range 0..{}",
+            self.n
+        );
+        if a == b {
+            return false;
+        }
+        let key = (a.min(b), a.max(b));
+        if !self.edges.insert(key) {
+            return false;
+        }
+        self.adj[a as usize].push(b);
+        self.adj[b as usize].push(a);
+        true
+    }
+
+    /// Removes an edge if present; returns `true` if it existed.
+    pub fn remove_edge(&mut self, a: u32, b: u32) -> bool {
+        let key = (a.min(b), a.max(b));
+        if !self.edges.remove(&key) {
+            return false;
+        }
+        self.adj[a as usize].retain(|&x| x != b);
+        self.adj[b as usize].retain(|&x| x != a);
+        true
+    }
+
+    /// True if `{a, b}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.edges.contains(&(a.min(b), a.max(b)))
+    }
+
+    /// Neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Iterates over edges as `(min, max)` pairs, sorted.
+    pub fn edges(&self) -> Vec<(u32, u32)> {
+        let mut out: Vec<(u32, u32)> = self.edges.iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+impl fmt::Display for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph: {} vertices, {} edges",
+            self.n,
+            self.edges.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(!g.add_edge(1, 0)); // duplicate (undirected)
+        assert!(!g.add_edge(2, 2)); // self-loop ignored
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(1, 0));
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.neighbors(1), &[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vertex range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5);
+    }
+
+    #[test]
+    fn edges_are_sorted_canonical() {
+        let g = Graph::from_edges(4, &[(3, 2), (1, 0), (2, 1)]);
+        assert_eq!(g.edges(), vec![(0, 1), (1, 2), (2, 3)]);
+    }
+}

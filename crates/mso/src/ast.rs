@@ -1,0 +1,344 @@
+//! Monadic second-order logic over τ-structures (paper §2.3).
+//!
+//! Individual variables range over domain elements, set variables over
+//! sets of elements. Atoms are predicate atoms `R(x₁, …)`, equalities and
+//! memberships `x ∈ X`; `X ⊆ Y` and `X ⊂ Y` are kept as primitives for
+//! readability (as in the paper's Example 2.6).
+
+use std::fmt;
+
+/// An individual (first-order) variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndVar(pub u32);
+
+/// A set (monadic second-order) variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetVar(pub u32);
+
+/// An MSO formula over predicate *names* (resolved against a structure's
+/// signature at evaluation time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mso {
+    /// `R(x₁, …, x_α)`.
+    Pred(String, Vec<IndVar>),
+    /// `x = y`.
+    Eq(IndVar, IndVar),
+    /// `x ∈ X`.
+    In(IndVar, SetVar),
+    /// `X ⊆ Y`.
+    Subset(SetVar, SetVar),
+    /// `X ⊂ Y` (proper).
+    ProperSubset(SetVar, SetVar),
+    /// Negation.
+    Not(Box<Mso>),
+    /// Conjunction.
+    And(Box<Mso>, Box<Mso>),
+    /// Disjunction.
+    Or(Box<Mso>, Box<Mso>),
+    /// Implication.
+    Implies(Box<Mso>, Box<Mso>),
+    /// Biconditional.
+    Iff(Box<Mso>, Box<Mso>),
+    /// `∃x φ`.
+    Exists(IndVar, Box<Mso>),
+    /// `∀x φ`.
+    Forall(IndVar, Box<Mso>),
+    /// `∃X φ`.
+    ExistsSet(SetVar, Box<Mso>),
+    /// `∀X φ`.
+    ForallSet(SetVar, Box<Mso>),
+}
+
+impl Mso {
+    /// The quantifier depth (individual and set quantifiers both count),
+    /// as in §2.3.
+    pub fn quantifier_depth(&self) -> usize {
+        match self {
+            Mso::Pred(..) | Mso::Eq(..) | Mso::In(..) | Mso::Subset(..) | Mso::ProperSubset(..) => {
+                0
+            }
+            Mso::Not(f) => f.quantifier_depth(),
+            Mso::And(a, b) | Mso::Or(a, b) | Mso::Implies(a, b) | Mso::Iff(a, b) => {
+                a.quantifier_depth().max(b.quantifier_depth())
+            }
+            Mso::Exists(_, f) | Mso::Forall(_, f) | Mso::ExistsSet(_, f) | Mso::ForallSet(_, f) => {
+                1 + f.quantifier_depth()
+            }
+        }
+    }
+
+    /// Free individual variables, in ascending order.
+    pub fn free_ind_vars(&self) -> Vec<IndVar> {
+        let mut free = Vec::new();
+        let mut bound = Vec::new();
+        self.walk_ind(&mut bound, &mut free);
+        free.sort_unstable();
+        free.dedup();
+        free
+    }
+
+    fn walk_ind(&self, bound: &mut Vec<IndVar>, free: &mut Vec<IndVar>) {
+        match self {
+            Mso::Pred(_, vars) => {
+                for v in vars {
+                    if !bound.contains(v) {
+                        free.push(*v);
+                    }
+                }
+            }
+            Mso::Eq(a, b) => {
+                for v in [a, b] {
+                    if !bound.contains(v) {
+                        free.push(*v);
+                    }
+                }
+            }
+            Mso::In(x, _) => {
+                if !bound.contains(x) {
+                    free.push(*x);
+                }
+            }
+            Mso::Subset(..) | Mso::ProperSubset(..) => {}
+            Mso::Not(f) => f.walk_ind(bound, free),
+            Mso::And(a, b) | Mso::Or(a, b) | Mso::Implies(a, b) | Mso::Iff(a, b) => {
+                a.walk_ind(bound, free);
+                b.walk_ind(bound, free);
+            }
+            Mso::Exists(v, f) | Mso::Forall(v, f) => {
+                bound.push(*v);
+                f.walk_ind(bound, free);
+                bound.pop();
+            }
+            Mso::ExistsSet(_, f) | Mso::ForallSet(_, f) => f.walk_ind(bound, free),
+        }
+    }
+
+    /// Free set variables, in ascending order.
+    pub fn free_set_vars(&self) -> Vec<SetVar> {
+        let mut free = Vec::new();
+        let mut bound = Vec::new();
+        self.walk_set(&mut bound, &mut free);
+        free.sort_unstable();
+        free.dedup();
+        free
+    }
+
+    fn walk_set(&self, bound: &mut Vec<SetVar>, free: &mut Vec<SetVar>) {
+        match self {
+            Mso::Pred(..) | Mso::Eq(..) => {}
+            Mso::In(_, s) => {
+                if !bound.contains(s) {
+                    free.push(*s);
+                }
+            }
+            Mso::Subset(a, b) | Mso::ProperSubset(a, b) => {
+                for s in [a, b] {
+                    if !bound.contains(s) {
+                        free.push(*s);
+                    }
+                }
+            }
+            Mso::Not(f) => f.walk_set(bound, free),
+            Mso::And(a, b) | Mso::Or(a, b) | Mso::Implies(a, b) | Mso::Iff(a, b) => {
+                a.walk_set(bound, free);
+                b.walk_set(bound, free);
+            }
+            Mso::Exists(_, f) | Mso::Forall(_, f) => f.walk_set(bound, free),
+            Mso::ExistsSet(s, f) | Mso::ForallSet(s, f) => {
+                bound.push(*s);
+                f.walk_set(bound, free);
+                bound.pop();
+            }
+        }
+    }
+
+    /// The number of distinct variables (used to size assignment tables):
+    /// `(max individual id + 1, max set id + 1)`.
+    pub fn var_bounds(&self) -> (usize, usize) {
+        let mut ind = 0usize;
+        let mut set = 0usize;
+        self.visit(&mut |f| match f {
+            Mso::Pred(_, vs) => {
+                for v in vs {
+                    ind = ind.max(v.0 as usize + 1);
+                }
+            }
+            Mso::Eq(a, b) => ind = ind.max(a.0 as usize + 1).max(b.0 as usize + 1),
+            Mso::In(x, s) => {
+                ind = ind.max(x.0 as usize + 1);
+                set = set.max(s.0 as usize + 1);
+            }
+            Mso::Subset(a, b) | Mso::ProperSubset(a, b) => {
+                set = set.max(a.0 as usize + 1).max(b.0 as usize + 1);
+            }
+            Mso::Exists(v, _) | Mso::Forall(v, _) => ind = ind.max(v.0 as usize + 1),
+            Mso::ExistsSet(s, _) | Mso::ForallSet(s, _) => set = set.max(s.0 as usize + 1),
+            _ => {}
+        });
+        (ind, set)
+    }
+
+    /// True if the formula mentions set variables or set quantifiers (a
+    /// pure first-order formula admits the cheaper FO-type machinery in
+    /// the Theorem 4.5 compiler).
+    pub fn uses_sets(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |f| {
+            if matches!(
+                f,
+                Mso::In(..)
+                    | Mso::Subset(..)
+                    | Mso::ProperSubset(..)
+                    | Mso::ExistsSet(..)
+                    | Mso::ForallSet(..)
+            ) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    fn visit(&self, f: &mut impl FnMut(&Mso)) {
+        f(self);
+        match self {
+            Mso::Not(a) => a.visit(f),
+            Mso::And(a, b) | Mso::Or(a, b) | Mso::Implies(a, b) | Mso::Iff(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Mso::Exists(_, a)
+            | Mso::Forall(_, a)
+            | Mso::ExistsSet(_, a)
+            | Mso::ForallSet(_, a) => a.visit(f),
+            _ => {}
+        }
+    }
+}
+
+// Convenience constructors (builder style).
+impl Mso {
+    /// `R(vars…)`.
+    pub fn pred(name: impl Into<String>, vars: impl Into<Vec<IndVar>>) -> Self {
+        Mso::Pred(name.into(), vars.into())
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Mso::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Self) -> Self {
+        Mso::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Self) -> Self {
+        Mso::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Implication.
+    pub fn implies(self, other: Self) -> Self {
+        Mso::Implies(Box::new(self), Box::new(other))
+    }
+
+    /// `∃x φ`.
+    pub fn exists(v: IndVar, f: Self) -> Self {
+        Mso::Exists(v, Box::new(f))
+    }
+
+    /// `∀x φ`.
+    pub fn forall(v: IndVar, f: Self) -> Self {
+        Mso::Forall(v, Box::new(f))
+    }
+
+    /// `∃X φ`.
+    pub fn exists_set(v: SetVar, f: Self) -> Self {
+        Mso::ExistsSet(v, Box::new(f))
+    }
+
+    /// `∀X φ`.
+    pub fn forall_set(v: SetVar, f: Self) -> Self {
+        Mso::ForallSet(v, Box::new(f))
+    }
+
+    /// Conjunction of many formulas (true for an empty list is not
+    /// representable; requires at least one conjunct).
+    pub fn all(mut fs: Vec<Self>) -> Self {
+        let mut acc = fs.pop().expect("at least one conjunct");
+        while let Some(f) = fs.pop() {
+            acc = f.and(acc);
+        }
+        acc
+    }
+}
+
+impl fmt::Display for Mso {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mso::Pred(name, vs) => {
+                let args: Vec<String> = vs.iter().map(|v| format!("x{}", v.0)).collect();
+                write!(f, "{name}({})", args.join(","))
+            }
+            Mso::Eq(a, b) => write!(f, "x{} = x{}", a.0, b.0),
+            Mso::In(x, s) => write!(f, "x{} in X{}", x.0, s.0),
+            Mso::Subset(a, b) => write!(f, "X{} subseteq X{}", a.0, b.0),
+            Mso::ProperSubset(a, b) => write!(f, "X{} subset X{}", a.0, b.0),
+            Mso::Not(a) => write!(f, "!({a})"),
+            Mso::And(a, b) => write!(f, "({a} & {b})"),
+            Mso::Or(a, b) => write!(f, "({a} | {b})"),
+            Mso::Implies(a, b) => write!(f, "({a} -> {b})"),
+            Mso::Iff(a, b) => write!(f, "({a} <-> {b})"),
+            Mso::Exists(v, a) => write!(f, "exists x{} ({a})", v.0),
+            Mso::Forall(v, a) => write!(f, "forall x{} ({a})", v.0),
+            Mso::ExistsSet(s, a) => write!(f, "exists X{} ({a})", s.0),
+            Mso::ForallSet(s, a) => write!(f, "forall X{} ({a})", s.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantifier_depth() {
+        let x = IndVar(0);
+        let y = IndVar(1);
+        let s = SetVar(0);
+        // ∃X ∀y (y ∈ X ∨ e(x, y)): depth 2.
+        let f = Mso::exists_set(
+            s,
+            Mso::forall(y, Mso::In(y, s).or(Mso::pred("e", vec![x, y]))),
+        );
+        assert_eq!(f.quantifier_depth(), 2);
+    }
+
+    #[test]
+    fn free_variables() {
+        let x = IndVar(0);
+        let y = IndVar(1);
+        let f = Mso::exists(y, Mso::pred("e", vec![x, y]));
+        assert_eq!(f.free_ind_vars(), vec![x]);
+        assert!(f.free_set_vars().is_empty());
+        let s = SetVar(3);
+        let g = Mso::In(x, s);
+        assert_eq!(g.free_set_vars(), vec![s]);
+    }
+
+    #[test]
+    fn var_bounds() {
+        let f = Mso::exists(
+            IndVar(4),
+            Mso::In(IndVar(4), SetVar(2)).and(Mso::Eq(IndVar(0), IndVar(4))),
+        );
+        assert_eq!(f.var_bounds(), (5, 3));
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let f = Mso::exists(IndVar(1), Mso::pred("e", vec![IndVar(0), IndVar(1)]));
+        assert_eq!(format!("{f}"), "exists x1 (e(x0,x1))");
+    }
+}

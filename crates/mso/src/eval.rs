@@ -1,0 +1,371 @@
+//! Naive MSO model checking.
+//!
+//! This is the executable semantics of §2.3 and the stand-in for MONA in
+//! the Table 1 experiments: a direct model checker whose set quantifiers
+//! enumerate all `2^|A|` subsets, so its data complexity is exponential —
+//! exactly the behaviour the paper reports for the MSO/MONA baseline
+//! ("out-of-memory errors already for really small input data"). A work
+//! budget lets the harness convert runaway evaluations into the paper's
+//! "–" table entries instead of hanging.
+
+use crate::ast::{IndVar, Mso, SetVar};
+use mdtw_structure::{ElemId, Structure};
+
+/// A set-variable valuation: a bitset over the structure's domain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set sized for a domain of `n` elements.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, e: ElemId) -> bool {
+        self.words[e.index() / 64] >> (e.index() % 64) & 1 == 1
+    }
+
+    /// Inserts an element.
+    #[inline]
+    pub fn insert(&mut self, e: ElemId) {
+        self.words[e.index() / 64] |= 1 << (e.index() % 64);
+    }
+
+    /// Removes an element.
+    #[inline]
+    pub fn remove(&mut self, e: ElemId) {
+        self.words[e.index() / 64] &= !(1 << (e.index() % 64));
+    }
+
+    /// `self ⊆ other`.
+    pub fn subset_of(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Builds a bitset from `k`-bit counter `bits` over the first 64
+    /// elements (used by subset enumeration; domains larger than 64 use
+    /// the incremental enumerator below).
+    fn from_low_bits(n: usize, bits: u64) -> Self {
+        let mut s = Self::empty(n);
+        if !s.words.is_empty() {
+            s.words[0] = bits;
+        }
+        s
+    }
+}
+
+/// The evaluation budget: an upper bound on elementary evaluation steps
+/// (atom checks and quantifier instantiations).
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Remaining steps.
+    pub steps: u64,
+}
+
+impl Budget {
+    /// A budget of `steps` elementary operations.
+    pub fn new(steps: u64) -> Self {
+        Self { steps }
+    }
+
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Self { steps: u64::MAX }
+    }
+}
+
+/// Evaluation failure: the step budget was exhausted (the harness reports
+/// this as the paper's "–"/out-of-memory entries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted;
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MSO evaluation budget exhausted")
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// A variable assignment under construction.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Individual variable values.
+    pub ind: Vec<Option<ElemId>>,
+    /// Set variable values.
+    pub set: Vec<Option<BitSet>>,
+}
+
+impl Assignment {
+    /// An empty assignment sized for `formula`.
+    pub fn for_formula(formula: &Mso) -> Self {
+        let (ni, ns) = formula.var_bounds();
+        Self {
+            ind: vec![None; ni],
+            set: vec![None; ns],
+        }
+    }
+
+    /// Binds an individual variable.
+    pub fn bind_ind(&mut self, v: IndVar, e: ElemId) {
+        if self.ind.len() <= v.0 as usize {
+            self.ind.resize(v.0 as usize + 1, None);
+        }
+        self.ind[v.0 as usize] = Some(e);
+    }
+
+    /// Binds a set variable.
+    pub fn bind_set(&mut self, v: SetVar, s: BitSet) {
+        if self.set.len() <= v.0 as usize {
+            self.set.resize(v.0 as usize + 1, None);
+        }
+        self.set[v.0 as usize] = Some(s);
+    }
+}
+
+/// Evaluates a sentence (no free variables) over a structure.
+pub fn eval_sentence(
+    formula: &Mso,
+    structure: &Structure,
+    budget: &mut Budget,
+) -> Result<bool, BudgetExhausted> {
+    let mut asg = Assignment::for_formula(formula);
+    eval(formula, structure, &mut asg, budget)
+}
+
+/// Evaluates a unary query `φ(x)` at element `a` (the paper's
+/// `(𝒜, a) ⊨ φ(x)`).
+pub fn eval_unary(
+    formula: &Mso,
+    x: IndVar,
+    structure: &Structure,
+    a: ElemId,
+    budget: &mut Budget,
+) -> Result<bool, BudgetExhausted> {
+    let mut asg = Assignment::for_formula(formula);
+    asg.bind_ind(x, a);
+    eval(formula, structure, &mut asg, budget)
+}
+
+/// Core recursive evaluator.
+pub fn eval(
+    formula: &Mso,
+    structure: &Structure,
+    asg: &mut Assignment,
+    budget: &mut Budget,
+) -> Result<bool, BudgetExhausted> {
+    if budget.steps == 0 {
+        return Err(BudgetExhausted);
+    }
+    budget.steps -= 1;
+    let value = |v: IndVar, asg: &Assignment| -> ElemId {
+        asg.ind[v.0 as usize].expect("individual variable bound")
+    };
+    match formula {
+        Mso::Pred(name, vars) => {
+            let pred = structure
+                .signature()
+                .lookup(name)
+                .unwrap_or_else(|| panic!("unknown predicate `{name}`"));
+            let args: Vec<ElemId> = vars.iter().map(|&v| value(v, asg)).collect();
+            Ok(structure.holds(pred, &args))
+        }
+        Mso::Eq(a, b) => Ok(value(*a, asg) == value(*b, asg)),
+        Mso::In(x, s) => {
+            let set = asg.set[s.0 as usize].as_ref().expect("set variable bound");
+            Ok(set.contains(value(*x, asg)))
+        }
+        Mso::Subset(a, b) => {
+            let sa = asg.set[a.0 as usize].as_ref().expect("bound");
+            let sb = asg.set[b.0 as usize].as_ref().expect("bound");
+            Ok(sa.subset_of(sb))
+        }
+        Mso::ProperSubset(a, b) => {
+            let sa = asg.set[a.0 as usize].as_ref().expect("bound");
+            let sb = asg.set[b.0 as usize].as_ref().expect("bound");
+            Ok(sa.subset_of(sb) && sa != sb)
+        }
+        Mso::Not(f) => Ok(!eval(f, structure, asg, budget)?),
+        Mso::And(a, b) => Ok(eval(a, structure, asg, budget)? && eval(b, structure, asg, budget)?),
+        Mso::Or(a, b) => Ok(eval(a, structure, asg, budget)? || eval(b, structure, asg, budget)?),
+        Mso::Implies(a, b) => {
+            Ok(!eval(a, structure, asg, budget)? || eval(b, structure, asg, budget)?)
+        }
+        Mso::Iff(a, b) => Ok(eval(a, structure, asg, budget)? == eval(b, structure, asg, budget)?),
+        Mso::Exists(v, f) => {
+            let saved = asg.ind.get(v.0 as usize).copied().flatten();
+            for e in structure.domain().elems() {
+                asg.bind_ind(*v, e);
+                if eval(f, structure, asg, budget)? {
+                    asg.ind[v.0 as usize] = saved;
+                    return Ok(true);
+                }
+            }
+            asg.ind[v.0 as usize] = saved;
+            Ok(false)
+        }
+        Mso::Forall(v, f) => {
+            let saved = asg.ind.get(v.0 as usize).copied().flatten();
+            for e in structure.domain().elems() {
+                asg.bind_ind(*v, e);
+                if !eval(f, structure, asg, budget)? {
+                    asg.ind[v.0 as usize] = saved;
+                    return Ok(false);
+                }
+            }
+            asg.ind[v.0 as usize] = saved;
+            Ok(true)
+        }
+        Mso::ExistsSet(v, f) => quantify_set(*v, f, structure, asg, budget, true),
+        Mso::ForallSet(v, f) => quantify_set(*v, f, structure, asg, budget, false),
+    }
+}
+
+/// Set quantification: enumerates all `2^n` subsets. Domains up to 64
+/// elements use a counter; larger domains walk a recursive enumerator
+/// (they are far beyond any realistic budget anyway).
+fn quantify_set(
+    v: SetVar,
+    f: &Mso,
+    structure: &Structure,
+    asg: &mut Assignment,
+    budget: &mut Budget,
+    existential: bool,
+) -> Result<bool, BudgetExhausted> {
+    let n = structure.domain().len();
+    assert!(
+        n <= 64,
+        "naive set quantification supports domains of ≤ 64 elements"
+    );
+    let saved = asg.set.get(v.0 as usize).cloned().flatten();
+    let total: u128 = 1u128 << n;
+    let mut bits: u128 = 0;
+    while bits < total {
+        if budget.steps == 0 {
+            return Err(BudgetExhausted);
+        }
+        budget.steps -= 1;
+        asg.bind_set(v, BitSet::from_low_bits(n, bits as u64));
+        let sat = eval(f, structure, asg, budget)?;
+        if sat == existential {
+            asg.set[v.0 as usize] = saved;
+            return Ok(existential);
+        }
+        bits += 1;
+    }
+    asg.set[v.0 as usize] = saved;
+    Ok(!existential)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdtw_structure::{Domain, Signature};
+    use std::sync::Arc;
+
+    fn path3() -> Structure {
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let dom = Domain::anonymous(3);
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        s.insert(e, &[ElemId(0), ElemId(1)]);
+        s.insert(e, &[ElemId(1), ElemId(2)]);
+        s
+    }
+
+    #[test]
+    fn fo_quantifiers() {
+        let s = path3();
+        let x = IndVar(0);
+        let y = IndVar(1);
+        // ∃x ∃y e(x, y): true.
+        let f = Mso::exists(x, Mso::exists(y, Mso::pred("e", vec![x, y])));
+        assert_eq!(eval_sentence(&f, &s, &mut Budget::unlimited()), Ok(true));
+        // ∀x ∃y e(x, y): false (2 has no successor).
+        let g = Mso::forall(x, Mso::exists(y, Mso::pred("e", vec![x, y])));
+        assert_eq!(eval_sentence(&g, &s, &mut Budget::unlimited()), Ok(false));
+    }
+
+    #[test]
+    fn unary_query() {
+        let s = path3();
+        let x = IndVar(0);
+        let y = IndVar(1);
+        // φ(x) = ∃y e(x, y).
+        let f = Mso::exists(y, Mso::pred("e", vec![x, y]));
+        let mut b = Budget::unlimited();
+        assert_eq!(eval_unary(&f, x, &s, ElemId(0), &mut b), Ok(true));
+        assert_eq!(eval_unary(&f, x, &s, ElemId(2), &mut b), Ok(false));
+    }
+
+    #[test]
+    fn set_quantifiers() {
+        let s = path3();
+        let x = IndVar(0);
+        let set = SetVar(0);
+        // ∃X ∀x (x ∈ X): true (X = domain).
+        let f = Mso::exists_set(set, Mso::forall(x, Mso::In(x, set)));
+        assert_eq!(eval_sentence(&f, &s, &mut Budget::unlimited()), Ok(true));
+        // ∀X ∀x (x ∈ X): false.
+        let g = Mso::forall_set(set, Mso::forall(x, Mso::In(x, set)));
+        assert_eq!(eval_sentence(&g, &s, &mut Budget::unlimited()), Ok(false));
+    }
+
+    #[test]
+    fn subset_atoms() {
+        let s = path3();
+        let a = SetVar(0);
+        let b = SetVar(1);
+        // ∀A ∃B (A ⊆ B): true (B = A).
+        let f = Mso::forall_set(a, Mso::exists_set(b, Mso::Subset(a, b)));
+        assert_eq!(eval_sentence(&f, &s, &mut Budget::unlimited()), Ok(true));
+        // ∀A ∃B (A ⊂ B): false (A = domain has no proper superset).
+        let g = Mso::forall_set(a, Mso::exists_set(b, Mso::ProperSubset(a, b)));
+        assert_eq!(eval_sentence(&g, &s, &mut Budget::unlimited()), Ok(false));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let s = path3();
+        let set = SetVar(0);
+        let x = IndVar(0);
+        let f = Mso::forall_set(set, Mso::exists(x, Mso::In(x, set).or(Mso::Eq(x, x))));
+        let mut tight = Budget::new(5);
+        assert_eq!(eval_sentence(&f, &s, &mut tight), Err(BudgetExhausted));
+    }
+
+    #[test]
+    fn bitset_ops() {
+        let mut s = BitSet::empty(70);
+        s.insert(ElemId(3));
+        s.insert(ElemId(69));
+        assert!(s.contains(ElemId(3)));
+        assert!(s.contains(ElemId(69)));
+        assert_eq!(s.len(), 2);
+        s.remove(ElemId(3));
+        assert!(!s.contains(ElemId(3)));
+        let t = BitSet::empty(70);
+        assert!(t.subset_of(&s));
+        assert!(!s.subset_of(&t));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! # mdtw-mso
+//!
+//! Monadic second-order logic for the *Monadic Datalog over Finite
+//! Structures with Bounded Treewidth* reproduction (Gottlob, Pichler &
+//! Wei, PODS 2007):
+//!
+//! * [`ast`] — MSO formulas (§2.3);
+//! * [`eval`] — the naive model checker with a work budget: the stand-in
+//!   for MONA in the Table 1 experiments (exponential data complexity,
+//!   "out-of-memory" behaviour on anything non-tiny);
+//! * [`types`] — rank-k MSO types via the Ehrenfeucht–Fraïssé recursion,
+//!   hash-consed so type equality is id equality (§3);
+//! * [`compile`] — the generic MSO→monadic-datalog transformation of
+//!   Theorem 4.5, runnable at toy parameters and exploding (with a clean
+//!   error) beyond them, exactly as the paper predicts;
+//! * [`library`] — the paper's formulas: 3-Colorability (§5.1) and
+//!   PRIMALITY (Example 2.6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod eval;
+pub mod library;
+pub mod types;
+
+pub use ast::{IndVar, Mso, SetVar};
+pub use compile::{compile_unary, CompileError, CompileLimits, CompiledQuery};
+pub use eval::{eval_sentence, eval_unary, Assignment, BitSet, Budget, BudgetExhausted};
+pub use library::{
+    closed, has_neighbor, isolated, primality, three_colorability, two_colorability,
+};
+pub use types::{TypeId, TypeInterner};

@@ -1,0 +1,235 @@
+//! The paper's formula library: 3-Colorability (§5.1), PRIMALITY
+//! (Example 2.6) and a few smaller MSO queries used in tests and examples.
+
+use crate::ast::{IndVar, Mso, SetVar};
+
+/// The 3-Colorability sentence of §5.1 over τ = {e}:
+///
+/// ```text
+/// ∃R ∃G ∃B [ Partition(R,G,B) ∧
+///            ∀v₁∀v₂ (e(v₁,v₂) → ¬same-class(v₁,v₂)) ]
+/// ```
+pub fn three_colorability() -> Mso {
+    let (r, g, b) = (SetVar(0), SetVar(1), SetVar(2));
+    let v = IndVar(0);
+    let (v1, v2) = (IndVar(1), IndVar(2));
+    let in_ = Mso::In;
+    let partition = Mso::forall(
+        v,
+        Mso::all(vec![
+            in_(v, r).or(in_(v, g)).or(in_(v, b)),
+            in_(v, r).not().or(in_(v, g).not()),
+            in_(v, r).not().or(in_(v, b).not()),
+            in_(v, g).not().or(in_(v, b).not()),
+        ]),
+    );
+    let proper = Mso::forall(
+        v1,
+        Mso::forall(
+            v2,
+            Mso::pred("e", vec![v1, v2]).implies(Mso::all(vec![
+                in_(v1, r).not().or(in_(v2, r).not()),
+                in_(v1, g).not().or(in_(v2, g).not()),
+                in_(v1, b).not().or(in_(v2, b).not()),
+            ])),
+        ),
+    );
+    Mso::exists_set(r, Mso::exists_set(g, Mso::exists_set(b, partition.and(proper))))
+}
+
+/// 2-Colorability (bipartiteness), a smaller sibling used in tests.
+pub fn two_colorability() -> Mso {
+    let (r, g) = (SetVar(0), SetVar(1));
+    let v = IndVar(0);
+    let (v1, v2) = (IndVar(1), IndVar(2));
+    let in_ = Mso::In;
+    let partition = Mso::forall(
+        v,
+        in_(v, r)
+            .or(in_(v, g))
+            .and(in_(v, r).not().or(in_(v, g).not())),
+    );
+    let proper = Mso::forall(
+        v1,
+        Mso::forall(
+            v2,
+            Mso::pred("e", vec![v1, v2]).implies(
+                in_(v1, r)
+                    .not()
+                    .or(in_(v2, r).not())
+                    .and(in_(v1, g).not().or(in_(v2, g).not())),
+            ),
+        ),
+    );
+    Mso::exists_set(r, Mso::exists_set(g, partition.and(proper)))
+}
+
+/// `Closed(Y)` from Example 2.6 over τ = {fd, att, lh, rh}:
+/// every FD has its rhs inside `Y` or some lhs attribute outside `Y`.
+pub fn closed(y: SetVar, f: IndVar, b: IndVar) -> Mso {
+    Mso::forall(
+        f,
+        Mso::pred("fd", vec![f]).implies(Mso::exists(
+            b,
+            Mso::pred("rh", vec![b, f])
+                .and(Mso::In(b, y))
+                .or(Mso::pred("lh", vec![b, f]).and(Mso::In(b, y).not())),
+        )),
+    )
+}
+
+/// The PRIMALITY query ϕ(x) of Example 2.6, in primitive MSO (the paper's
+/// set term `Y ∪ {x}` is unfolded into `Y ⊆ Z′ ∧ x ∈ Z′`):
+///
+/// ```text
+/// ϕ(x) = att(x) ∧ ∃Y [ Y ⊆ atts ∧ Closed(Y) ∧ x ∉ Y ∧
+///          ¬∃Z′ ( Y ⊆ Z′ ∧ x ∈ Z′ ∧ Z′ ⊊ atts ∧ Closed(Z′) ) ]
+/// ```
+///
+/// i.e. `Y` is closed, misses `x`, and no *proper* closed subset of the
+/// attributes contains `Y ∪ {x}` — equivalently `(Y ∪ {x})⁺ = R`.
+///
+/// The free variable is `IndVar(0)`.
+pub fn primality() -> Mso {
+    let x = IndVar(0);
+    let z = IndVar(1);
+    let f = IndVar(2);
+    let b = IndVar(3);
+    let y = SetVar(0);
+    let zp = SetVar(1);
+
+    let y_only_atts = Mso::forall(z, Mso::In(z, y).implies(Mso::pred("att", vec![z])));
+    let zp_only_atts = Mso::forall(z, Mso::In(z, zp).implies(Mso::pred("att", vec![z])));
+    let zp_proper = Mso::exists(z, Mso::pred("att", vec![z]).and(Mso::In(z, zp).not()));
+    let y_sub_zp = Mso::forall(z, Mso::In(z, y).implies(Mso::In(z, zp)));
+
+    let bad_zp = Mso::exists_set(
+        zp,
+        Mso::all(vec![
+            y_sub_zp,
+            Mso::In(x, zp),
+            zp_only_atts,
+            zp_proper,
+            closed(zp, f, b),
+        ]),
+    );
+
+    Mso::pred("att", vec![x]).and(Mso::exists_set(
+        y,
+        Mso::all(vec![
+            y_only_atts,
+            closed(y, f, b),
+            Mso::In(x, y).not(),
+            bad_zp.not(),
+        ]),
+    ))
+}
+
+/// `φ(x) = ∃y e(x, y)` — "x has a neighbour" (quantifier depth 1; the
+/// demonstration query for the generic Theorem 4.5 compiler).
+pub fn has_neighbor() -> Mso {
+    let x = IndVar(0);
+    let y = IndVar(1);
+    Mso::exists(y, Mso::pred("e", vec![x, y]))
+}
+
+/// `φ(x) = ¬∃y e(x, y) ∧ ¬∃y e(y, x)` — "x is isolated".
+pub fn isolated() -> Mso {
+    let x = IndVar(0);
+    let y = IndVar(1);
+    Mso::exists(y, Mso::pred("e", vec![x, y]).or(Mso::pred("e", vec![y, x]))).not()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_sentence, eval_unary, Budget};
+    use mdtw_graph::{complete, cycle, encode_graph, wheel};
+    use mdtw_schema::{encode_schema, example_2_1};
+
+    #[test]
+    fn three_colorability_matches_backtracking() {
+        // Small instances only: the naive evaluator enumerates 2^{3|V|}
+        // set triples in the worst case (Petersen-sized graphs are covered
+        // by the FPT solver tests in mdtw-core).
+        for (g, expect) in [
+            (cycle(5), true),
+            (cycle(6), true),
+            (complete(4), false),
+            (wheel(5), false),
+        ] {
+            let s = encode_graph(&g);
+            let got = eval_sentence(&three_colorability(), &s, &mut Budget::unlimited()).unwrap();
+            assert_eq!(got, expect, "{g}");
+        }
+    }
+
+    #[test]
+    fn two_colorability_is_bipartiteness() {
+        for (g, expect) in [(cycle(4), true), (cycle(5), false), (complete(2), true)] {
+            let s = encode_graph(&g);
+            let got = eval_sentence(&two_colorability(), &s, &mut Budget::unlimited()).unwrap();
+            assert_eq!(got, expect, "{g}");
+        }
+    }
+
+    #[test]
+    fn primality_formula_on_running_example() {
+        // Example 2.6: (𝒜, a) ⊨ ϕ(x). Positive cases exit early; the
+        // exponential negative sweep runs on a reduced schema below.
+        let schema = example_2_1();
+        let enc = encode_schema(&schema);
+        let phi = primality();
+        let x = IndVar(0);
+        let mut budget = Budget::unlimited();
+        for name in ["a", "b", "c", "d"] {
+            let elem = enc.elem_of_attr(schema.attr(name).unwrap());
+            let got = eval_unary(&phi, x, &enc.structure, elem, &mut budget).unwrap();
+            assert!(got, "attribute {name} must be prime");
+        }
+        // FD elements are never prime (the att(x) conjunct fails at once).
+        let f1 = enc.elem_of_fd(0);
+        assert!(!eval_unary(&phi, x, &enc.structure, f1, &mut budget).unwrap());
+    }
+
+    #[test]
+    fn primality_formula_negative_cases() {
+        // Reduced running example: R = abcde, F = {ab→c, c→b, cd→e}.
+        // Keys are abd and acd, so e is not prime. Small enough for the
+        // full 2^|A| × 2^|A| sweep the naive evaluator needs on a "no".
+        let mut schema = mdtw_schema::Schema::new();
+        for n in ["a", "b", "c", "d", "e"] {
+            schema.add_attr(n);
+        }
+        schema.add_fd_str("ab -> c");
+        schema.add_fd_str("c -> b");
+        schema.add_fd_str("cd -> e");
+        assert_eq!(schema.render_set(&schema.prime_attributes_exact()), "abcd");
+        let enc = encode_schema(&schema);
+        let phi = primality();
+        let x = IndVar(0);
+        let mut budget = Budget::unlimited();
+        let e = enc.elem_of_attr(schema.attr("e").unwrap());
+        assert!(!eval_unary(&phi, x, &enc.structure, e, &mut budget).unwrap());
+        let a = enc.elem_of_attr(schema.attr("a").unwrap());
+        assert!(eval_unary(&phi, x, &enc.structure, a, &mut budget).unwrap());
+    }
+
+    #[test]
+    fn quantifier_depths() {
+        assert_eq!(three_colorability().quantifier_depth(), 5);
+        assert_eq!(has_neighbor().quantifier_depth(), 1);
+        // primality: ∃Y (… ∃Z′ (… Closed: ∀f ∃b)) nesting.
+        assert!(primality().quantifier_depth() >= 4);
+    }
+
+    #[test]
+    fn neighbor_queries() {
+        let g = cycle(3);
+        let s = encode_graph(&g);
+        let x = IndVar(0);
+        let mut b = Budget::unlimited();
+        assert!(eval_unary(&has_neighbor(), x, &s, mdtw_structure::ElemId(0), &mut b).unwrap());
+        assert!(!eval_unary(&isolated(), x, &s, mdtw_structure::ElemId(0), &mut b).unwrap());
+    }
+}

@@ -1,0 +1,325 @@
+//! Rank-k MSO types via the Ehrenfeucht–Fraïssé characterization (§2.3,
+//! §3).
+//!
+//! Two pointed structures are `≡ᵏ_MSO`-equivalent iff the duplicator wins
+//! the k-round MSO game; equivalently, iff their *rank-k types* coincide,
+//! where the rank-0 type is the atomic diagram of the distinguished
+//! elements (and set valuations) and the rank-(k+1) type is the rank-0
+//! data plus the **sets** of rank-k types reachable by one point move and
+//! by one set move. Types are hash-consed in a [`TypeInterner`] so that
+//! equality is id equality even across different structures (this is what
+//! the Theorem 4.5 compiler uses to detect "a type we have seen before").
+//!
+//! Computing a rank-k type costs `O((n + 2ⁿ)ᵏ)` on an n-element structure;
+//! this module is meant for the small witness structures of §3/§4, not for
+//! data.
+
+use crate::eval::BitSet;
+use mdtw_structure::fx::FxHashMap;
+use mdtw_structure::{ElemId, Structure};
+use std::collections::BTreeSet;
+
+/// An interned rank-k type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+/// Canonical key of a type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum TypeKey {
+    /// The atomic diagram, packed as bit words.
+    Rank0(Vec<u64>),
+    /// Rank k ≥ 1: own atomic diagram + reachable rank-(k−1) types.
+    RankK {
+        atoms: Vec<u64>,
+        point_moves: BTreeSet<TypeId>,
+        set_moves: BTreeSet<TypeId>,
+    },
+}
+
+/// Hash-consing interner for MSO types. Share one interner across all
+/// structures whose types must be comparable.
+#[derive(Debug, Default)]
+pub struct TypeInterner {
+    map: FxHashMap<TypeKey, TypeId>,
+}
+
+impl TypeInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct types seen so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no types have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn intern(&mut self, key: TypeKey) -> TypeId {
+        let next = TypeId(self.map.len() as u32);
+        *self.map.entry(key).or_insert(next)
+    }
+
+    /// The rank-`k` MSO type of `(𝒜, ā)` (no free set variables).
+    pub fn type_of(&mut self, structure: &Structure, ind: &[ElemId], k: usize) -> TypeId {
+        self.type_of_with_sets(structure, ind, &[], k)
+    }
+
+    /// The rank-`k` *first-order* type (point moves only). Sound and
+    /// complete for formulas without set quantifiers; exponentially
+    /// cheaper. The Theorem 4.5 compiler uses it for FO queries.
+    pub fn fo_type_of(&mut self, structure: &Structure, ind: &[ElemId], k: usize) -> TypeId {
+        self.type_impl(structure, ind, &[], k, false)
+    }
+
+    /// The rank-`k` MSO type of `(𝒜, ā, S̄)`.
+    pub fn type_of_with_sets(
+        &mut self,
+        structure: &Structure,
+        ind: &[ElemId],
+        sets: &[BitSet],
+        k: usize,
+    ) -> TypeId {
+        self.type_impl(structure, ind, sets, k, true)
+    }
+
+    fn type_impl(
+        &mut self,
+        structure: &Structure,
+        ind: &[ElemId],
+        sets: &[BitSet],
+        k: usize,
+        with_sets: bool,
+    ) -> TypeId {
+        let atoms = atomic_diagram(structure, ind, sets);
+        if k == 0 {
+            return self.intern(TypeKey::Rank0(atoms));
+        }
+        let n = structure.domain().len();
+        let mut point_moves = BTreeSet::new();
+        let mut ind_ext: Vec<ElemId> = ind.to_vec();
+        ind_ext.push(ElemId(0));
+        for c in structure.domain().elems() {
+            *ind_ext.last_mut().expect("pushed") = c;
+            point_moves.insert(self.type_impl(structure, &ind_ext, sets, k - 1, with_sets));
+        }
+        let mut set_moves = BTreeSet::new();
+        if with_sets {
+            assert!(n <= 24, "MSO set moves limited to ≤ 24 elements");
+            let mut sets_ext: Vec<BitSet> = sets.to_vec();
+            sets_ext.push(BitSet::empty(n));
+            for bits in 0u64..(1u64 << n) {
+                let mut s = BitSet::empty(n);
+                for i in 0..n {
+                    if bits >> i & 1 == 1 {
+                        s.insert(ElemId(i as u32));
+                    }
+                }
+                *sets_ext.last_mut().expect("pushed") = s;
+                set_moves.insert(self.type_impl(structure, ind, &sets_ext, k - 1, with_sets));
+            }
+        }
+        self.intern(TypeKey::RankK {
+            atoms,
+            point_moves,
+            set_moves,
+        })
+    }
+
+    /// `≡ᵏ_MSO` between two pointed structures over the same signature.
+    pub fn equivalent(
+        &mut self,
+        a: &Structure,
+        a_ind: &[ElemId],
+        b: &Structure,
+        b_ind: &[ElemId],
+        k: usize,
+    ) -> bool {
+        self.type_of(a, a_ind, k) == self.type_of(b, b_ind, k)
+    }
+}
+
+/// The atomic diagram of `(𝒜, ā, S̄)`: all predicate atoms over index
+/// patterns of `ā`, all equalities `aᵢ = aⱼ`, all memberships `aᵢ ∈ Sⱼ`,
+/// packed into bit words in a canonical order.
+fn atomic_diagram(structure: &Structure, ind: &[ElemId], sets: &[BitSet]) -> Vec<u64> {
+    let mut bits: Vec<bool> = Vec::new();
+    let w = ind.len();
+    // Predicate atoms: for each predicate, all index patterns (odometer).
+    for p in structure.signature().preds() {
+        let arity = structure.signature().arity(p);
+        if arity > 0 && w == 0 {
+            continue;
+        }
+        let mut pattern = vec![0usize; arity];
+        loop {
+            let tuple: Vec<ElemId> = pattern.iter().map(|&i| ind[i]).collect();
+            bits.push(structure.holds(p, &tuple));
+            let mut carry = 0;
+            loop {
+                if carry == arity {
+                    break;
+                }
+                pattern[carry] += 1;
+                if pattern[carry] < w {
+                    break;
+                }
+                pattern[carry] = 0;
+                carry += 1;
+            }
+            if carry == arity {
+                break;
+            }
+        }
+    }
+    // Equalities.
+    for i in 0..w {
+        for j in i + 1..w {
+            bits.push(ind[i] == ind[j]);
+        }
+    }
+    // Set memberships.
+    for s in sets {
+        for &a in ind {
+            bits.push(s.contains(a));
+        }
+    }
+    // Pack.
+    let mut words = vec![0u64; bits.len().div_ceil(64).max(1)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    // Record the bit count so diagrams of different shapes never collide.
+    words.push(bits.len() as u64);
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{IndVar, Mso};
+    use crate::eval::{eval_unary, Budget};
+    use mdtw_structure::{Domain, Signature};
+    use std::sync::Arc;
+
+    fn path(n: usize) -> Structure {
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let dom = Domain::anonymous(n);
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        for i in 0..n - 1 {
+            s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+        }
+        s
+    }
+
+    #[test]
+    fn types_are_reflexive() {
+        let s = path(4);
+        let mut ti = TypeInterner::new();
+        for k in 0..=2 {
+            assert!(ti.equivalent(&s, &[ElemId(1)], &s, &[ElemId(1)], k));
+        }
+    }
+
+    #[test]
+    fn isomorphic_points_share_types() {
+        // Two separately built copies of the same structure: every point
+        // is equivalent to its twin at every rank.
+        let s1 = path(4);
+        let s2 = path(4);
+        let mut ti = TypeInterner::new();
+        for k in 0..=2 {
+            for e in s1.domain().elems() {
+                assert!(ti.equivalent(&s1, &[e], &s2, &[e], k), "k={k}, {e}");
+            }
+        }
+        // In the symmetric (undirected) path, the reversal x ↦ 3−x is an
+        // automorphism: endpoints are equivalent, as are the middles.
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let dom = Domain::anonymous(4);
+        let mut u = Structure::new(sig, dom);
+        let e = u.signature().lookup("e").unwrap();
+        for i in 0u32..3 {
+            u.insert(e, &[ElemId(i), ElemId(i + 1)]);
+            u.insert(e, &[ElemId(i + 1), ElemId(i)]);
+        }
+        for k in 0..=2 {
+            assert!(ti.equivalent(&u, &[ElemId(0)], &u, &[ElemId(3)], k), "k={k}");
+            assert!(ti.equivalent(&u, &[ElemId(1)], &u, &[ElemId(2)], k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn rank1_distinguishes_endpoint_from_middle() {
+        // "has an outgoing edge" needs one quantifier: endpoints and
+        // middles of a directed path differ at rank 1 but not rank 0.
+        let s = path(4);
+        let mut ti = TypeInterner::new();
+        assert!(ti.equivalent(&s, &[ElemId(0)], &s, &[ElemId(1)], 0));
+        assert!(!ti.equivalent(&s, &[ElemId(0)], &s, &[ElemId(1)], 1));
+    }
+
+    #[test]
+    fn types_respect_formula_agreement() {
+        // If two pointed structures share their rank-k type, they agree on
+        // a sample of formulas with quantifier depth ≤ k.
+        let formulas: Vec<(usize, Mso)> = vec![
+            (1, crate::library::has_neighbor()),
+            (1, crate::library::isolated()),
+        ];
+        let x = IndVar(0);
+        let structures = [path(3), path(4), path(5)];
+        let mut ti = TypeInterner::new();
+        for s1 in &structures {
+            for s2 in &structures {
+                for a in s1.domain().elems() {
+                    for b in s2.domain().elems() {
+                        for (k, f) in &formulas {
+                            if ti.equivalent(s1, &[a], s2, &[b], *k) {
+                                let va =
+                                    eval_unary(f, x, s1, a, &mut Budget::unlimited()).unwrap();
+                                let vb =
+                                    eval_unary(f, x, s2, b, &mut Budget::unlimited()).unwrap();
+                                assert_eq!(va, vb, "type-equal points disagree on {f}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_structures_different_types() {
+        // A 2-path and a 2-clique (both directions) differ already at
+        // rank 0 with both elements distinguished.
+        let p = path(2);
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let dom = Domain::anonymous(2);
+        let mut c = Structure::new(sig, dom);
+        let e = c.signature().lookup("e").unwrap();
+        c.insert(e, &[ElemId(0), ElemId(1)]);
+        c.insert(e, &[ElemId(1), ElemId(0)]);
+        let mut ti = TypeInterner::new();
+        assert!(!ti.equivalent(&p, &[ElemId(0), ElemId(1)], &c, &[ElemId(0), ElemId(1)], 0));
+    }
+
+    #[test]
+    fn set_valuations_enter_the_type() {
+        let s = path(3);
+        let mut ti = TypeInterner::new();
+        let mut s1 = BitSet::empty(3);
+        s1.insert(ElemId(0));
+        let s2 = BitSet::empty(3);
+        let t1 = ti.type_of_with_sets(&s, &[ElemId(0)], &[s1], 0);
+        let t2 = ti.type_of_with_sets(&s, &[ElemId(0)], &[s2], 0);
+        assert_ne!(t1, t2);
+    }
+}

@@ -1,0 +1,141 @@
+//! Encoding a relational schema as a τ-structure with
+//! τ = {fd, att, lh, rh} (paper §2.2, Example 2.2).
+
+use crate::schema::{AttrId, Schema};
+use mdtw_structure::{Domain, ElemId, Signature, Structure};
+use std::sync::Arc;
+
+/// The encoded structure plus element maps for both universes.
+#[derive(Debug)]
+pub struct SchemaEncoding {
+    /// The τ-structure 𝒜 with τ = {fd, att, lh, rh}.
+    pub structure: Structure,
+    /// `attr_elem[a]` is the domain element of attribute `a`.
+    pub attr_elem: Vec<ElemId>,
+    /// `fd_elem[f]` is the domain element of FD `f`.
+    pub fd_elem: Vec<ElemId>,
+}
+
+impl SchemaEncoding {
+    /// The element of attribute `a`.
+    #[inline]
+    pub fn elem_of_attr(&self, a: AttrId) -> ElemId {
+        self.attr_elem[a.index()]
+    }
+
+    /// The element of FD index `f`.
+    #[inline]
+    pub fn elem_of_fd(&self, f: usize) -> ElemId {
+        self.fd_elem[f]
+    }
+
+    /// Reverse lookup: the attribute of a domain element, if it is one.
+    pub fn attr_of_elem(&self, e: ElemId) -> Option<AttrId> {
+        self.attr_elem
+            .iter()
+            .position(|&x| x == e)
+            .map(|i| AttrId(i as u32))
+    }
+
+    /// Reverse lookup: the FD index of a domain element, if it is one.
+    pub fn fd_of_elem(&self, e: ElemId) -> Option<usize> {
+        self.fd_elem.iter().position(|&x| x == e)
+    }
+}
+
+/// The signature τ = {fd, att, lh, rh}.
+pub fn schema_signature() -> Signature {
+    Signature::from_pairs([("fd", 1), ("att", 1), ("lh", 2), ("rh", 2)])
+}
+
+/// Encodes `(R, F)` as a τ-structure: `fd(f)`, `att(b)`, `lh(b, f)` for
+/// `b ∈ lhs(f)`, `rh(b, f)` for `b = rhs(f)` (Example 2.2).
+pub fn encode_schema(schema: &Schema) -> SchemaEncoding {
+    let sig = Arc::new(schema_signature());
+    let mut dom = Domain::new();
+    let attr_elem: Vec<ElemId> = schema
+        .attrs()
+        .map(|a| dom.insert(schema.attr_name(a).to_owned()))
+        .collect();
+    let fd_elem: Vec<ElemId> = (0..schema.fd_count())
+        .map(|i| dom.insert(format!("f{}", i + 1)))
+        .collect();
+    let mut s = Structure::new(sig, dom);
+    let fd_p = s.signature().lookup("fd").unwrap();
+    let att_p = s.signature().lookup("att").unwrap();
+    let lh_p = s.signature().lookup("lh").unwrap();
+    let rh_p = s.signature().lookup("rh").unwrap();
+    for (i, &e) in attr_elem.iter().enumerate() {
+        let _ = i;
+        s.insert(att_p, &[e]);
+    }
+    for (i, fd) in schema.fds().iter().enumerate() {
+        s.insert(fd_p, &[fd_elem[i]]);
+        for &b in &fd.lhs {
+            s.insert(lh_p, &[attr_elem[b.index()], fd_elem[i]]);
+        }
+        s.insert(rh_p, &[attr_elem[fd.rhs.index()], fd_elem[i]]);
+    }
+    SchemaEncoding {
+        structure: s,
+        attr_elem,
+        fd_elem,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::example_2_1;
+    use mdtw_decomp::{decompose, exact_treewidth, Heuristic, PrimalGraph};
+
+    #[test]
+    fn example_2_2_encoding() {
+        let schema = example_2_1();
+        let enc = encode_schema(&schema);
+        let s = &enc.structure;
+        // |A| = 6 attributes + 5 FDs.
+        assert_eq!(s.domain().len(), 11);
+        let att = s.signature().lookup("att").unwrap();
+        let fd = s.signature().lookup("fd").unwrap();
+        let lh = s.signature().lookup("lh").unwrap();
+        let rh = s.signature().lookup("rh").unwrap();
+        assert_eq!(s.relation(att).len(), 6);
+        assert_eq!(s.relation(fd).len(), 5);
+        // lh tuples from Example 2.2: 8 entries.
+        assert_eq!(s.relation(lh).len(), 8);
+        assert_eq!(s.relation(rh).len(), 5);
+        // Spot checks: lh(a, f1), rh(c, f1).
+        let a = enc.elem_of_attr(schema.attr("a").unwrap());
+        let c = enc.elem_of_attr(schema.attr("c").unwrap());
+        let f1 = enc.elem_of_fd(0);
+        assert!(s.holds(lh, &[a, f1]));
+        assert!(s.holds(rh, &[c, f1]));
+    }
+
+    #[test]
+    fn example_2_2_treewidth_is_two() {
+        // The paper proves tw(𝒜) = 2 for the running example.
+        let schema = example_2_1();
+        let enc = encode_schema(&schema);
+        let g = PrimalGraph::of(&enc.structure);
+        assert_eq!(exact_treewidth(&g), 2);
+        // Heuristic decomposition achieves it and validates.
+        let td = decompose(&enc.structure, Heuristic::MinFill);
+        assert_eq!(td.validate(&enc.structure), Ok(()));
+        assert_eq!(td.width(), 2);
+    }
+
+    #[test]
+    fn reverse_lookups() {
+        let schema = example_2_1();
+        let enc = encode_schema(&schema);
+        let b = schema.attr("b").unwrap();
+        let e = enc.elem_of_attr(b);
+        assert_eq!(enc.attr_of_elem(e), Some(b));
+        assert_eq!(enc.fd_of_elem(e), None);
+        let f3 = enc.elem_of_fd(2);
+        assert_eq!(enc.fd_of_elem(f3), Some(2));
+        assert_eq!(enc.attr_of_elem(f3), None);
+    }
+}

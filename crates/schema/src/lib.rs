@@ -1,0 +1,30 @@
+//! # mdtw-schema
+//!
+//! Relational schemas `(R, F)` for the *Monadic Datalog over Finite
+//! Structures with Bounded Treewidth* reproduction (Gottlob, Pichler &
+//! Wei, PODS 2007): attributes, functional dependencies, linear-time
+//! closures, key enumeration and primality baselines (§2.1), the
+//! τ-structure encoding with τ = {fd, att, lh, rh} (§2.2), the paper's
+//! running example (Examples 2.1/2.2) and the decomposition-first workload
+//! generator of the Table 1 experiments (§6).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod examples;
+pub mod generator;
+pub mod normal_forms;
+#[allow(clippy::module_inception)]
+mod schema;
+
+pub use encode::{encode_schema, schema_signature, SchemaEncoding};
+pub use examples::{example_2_1, example_2_2};
+pub use normal_forms::{
+    bcnf_violations, is_3nf_exact, is_bcnf, third_nf_violations_with, BcnfViolation,
+    ThirdNfViolation,
+};
+pub use generator::{
+    block_tree_instance, random_schema, seeded_rng, GeneratedInstance, TABLE1_FD_COUNTS,
+};
+pub use schema::{AttrId, AttrSet, Fd, Schema};

@@ -1,0 +1,159 @@
+//! Schema normal forms: the paper's §2.1 motivation for PRIMALITY.
+//!
+//! > "An efficient algorithm for testing the primality of an attribute is
+//! > crucial in database design since it is an indispensable prerequisite
+//! > for testing if a schema is in third normal form."
+//!
+//! This module provides the design-theory layer on top of primality:
+//! BCNF and 3NF checks, parameterized by a primality oracle so both the
+//! exact (exponential) and the FPT (Figure 6) primality algorithms plug
+//! in — `mdtw-core` exposes the FPT-backed variant.
+
+use crate::schema::{AttrId, Schema};
+
+/// A violation of Boyce–Codd normal form: a non-trivial FD whose
+/// left-hand side is not a superkey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BcnfViolation {
+    /// Index of the offending FD in [`Schema::fds`].
+    pub fd_index: usize,
+}
+
+/// A violation of third normal form: a non-trivial FD whose left-hand
+/// side is not a superkey *and* whose right-hand side is not prime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThirdNfViolation {
+    /// Index of the offending FD.
+    pub fd_index: usize,
+    /// The non-prime right-hand side attribute.
+    pub rhs: AttrId,
+}
+
+/// True if the FD at `fd_index` is trivial (`rhs ∈ lhs`).
+fn is_trivial(schema: &Schema, fd_index: usize) -> bool {
+    let fd = &schema.fds()[fd_index];
+    fd.lhs.contains(&fd.rhs)
+}
+
+/// All BCNF violations: FDs `X → A` with `A ∉ X` and `X` not a superkey.
+pub fn bcnf_violations(schema: &Schema) -> Vec<BcnfViolation> {
+    (0..schema.fd_count())
+        .filter(|&i| !is_trivial(schema, i) && !schema.is_superkey(&schema.fds()[i].lhs))
+        .map(|fd_index| BcnfViolation { fd_index })
+        .collect()
+}
+
+/// True if the schema is in Boyce–Codd normal form.
+pub fn is_bcnf(schema: &Schema) -> bool {
+    bcnf_violations(schema).is_empty()
+}
+
+/// All 3NF violations, given a primality oracle (`prime(a)` must say
+/// whether attribute `a` is part of some key). Plugging in the Figure 6
+/// solver gives the FPT 3NF test the paper motivates; plugging in
+/// [`Schema::is_prime_exact`] gives the classical exponential one.
+pub fn third_nf_violations_with(
+    schema: &Schema,
+    mut prime: impl FnMut(AttrId) -> bool,
+) -> Vec<ThirdNfViolation> {
+    let mut out = Vec::new();
+    // Memoize oracle calls: several FDs may share an rhs.
+    let mut cache: Vec<Option<bool>> = vec![None; schema.attr_count()];
+    for i in 0..schema.fd_count() {
+        if is_trivial(schema, i) {
+            continue;
+        }
+        let fd = &schema.fds()[i];
+        if schema.is_superkey(&fd.lhs) {
+            continue;
+        }
+        let rhs = fd.rhs;
+        let is_prime = *cache[rhs.index()].get_or_insert_with(|| prime(rhs));
+        if !is_prime {
+            out.push(ThirdNfViolation { fd_index: i, rhs });
+        }
+    }
+    out
+}
+
+/// 3NF via exact (exponential) primality.
+pub fn is_3nf_exact(schema: &Schema) -> bool {
+    third_nf_violations_with(schema, |a| schema.is_prime_exact(a)).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::example_2_1;
+
+    #[test]
+    fn running_example_is_not_3nf() {
+        // f4: de → g has a non-superkey lhs and non-prime rhs g.
+        let schema = example_2_1();
+        assert!(!is_bcnf(&schema));
+        assert!(!is_3nf_exact(&schema));
+        let violations = third_nf_violations_with(&schema, |a| schema.is_prime_exact(a));
+        assert!(violations
+            .iter()
+            .any(|v| schema.attr_name(v.rhs) == "g" || schema.attr_name(v.rhs) == "e"));
+    }
+
+    #[test]
+    fn key_based_schema_is_bcnf() {
+        // Every lhs is a superkey: id → name, id → addr.
+        let mut s = Schema::new();
+        let id = s.add_attr("id");
+        let name = s.add_attr("name");
+        let addr = s.add_attr("addr");
+        s.add_fd(&[id], name);
+        s.add_fd(&[id], addr);
+        assert!(is_bcnf(&s));
+        assert!(is_3nf_exact(&s));
+    }
+
+    #[test]
+    fn third_nf_but_not_bcnf() {
+        // The classic: R = {street, city, zip}, street city → zip,
+        // zip → city. Keys: {street, city} and {street, zip}; every
+        // attribute is prime, so 3NF holds, but zip → city breaks BCNF.
+        let mut s = Schema::new();
+        let street = s.add_attr("street");
+        let city = s.add_attr("city");
+        let zip = s.add_attr("zip");
+        s.add_fd(&[street, city], zip);
+        s.add_fd(&[zip], city);
+        assert!(!is_bcnf(&s));
+        assert!(is_3nf_exact(&s));
+    }
+
+    #[test]
+    fn trivial_fds_never_violate() {
+        let mut s = Schema::new();
+        let a = s.add_attr("a");
+        let b = s.add_attr("b");
+        s.add_fd(&[a, b], a); // trivial
+        assert!(is_bcnf(&s));
+        assert!(is_3nf_exact(&s));
+    }
+
+    #[test]
+    fn fd_free_schema_is_in_all_normal_forms() {
+        let mut s = Schema::new();
+        s.add_attr("x");
+        s.add_attr("y");
+        assert!(is_bcnf(&s));
+        assert!(is_3nf_exact(&s));
+    }
+
+    #[test]
+    fn oracle_is_memoized() {
+        let schema = example_2_1();
+        let mut calls = 0usize;
+        let _ = third_nf_violations_with(&schema, |a| {
+            calls += 1;
+            schema.is_prime_exact(a)
+        });
+        // At most one oracle call per distinct rhs attribute.
+        assert!(calls <= schema.attr_count());
+    }
+}

@@ -1,0 +1,403 @@
+//! Relational schemas `(R, F)` and classical FD reasoning (paper §2.1).
+
+use mdtw_structure::fx::FxHashMap;
+use std::fmt;
+
+/// An attribute of a schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u32);
+
+impl AttrId {
+    /// Index into the schema's attribute table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A functional dependency `lhs → rhs` (right-hand sides are single
+/// attributes w.l.o.g., as in the paper).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fd {
+    /// Left-hand side attributes (sorted, deduplicated).
+    pub lhs: Vec<AttrId>,
+    /// The single right-hand side attribute.
+    pub rhs: AttrId,
+}
+
+/// A set of attributes, stored as a sorted vector (schemas here are small
+/// enough that this beats a bitset in clarity; hot paths in the solvers
+/// use bag-local bitmasks instead).
+pub type AttrSet = Vec<AttrId>;
+
+/// A relational schema `(R, F)`.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    attr_names: Vec<String>,
+    attr_by_name: FxHashMap<String, AttrId>,
+    fds: Vec<Fd>,
+}
+
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an attribute.
+    ///
+    /// # Panics
+    /// Panics on duplicate names.
+    pub fn add_attr(&mut self, name: impl Into<String>) -> AttrId {
+        let name = name.into();
+        assert!(
+            !self.attr_by_name.contains_key(&name),
+            "attribute `{name}` declared twice"
+        );
+        let id = AttrId(self.attr_names.len() as u32);
+        self.attr_by_name.insert(name.clone(), id);
+        self.attr_names.push(name);
+        id
+    }
+
+    /// Adds a functional dependency `lhs → rhs`; returns its index.
+    ///
+    /// # Panics
+    /// Panics if any attribute is unknown or `lhs` is empty.
+    pub fn add_fd(&mut self, lhs: &[AttrId], rhs: AttrId) -> usize {
+        assert!(!lhs.is_empty(), "FD with empty left-hand side");
+        for a in lhs.iter().chain(std::iter::once(&rhs)) {
+            assert!(a.index() < self.attr_names.len(), "unknown attribute {a:?}");
+        }
+        let mut lhs = lhs.to_vec();
+        lhs.sort_unstable();
+        lhs.dedup();
+        self.fds.push(Fd { lhs, rhs });
+        self.fds.len() - 1
+    }
+
+    /// Parses a compact FD notation against declared attribute names, e.g.
+    /// `"ab -> c"` (single-character attribute names only).
+    ///
+    /// # Panics
+    /// Panics on malformed input or unknown attributes; intended for
+    /// tests and examples.
+    pub fn add_fd_str(&mut self, spec: &str) -> usize {
+        let (l, r) = spec.split_once("->").expect("FD must contain `->`");
+        let lhs: Vec<AttrId> = l
+            .trim()
+            .chars()
+            .map(|c| self.attr(&c.to_string()).expect("unknown lhs attribute"))
+            .collect();
+        let rhs_chars: Vec<char> = r.trim().chars().collect();
+        assert_eq!(rhs_chars.len(), 1, "single-attribute rhs required");
+        let rhs = self
+            .attr(&rhs_chars[0].to_string())
+            .expect("unknown rhs attribute");
+        self.add_fd(&lhs, rhs)
+    }
+
+    /// Looks an attribute up by name.
+    pub fn attr(&self, name: &str) -> Option<AttrId> {
+        self.attr_by_name.get(name).copied()
+    }
+
+    /// The name of `attr`.
+    pub fn attr_name(&self, attr: AttrId) -> &str {
+        &self.attr_names[attr.index()]
+    }
+
+    /// Number of attributes `|R|`.
+    pub fn attr_count(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Number of FDs `|F|`.
+    pub fn fd_count(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// The FDs.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// Iterates over all attributes.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.attr_names.len() as u32).map(AttrId)
+    }
+
+    /// The attribute closure `X⁺` in time linear in the schema size
+    /// (Beeri–Bernstein counting algorithm).
+    pub fn closure(&self, seed: &[AttrId]) -> AttrSet {
+        let n = self.attr_names.len();
+        let mut in_closure = vec![false; n];
+        // uses[a]: FDs with a in their lhs. counter[f]: lhs attrs missing.
+        let mut uses: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut counter: Vec<u32> = Vec::with_capacity(self.fds.len());
+        for (fi, fd) in self.fds.iter().enumerate() {
+            counter.push(fd.lhs.len() as u32);
+            for a in &fd.lhs {
+                uses[a.index()].push(fi as u32);
+            }
+        }
+        let mut queue: Vec<AttrId> = Vec::new();
+        for &a in seed {
+            if !in_closure[a.index()] {
+                in_closure[a.index()] = true;
+                queue.push(a);
+            }
+        }
+        while let Some(a) = queue.pop() {
+            for &fi in &uses[a.index()] {
+                counter[fi as usize] -= 1;
+                if counter[fi as usize] == 0 {
+                    let rhs = self.fds[fi as usize].rhs;
+                    if !in_closure[rhs.index()] {
+                        in_closure[rhs.index()] = true;
+                        queue.push(rhs);
+                    }
+                }
+            }
+        }
+        (0..n as u32)
+            .map(AttrId)
+            .filter(|a| in_closure[a.index()])
+            .collect()
+    }
+
+    /// True if `set` determines all of `R`.
+    pub fn is_superkey(&self, set: &[AttrId]) -> bool {
+        self.closure(set).len() == self.attr_count()
+    }
+
+    /// True if `set` is a minimal superkey.
+    pub fn is_key(&self, set: &[AttrId]) -> bool {
+        if !self.is_superkey(set) {
+            return false;
+        }
+        (0..set.len()).all(|i| {
+            let mut smaller = set.to_vec();
+            smaller.remove(i);
+            !self.is_superkey(&smaller)
+        })
+    }
+
+    /// Shrinks a superkey to a key by greedily dropping attributes.
+    pub fn minimize_superkey(&self, set: &[AttrId]) -> AttrSet {
+        assert!(self.is_superkey(set), "input must be a superkey");
+        let mut key = set.to_vec();
+        let mut i = 0;
+        while i < key.len() {
+            let mut candidate = key.clone();
+            candidate.remove(i);
+            if self.is_superkey(&candidate) {
+                key = candidate;
+            } else {
+                i += 1;
+            }
+        }
+        key.sort_unstable();
+        key
+    }
+
+    /// Enumerates **all** keys with the Lucchesi–Osborn algorithm
+    /// (polynomial in the output size; the set of keys may itself be
+    /// exponential — this is the NP-hard baseline the paper's Section 5
+    /// algorithms avoid).
+    pub fn keys(&self) -> Vec<AttrSet> {
+        let all: AttrSet = self.attrs().collect();
+        if all.is_empty() {
+            return vec![Vec::new()];
+        }
+        let mut keys = vec![self.minimize_superkey(&all)];
+        let mut i = 0;
+        while i < keys.len() {
+            let key = keys[i].clone();
+            for fd in &self.fds {
+                // Candidate superkey: lhs(f) ∪ (K ∖ {rhs(f)}).
+                let mut candidate: AttrSet = fd.lhs.clone();
+                candidate.extend(key.iter().copied().filter(|&a| a != fd.rhs));
+                candidate.sort_unstable();
+                candidate.dedup();
+                let dominated = keys
+                    .iter()
+                    .any(|k| k.iter().all(|a| candidate.binary_search(a).is_ok()));
+                if !dominated {
+                    let new_key = self.minimize_superkey(&candidate);
+                    if !keys.contains(&new_key) {
+                        keys.push(new_key);
+                    }
+                }
+            }
+            i += 1;
+        }
+        keys.sort();
+        keys
+    }
+
+    /// True if `attr` is *prime* (member of at least one key), computed
+    /// through key enumeration. Exponential in the worst case.
+    pub fn is_prime_exact(&self, attr: AttrId) -> bool {
+        self.keys().iter().any(|k| k.contains(&attr))
+    }
+
+    /// All prime attributes, through key enumeration.
+    pub fn prime_attributes_exact(&self) -> AttrSet {
+        let mut out: AttrSet = Vec::new();
+        for k in self.keys() {
+            out.extend(k);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Brute-force primality via the paper's Example 2.6 characterization:
+    /// `a` is prime iff there is a closed set `Y` with `a ∉ Y` and
+    /// `(Y ∪ {a})⁺ = R`. Enumerates all `2^(|R|-1)` candidate sets; only
+    /// for cross-checking on tiny schemas.
+    ///
+    /// # Panics
+    /// Panics if `|R| > 22`.
+    pub fn is_prime_bruteforce(&self, attr: AttrId) -> bool {
+        let n = self.attr_count();
+        assert!(n <= 22, "brute force is exponential; |R| ≤ 22 required");
+        let others: Vec<AttrId> = self.attrs().filter(|&a| a != attr).collect();
+        let m = others.len();
+        for mask in 0u64..(1u64 << m) {
+            let y: AttrSet = (0..m).filter(|i| mask >> i & 1 == 1).map(|i| others[i]).collect();
+            // Y must be closed and a ∉ Y (guaranteed) and (Y ∪ {a})⁺ = R.
+            if self.closure(&y).len() != y.len() {
+                continue;
+            }
+            let mut ya = y.clone();
+            ya.push(attr);
+            if self.is_superkey(&ya) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Renders an attribute set with attribute names: single-character
+    /// names are concatenated in the paper's compact style (`abd`),
+    /// longer names are comma-separated.
+    pub fn render_set(&self, set: &[AttrId]) -> String {
+        let names: Vec<&str> = set.iter().map(|&a| self.attr_name(a)).collect();
+        if names.iter().all(|n| n.chars().count() == 1) {
+            names.concat()
+        } else {
+            names.join(",")
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "schema: {} attributes, {} FDs",
+            self.attr_count(),
+            self.fd_count()
+        )?;
+        for fd in &self.fds {
+            writeln!(f, "  {} -> {}", self.render_set(&fd.lhs), self.attr_name(fd.rhs))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::example_2_1;
+
+    #[test]
+    fn closure_of_running_example() {
+        let s = example_2_1();
+        let a = s.attr("a").unwrap();
+        let b = s.attr("b").unwrap();
+        let c = s.attr("c").unwrap();
+        let d = s.attr("d").unwrap();
+        // ab⁺ = abc (f1: ab→c, f2: c→b).
+        let cl = s.closure(&[a, b]);
+        assert_eq!(s.render_set(&cl), "abc");
+        // abd⁺ = R.
+        assert!(s.is_superkey(&[a, b, d]));
+        assert!(s.is_key(&[a, b, d]));
+        assert!(s.is_key(&[a, c, d]));
+        assert!(!s.is_key(&[a, b, c, d]));
+    }
+
+    #[test]
+    fn keys_of_running_example() {
+        // Example 2.1: exactly two keys, abd and acd.
+        let s = example_2_1();
+        let keys = s.keys();
+        let rendered: Vec<String> = keys.iter().map(|k| s.render_set(k)).collect();
+        assert_eq!(rendered, vec!["abd", "acd"]);
+    }
+
+    #[test]
+    fn primes_of_running_example() {
+        // a, b, c, d prime; e, g not.
+        let s = example_2_1();
+        let primes = s.prime_attributes_exact();
+        assert_eq!(s.render_set(&primes), "abcd");
+        for (name, expect) in [("a", true), ("b", true), ("e", false), ("g", false)] {
+            let attr = s.attr(name).unwrap();
+            assert_eq!(s.is_prime_exact(attr), expect, "{name}");
+            assert_eq!(s.is_prime_bruteforce(attr), expect, "{name} (bf)");
+        }
+    }
+
+    #[test]
+    fn closure_is_monotone_and_idempotent() {
+        let s = example_2_1();
+        let a = s.attr("a").unwrap();
+        let c = s.attr("c").unwrap();
+        let cl1 = s.closure(&[a]);
+        let cl2 = s.closure(&[a, c]);
+        assert!(cl1.iter().all(|x| cl2.contains(x)));
+        let cl3 = s.closure(&cl2);
+        assert_eq!(cl2, cl3);
+    }
+
+    #[test]
+    fn empty_and_trivial_schemas() {
+        let s = Schema::new();
+        assert_eq!(s.keys(), vec![Vec::new()]);
+        let mut s2 = Schema::new();
+        let x = s2.add_attr("x");
+        assert_eq!(s2.keys(), vec![vec![x]]);
+        assert!(s2.is_prime_exact(x));
+    }
+
+    #[test]
+    fn minimize_superkey_produces_key() {
+        let s = example_2_1();
+        let all: Vec<AttrId> = s.attrs().collect();
+        let key = s.minimize_superkey(&all);
+        assert!(s.is_key(&key));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty left-hand side")]
+    fn empty_lhs_rejected() {
+        let mut s = Schema::new();
+        let x = s.add_attr("x");
+        s.add_fd(&[], x);
+    }
+
+    #[test]
+    fn fd_str_parser() {
+        let mut s = Schema::new();
+        for n in ["x", "y", "z"] {
+            s.add_attr(n);
+        }
+        s.add_fd_str("xy -> z");
+        assert_eq!(s.fd_count(), 1);
+        assert_eq!(s.fds()[0].lhs.len(), 2);
+    }
+}

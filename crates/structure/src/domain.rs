@@ -1,0 +1,162 @@
+//! Interned domains: the universe `A = dom(𝒜)` of a finite structure.
+
+use crate::fx::FxHashMap;
+use std::fmt;
+
+/// Identifier of a domain element.
+///
+/// Elements are interned integers; the display name is kept in the
+/// [`Domain`] for rendering and parsing only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElemId(pub u32);
+
+impl ElemId {
+    /// The index of this element inside its domain.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ElemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A finite domain with named, interned elements.
+#[derive(Debug, Clone, Default)]
+pub struct Domain {
+    names: Vec<String>,
+    by_name: FxHashMap<String, ElemId>,
+}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a domain with elements named by the given iterator.
+    ///
+    /// # Panics
+    /// Panics on duplicate names.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut d = Self::new();
+        for n in names {
+            d.insert(n);
+        }
+        d
+    }
+
+    /// Creates an anonymous domain of `n` elements named `x0..x{n-1}`.
+    pub fn anonymous(n: usize) -> Self {
+        Self::from_names((0..n).map(|i| format!("x{i}")))
+    }
+
+    /// Interns a new element.
+    ///
+    /// # Panics
+    /// Panics if the name is already present.
+    pub fn insert(&mut self, name: impl Into<String>) -> ElemId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "domain element `{name}` inserted twice"
+        );
+        let id = ElemId(self.names.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        id
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    pub fn intern(&mut self, name: impl Into<String>) -> ElemId {
+        let name = name.into();
+        if let Some(&id) = self.by_name.get(&name) {
+            return id;
+        }
+        self.insert(name)
+    }
+
+    /// Looks an element up by name.
+    pub fn lookup(&self, name: &str) -> Option<ElemId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The display name of an element.
+    #[inline]
+    pub fn name(&self, elem: ElemId) -> &str {
+        &self.names[elem.index()]
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all elements in insertion order.
+    pub fn elems(&self) -> impl Iterator<Item = ElemId> + '_ {
+        (0..self.names.len() as u32).map(ElemId)
+    }
+
+    /// True if `elem` belongs to this domain.
+    #[inline]
+    pub fn contains(&self, elem: ElemId) -> bool {
+        elem.index() < self.names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut d = Domain::new();
+        let a = d.insert("a");
+        let b = d.insert("b");
+        assert_eq!(d.lookup("a"), Some(a));
+        assert_eq!(d.lookup("b"), Some(b));
+        assert_eq!(d.name(a), "a");
+        assert_eq!(d.len(), 2);
+        assert!(d.contains(a));
+        assert!(!d.contains(ElemId(7)));
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Domain::new();
+        let a1 = d.intern("a");
+        let a2 = d.intern("a");
+        assert_eq!(a1, a2);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inserted twice")]
+    fn duplicate_insert_panics() {
+        let mut d = Domain::new();
+        d.insert("a");
+        d.insert("a");
+    }
+
+    #[test]
+    fn anonymous_domain() {
+        let d = Domain::anonymous(3);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.name(ElemId(2)), "x2");
+        assert_eq!(d.elems().count(), 3);
+    }
+}

@@ -1,0 +1,30 @@
+//! # mdtw-structure
+//!
+//! Finite relational structures (τ-structures) for the *Monadic Datalog over
+//! Finite Structures with Bounded Treewidth* reproduction (Gottlob, Pichler
+//! & Wei, PODS 2007).
+//!
+//! A τ-structure 𝒜 (paper §2.2) is a finite domain `A` together with one
+//! relation `R^𝒜 ⊆ A^α` per predicate symbol `R ∈ τ`. This crate provides:
+//!
+//! * [`Signature`] — the predicate vocabulary τ,
+//! * [`Domain`] / [`ElemId`] — interned universes,
+//! * [`Structure`] — the structure itself, with EDB-style atom iteration,
+//! * [`InducedStructure`] — induced substructures (Definition 3.2),
+//! * [`fx`] — a small fast hasher used across the workspace.
+//!
+//! Everything downstream (tree decompositions, datalog, MSO, the solvers of
+//! paper §5) is built on these types.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod fx;
+pub mod signature;
+#[allow(clippy::module_inception)]
+mod structure;
+
+pub use domain::{Domain, ElemId};
+pub use signature::{PredId, Signature};
+pub use structure::{GroundAtom, InducedStructure, Relation, Structure};

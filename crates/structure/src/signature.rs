@@ -1,0 +1,185 @@
+//! Relational signatures: named predicate symbols with fixed arities.
+
+use crate::fx::FxHashMap;
+use std::fmt;
+
+/// Identifier of a predicate symbol within a [`Signature`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u32);
+
+impl PredId {
+    /// The index of this predicate inside its signature.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A relational signature τ = {R₁, …, R_K}: an ordered set of predicate
+/// symbols, each with a name and an arity.
+///
+/// Signatures are append-only; predicates are addressed by [`PredId`].
+#[derive(Debug, Clone, Default)]
+pub struct Signature {
+    names: Vec<String>,
+    arities: Vec<usize>,
+    by_name: FxHashMap<String, PredId>,
+}
+
+impl Signature {
+    /// Creates an empty signature.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a signature from `(name, arity)` pairs.
+    ///
+    /// # Panics
+    /// Panics if a name is declared twice.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: Into<String>,
+    {
+        let mut sig = Self::new();
+        for (name, arity) in pairs {
+            sig.declare(name, arity);
+        }
+        sig
+    }
+
+    /// Declares a new predicate symbol, returning its id.
+    ///
+    /// # Panics
+    /// Panics if `name` is already declared (signatures are sets).
+    pub fn declare(&mut self, name: impl Into<String>, arity: usize) -> PredId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "predicate `{name}` declared twice"
+        );
+        let id = PredId(self.names.len() as u32);
+        self.by_name.insert(name.clone(), id);
+        self.names.push(name);
+        self.arities.push(arity);
+        id
+    }
+
+    /// Looks a predicate up by name.
+    pub fn lookup(&self, name: &str) -> Option<PredId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The arity of `pred`.
+    #[inline]
+    pub fn arity(&self, pred: PredId) -> usize {
+        self.arities[pred.index()]
+    }
+
+    /// The name of `pred`.
+    #[inline]
+    pub fn name(&self, pred: PredId) -> &str {
+        &self.names[pred.index()]
+    }
+
+    /// Number of predicate symbols.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no predicates are declared.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all predicate ids in declaration order.
+    pub fn preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        (0..self.names.len() as u32).map(PredId)
+    }
+
+    /// The maximum arity over all predicates (0 for an empty signature).
+    pub fn max_arity(&self) -> usize {
+        self.arities.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Returns a new signature extending `self` with the τ_td predicates of
+    /// the paper (Section 4): `root/1`, `leaf/1`, `child1/2`, `child2/2` and
+    /// `bag/(w+2)` for decomposition width `w`.
+    ///
+    /// Two auxiliary predicates are added beyond the paper's five:
+    /// `branch/1` (the node has two children) and `same/2` (the identity
+    /// relation on the domain). Both are derivable in linear time during
+    /// encoding; the generic rules of Theorem 4.5 need them as guards to
+    /// be *executable* datalog — the proof's rule schemas implicitly
+    /// assume the node kind (permutation / replacement / branch) is known,
+    /// which plain `child1`/`bag` atoms cannot discriminate.
+    pub fn extend_td(&self, width: usize) -> Signature {
+        let mut sig = self.clone();
+        sig.declare("root", 1);
+        sig.declare("leaf", 1);
+        sig.declare("child1", 2);
+        sig.declare("child2", 2);
+        sig.declare("bag", width + 2);
+        sig.declare("branch", 1);
+        sig.declare("same", 2);
+        sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_lookup() {
+        let mut sig = Signature::new();
+        let e = sig.declare("e", 2);
+        let v = sig.declare("v", 1);
+        assert_eq!(sig.lookup("e"), Some(e));
+        assert_eq!(sig.lookup("v"), Some(v));
+        assert_eq!(sig.lookup("missing"), None);
+        assert_eq!(sig.arity(e), 2);
+        assert_eq!(sig.name(v), "v");
+        assert_eq!(sig.len(), 2);
+        assert_eq!(sig.max_arity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared twice")]
+    fn duplicate_declaration_panics() {
+        let mut sig = Signature::new();
+        sig.declare("e", 2);
+        sig.declare("e", 2);
+    }
+
+    #[test]
+    fn from_pairs_preserves_order() {
+        let sig = Signature::from_pairs([("fd", 1), ("att", 1), ("lh", 2), ("rh", 2)]);
+        assert_eq!(sig.name(PredId(0)), "fd");
+        assert_eq!(sig.name(PredId(3)), "rh");
+        assert_eq!(sig.preds().count(), 4);
+    }
+
+    #[test]
+    fn extend_td_adds_td_predicates() {
+        let sig = Signature::from_pairs([("e", 2)]);
+        let td = sig.extend_td(3);
+        assert_eq!(td.len(), 8);
+        assert_eq!(td.arity(td.lookup("bag").unwrap()), 5);
+        assert_eq!(td.arity(td.lookup("child1").unwrap()), 2);
+        assert_eq!(td.arity(td.lookup("branch").unwrap()), 1);
+        assert_eq!(td.arity(td.lookup("same").unwrap()), 2);
+        // Base predicates keep their ids.
+        assert_eq!(td.lookup("e"), sig.lookup("e"));
+        // The original signature is untouched.
+        assert_eq!(sig.len(), 1);
+    }
+}

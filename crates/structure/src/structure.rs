@@ -1,0 +1,423 @@
+//! Finite τ-structures: a domain plus one relation per predicate symbol.
+
+use crate::domain::{Domain, ElemId};
+use crate::fx::FxHashMap;
+use crate::signature::{PredId, Signature};
+use std::fmt;
+use std::sync::Arc;
+
+/// A ground atom `R(a₁, …, a_α)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroundAtom {
+    /// The predicate symbol.
+    pub pred: PredId,
+    /// The argument tuple.
+    pub args: Box<[ElemId]>,
+}
+
+impl GroundAtom {
+    /// Creates a ground atom.
+    pub fn new(pred: PredId, args: impl Into<Box<[ElemId]>>) -> Self {
+        Self {
+            pred,
+            args: args.into(),
+        }
+    }
+}
+
+/// One relation `R^𝒜 ⊆ A^α`: a deduplicated set of tuples with stable
+/// insertion order (order matters for reproducible iteration).
+#[derive(Debug, Clone, Default)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Box<[ElemId]>>,
+    index: FxHashMap<Box<[ElemId]>, u32>,
+}
+
+impl Relation {
+    fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            tuples: Vec::new(),
+            index: FxHashMap::default(),
+        }
+    }
+
+    /// The arity of the relation.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the relation holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from the relation arity.
+    pub fn insert(&mut self, tuple: &[ElemId]) -> bool {
+        assert_eq!(
+            tuple.len(),
+            self.arity,
+            "tuple arity mismatch: got {}, relation has arity {}",
+            tuple.len(),
+            self.arity
+        );
+        if self.index.contains_key(tuple) {
+            return false;
+        }
+        let boxed: Box<[ElemId]> = tuple.into();
+        self.index.insert(boxed.clone(), self.tuples.len() as u32);
+        self.tuples.push(boxed);
+        true
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, tuple: &[ElemId]) -> bool {
+        self.index.contains_key(tuple)
+    }
+
+    /// Iterates over tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[ElemId]> {
+        self.tuples.iter().map(|t| &t[..])
+    }
+}
+
+/// A finite structure 𝒜 over a signature τ.
+///
+/// The signature is shared (`Arc`) because derived structures — induced
+/// substructures, decomposition encodings — reuse it unchanged.
+#[derive(Debug, Clone)]
+pub struct Structure {
+    sig: Arc<Signature>,
+    domain: Domain,
+    relations: Vec<Relation>,
+}
+
+impl Structure {
+    /// Creates a structure with the given signature and domain and all
+    /// relations empty.
+    pub fn new(sig: Arc<Signature>, domain: Domain) -> Self {
+        let relations = sig.preds().map(|p| Relation::new(sig.arity(p))).collect();
+        Self {
+            sig,
+            domain,
+            relations,
+        }
+    }
+
+    /// The signature τ.
+    #[inline]
+    pub fn signature(&self) -> &Arc<Signature> {
+        &self.sig
+    }
+
+    /// The domain A.
+    #[inline]
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Mutable access to the domain (used by builders that extend the
+    /// universe, e.g. the τ_td encoding which adds tree nodes).
+    #[inline]
+    pub fn domain_mut(&mut self) -> &mut Domain {
+        &mut self.domain
+    }
+
+    /// The relation interpreting `pred`.
+    #[inline]
+    pub fn relation(&self, pred: PredId) -> &Relation {
+        &self.relations[pred.index()]
+    }
+
+    /// Inserts a ground tuple into `pred`'s relation; returns `true` if new.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or if any argument is outside the domain.
+    pub fn insert(&mut self, pred: PredId, tuple: &[ElemId]) -> bool {
+        for &e in tuple {
+            assert!(
+                self.domain.contains(e),
+                "tuple argument {e} outside the domain"
+            );
+        }
+        self.relations[pred.index()].insert(tuple)
+    }
+
+    /// Membership test for a ground atom.
+    #[inline]
+    pub fn holds(&self, pred: PredId, tuple: &[ElemId]) -> bool {
+        self.relations[pred.index()].contains(tuple)
+    }
+
+    /// Total number of ground atoms (the size of the EDB `E(𝒜)`).
+    pub fn atom_count(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// A rough size measure `|𝒜|`: domain size plus total tuple cells.
+    /// This is the `|A|` of the paper's complexity bounds.
+    pub fn size(&self) -> usize {
+        self.domain.len()
+            + self
+                .relations
+                .iter()
+                .map(|r| r.len() * r.arity().max(1))
+                .sum::<usize>()
+    }
+
+    /// Iterates over all ground atoms of the EDB.
+    pub fn atoms(&self) -> impl Iterator<Item = GroundAtom> + '_ {
+        self.sig.preds().flat_map(move |p| {
+            self.relation(p)
+                .iter()
+                .map(move |t| GroundAtom::new(p, t.to_vec()))
+        })
+    }
+
+    /// Renders a ground atom using domain and signature names.
+    pub fn render_atom(&self, atom: &GroundAtom) -> String {
+        let args: Vec<&str> = atom.args.iter().map(|&e| self.domain.name(e)).collect();
+        format!("{}({})", self.sig.name(atom.pred), args.join(","))
+    }
+
+    /// The substructure of `self` induced by the element set `keep`
+    /// (Definition 3.2): the domain is restricted to `keep` and a tuple
+    /// survives iff all its arguments lie in `keep`.
+    ///
+    /// Element ids are preserved — the induced structure shares the parent
+    /// domain's id space so distinguished tuples remain valid. `keep` is a
+    /// membership predicate over the parent domain.
+    pub fn induced(&self, keep: &dyn Fn(ElemId) -> bool) -> InducedStructure<'_> {
+        let mut live = vec![false; self.domain.len()];
+        for e in self.domain.elems() {
+            live[e.index()] = keep(e);
+        }
+        InducedStructure::new(self, live)
+    }
+
+    /// Equality of two argument tuples under Definition 3.4: `(a₀,…,a_w)`
+    /// and `(b₀,…,b_w)` are *equivalent* iff every predicate holds on
+    /// corresponding index patterns simultaneously in `self` and `other`.
+    pub fn bags_equivalent(&self, a: &[ElemId], other: &Structure, b: &[ElemId]) -> bool {
+        assert_eq!(a.len(), b.len(), "bags of different length");
+        debug_assert_eq!(self.sig.len(), other.sig.len());
+        let w1 = a.len();
+        let mut pattern = Vec::new();
+        for p in self.sig.preds() {
+            let arity = self.sig.arity(p);
+            if arity > 0 && w1 == 0 {
+                continue; // no index patterns over an empty tuple
+            }
+            // Enumerate all index patterns {0..w}^arity.
+            pattern.clear();
+            pattern.resize(arity, 0usize);
+            loop {
+                let ta: Vec<ElemId> = pattern.iter().map(|&i| a[i]).collect();
+                let tb: Vec<ElemId> = pattern.iter().map(|&i| b[i]).collect();
+                if self.holds(p, &ta) != other.holds(p, &tb) {
+                    return false;
+                }
+                // Next pattern (odometer).
+                let mut k = 0;
+                loop {
+                    if k == arity {
+                        break;
+                    }
+                    pattern[k] += 1;
+                    if pattern[k] < w1 {
+                        break;
+                    }
+                    pattern[k] = 0;
+                    k += 1;
+                }
+                if k == arity {
+                    break;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Structure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "structure with {} elements:", self.domain.len())?;
+        for atom in self.atoms() {
+            writeln!(f, "  {}", self.render_atom(&atom))?;
+        }
+        Ok(())
+    }
+}
+
+/// A view of a structure restricted to a live subset of its domain
+/// (the induced substructure of Definition 3.2, without copying tuples).
+#[derive(Debug)]
+pub struct InducedStructure<'a> {
+    parent: &'a Structure,
+    live: Vec<bool>,
+}
+
+impl<'a> InducedStructure<'a> {
+    fn new(parent: &'a Structure, live: Vec<bool>) -> Self {
+        Self { parent, live }
+    }
+
+    /// True if `e` survives the restriction.
+    #[inline]
+    pub fn contains_elem(&self, e: ElemId) -> bool {
+        self.live.get(e.index()).copied().unwrap_or(false)
+    }
+
+    /// The number of surviving elements.
+    pub fn len(&self) -> usize {
+        self.live.iter().filter(|&&b| b).count()
+    }
+
+    /// True if no elements survive.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over surviving elements.
+    pub fn elems(&self) -> impl Iterator<Item = ElemId> + '_ {
+        self.parent
+            .domain()
+            .elems()
+            .filter(move |&e| self.live[e.index()])
+    }
+
+    /// Atom membership in the induced structure: all arguments must be live
+    /// and the atom must hold in the parent.
+    pub fn holds(&self, pred: PredId, tuple: &[ElemId]) -> bool {
+        tuple.iter().all(|&e| self.contains_elem(e)) && self.parent.holds(pred, tuple)
+    }
+
+    /// Materializes the view as an owned [`Structure`] over a fresh compact
+    /// domain. Returns the structure and the map from parent ids to new ids.
+    pub fn materialize(&self) -> (Structure, FxHashMap<ElemId, ElemId>) {
+        let mut dom = Domain::new();
+        let mut map: FxHashMap<ElemId, ElemId> = FxHashMap::default();
+        for e in self.elems() {
+            let name = self.parent.domain().name(e).to_owned();
+            map.insert(e, dom.insert(name));
+        }
+        let mut s = Structure::new(Arc::clone(self.parent.signature()), dom);
+        for p in self.parent.signature().preds() {
+            for t in self.parent.relation(p).iter() {
+                if t.iter().all(|&e| self.contains_elem(e)) {
+                    let mapped: Vec<ElemId> = t.iter().map(|e| map[e]).collect();
+                    s.insert(p, &mapped);
+                }
+            }
+        }
+        (s, map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_sig() -> Arc<Signature> {
+        Arc::new(Signature::from_pairs([("e", 2)]))
+    }
+
+    fn triangle() -> (Structure, Vec<ElemId>) {
+        let sig = graph_sig();
+        let mut dom = Domain::new();
+        let v: Vec<ElemId> = ["a", "b", "c"].iter().map(|n| dom.insert(*n)).collect();
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        for (x, y) in [(0, 1), (1, 2), (2, 0)] {
+            s.insert(e, &[v[x], v[y]]);
+            s.insert(e, &[v[y], v[x]]);
+        }
+        (s, v)
+    }
+
+    #[test]
+    fn insert_and_holds() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        assert!(s.holds(e, &[v[0], v[1]]));
+        assert!(s.holds(e, &[v[1], v[0]]));
+        assert!(!s.holds(e, &[v[0], v[0]]));
+        assert_eq!(s.atom_count(), 6);
+    }
+
+    #[test]
+    fn duplicate_insert_is_noop() {
+        let (mut s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        assert!(!s.insert(e, &[v[0], v[1]]));
+        assert_eq!(s.atom_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let (mut s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        s.insert(e, &[v[0]]);
+    }
+
+    #[test]
+    fn induced_substructure_drops_crossing_tuples() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let keep = |x: ElemId| x == v[0] || x == v[1];
+        let ind = s.induced(&keep);
+        assert_eq!(ind.len(), 2);
+        assert!(ind.holds(e, &[v[0], v[1]]));
+        assert!(!ind.holds(e, &[v[1], v[2]]));
+        let (owned, map) = ind.materialize();
+        assert_eq!(owned.domain().len(), 2);
+        assert_eq!(owned.atom_count(), 2);
+        assert!(owned.holds(e, &[map[&v[0]], map[&v[1]]]));
+    }
+
+    #[test]
+    fn atoms_iterates_everything() {
+        let (s, _) = triangle();
+        assert_eq!(s.atoms().count(), 6);
+        let rendered: Vec<String> = s.atoms().map(|a| s.render_atom(&a)).collect();
+        assert!(rendered.contains(&"e(a,b)".to_string()));
+    }
+
+    #[test]
+    fn bag_equivalence_definition_3_4() {
+        // Two structures; bags equivalent iff same atoms on index patterns.
+        let (s1, v1) = triangle();
+        let (s2, v2) = triangle();
+        assert!(s1.bags_equivalent(&[v1[0], v1[1]], &s2, &[v2[1], v2[2]]));
+        // Remove one direction of an edge in a copy: no longer equivalent.
+        let sig = graph_sig();
+        let mut dom = Domain::new();
+        let a = dom.insert("a");
+        let b = dom.insert("b");
+        let mut s3 = Structure::new(sig, dom);
+        let e = s3.signature().lookup("e").unwrap();
+        s3.insert(e, &[a, b]);
+        assert!(!s1.bags_equivalent(&[v1[0], v1[1]], &s3, &[a, b]));
+        assert!(!s3.bags_equivalent(&[a, b], &s3, &[b, a]));
+    }
+
+    #[test]
+    fn size_counts_domain_and_cells() {
+        let (s, _) = triangle();
+        assert_eq!(s.size(), 3 + 6 * 2);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the basic structure invariants.
+
+use mdtw_structure::{Domain, ElemId, Signature, Structure};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A strategy producing a random binary-relation structure on `n` elements.
+fn arb_structure(max_n: usize) -> impl Strategy<Value = (Structure, Vec<(u32, u32)>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let pairs = proptest::collection::vec((0..n as u32, 0..n as u32), 0..(n * n).min(64));
+        pairs.prop_map(move |edges| {
+            let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+            let dom = Domain::anonymous(n);
+            let mut s = Structure::new(sig, dom);
+            let e = s.signature().lookup("e").unwrap();
+            for &(x, y) in &edges {
+                s.insert(e, &[ElemId(x), ElemId(y)]);
+            }
+            (s, edges)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn inserted_atoms_hold((s, edges) in arb_structure(12)) {
+        let e = s.signature().lookup("e").unwrap();
+        for (x, y) in edges {
+            prop_assert!(s.holds(e, &[ElemId(x), ElemId(y)]));
+        }
+    }
+
+    #[test]
+    fn atom_count_matches_dedup((s, edges) in arb_structure(12)) {
+        let mut uniq: Vec<(u32, u32)> = edges;
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(s.atom_count(), uniq.len());
+    }
+
+    #[test]
+    fn induced_substructure_is_monotone((s, _) in arb_structure(12)) {
+        // Keeping everything reproduces the structure; keeping half keeps
+        // only atoms fully inside the half.
+        let e = s.signature().lookup("e").unwrap();
+        let all = s.induced(&|_| true);
+        prop_assert_eq!(all.len(), s.domain().len());
+        let half = s.induced(&|x: ElemId| x.0 % 2 == 0);
+        for t in s.relation(e).iter() {
+            let inside = t.iter().all(|a| a.0 % 2 == 0);
+            prop_assert_eq!(half.holds(e, t), inside);
+        }
+    }
+
+    #[test]
+    fn materialized_induced_preserves_atoms((s, _) in arb_structure(10)) {
+        let e = s.signature().lookup("e").unwrap();
+        let view = s.induced(&|x: ElemId| x.0 % 2 == 0);
+        let (owned, map) = view.materialize();
+        let mut expected = 0usize;
+        for t in s.relation(e).iter() {
+            if t.iter().all(|a| a.0 % 2 == 0) {
+                expected += 1;
+                let mapped: Vec<ElemId> = t.iter().map(|a| map[a]).collect();
+                prop_assert!(owned.holds(e, &mapped));
+            }
+        }
+        prop_assert_eq!(owned.atom_count(), expected);
+    }
+
+    #[test]
+    fn bag_equivalence_is_reflexive((s, _) in arb_structure(8)) {
+        let n = s.domain().len() as u32;
+        let bag: Vec<ElemId> = (0..n.min(3)).map(ElemId).collect();
+        prop_assert!(s.bags_equivalent(&bag, &s, &bag));
+    }
+}
