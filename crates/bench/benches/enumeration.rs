@@ -20,10 +20,8 @@ fn bench_enumeration(c: &mut Criterion) {
         let inst = block_tree_instance(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
             b.iter(|| {
-                let ctx = PrimalityContext::from_parts(
-                    encode_schema(&inst.schema),
-                    inst.td.clone(),
-                );
+                let ctx =
+                    PrimalityContext::from_parts(encode_schema(&inst.schema), inst.td.clone());
                 black_box(enumerate_primes(&ctx).0.len())
             })
         });

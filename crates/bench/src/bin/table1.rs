@@ -18,10 +18,7 @@ fn main() {
     eprintln!("exponential MSO baseline on the first {mona_rows} rows…");
     let rows = mdtw_bench::table1(mona_rows);
     println!("{}", mdtw_bench::render_table1(&rows));
-    let linear_check: Vec<f64> = rows
-        .iter()
-        .map(|r| r.md_micros / r.n_tn as f64)
-        .collect();
+    let linear_check: Vec<f64> = rows.iter().map(|r| r.md_micros / r.n_tn as f64).collect();
     println!(
         "MD microseconds per tree node (flat ⇒ linear data complexity): {:?}",
         linear_check

@@ -126,10 +126,7 @@ impl BagCtx {
 #[derive(Debug, Clone)]
 enum ElemInfo {
     Attr,
-    Fd {
-        rhs: ElemId,
-        lhs: Vec<ElemId>,
-    },
+    Fd { rhs: ElemId, lhs: Vec<ElemId> },
 }
 
 /// Everything needed to run the Figure 6 / §5.3 computations: the encoded
@@ -194,7 +191,11 @@ impl PrimalityContext {
     /// Like [`from_parts`](Self::from_parts) but reroots the decomposition
     /// at a bag containing `target` first (the decision problem of §5.2
     /// requires the queried attribute in the root bag).
-    pub fn for_decision(encoding: SchemaEncoding, mut td: TreeDecomposition, target: AttrId) -> Self {
+    pub fn for_decision(
+        encoding: SchemaEncoding,
+        mut td: TreeDecomposition,
+        target: AttrId,
+    ) -> Self {
         let info = Self::classify(&encoding);
         let elem = encoding.elem_of_attr(target);
         let host = td
@@ -297,10 +298,9 @@ impl PrimalityContext {
         if y >> rhs_pos & 1 == 1 {
             return false;
         }
-        self.fd_lhs(f).iter().any(|&b| {
-            bag.attr_pos(b)
-                .is_some_and(|p| y >> p & 1 == 0)
-        })
+        self.fd_lhs(f)
+            .iter()
+            .any(|&b| bag.attr_pos(b).is_some_and(|p| y >> p & 1 == 0))
     }
 
     /// The full `outside(FY, Y, At, Fd)` mask over the bag's FDs.
@@ -342,9 +342,7 @@ impl PrimalityContext {
         while bits != 0 {
             let j = bits.trailing_zeros() as usize;
             bits &= bits - 1;
-            let pos = bag
-                .attr_pos(self.fd_rhs(bag.fds[j]))
-                .expect("rhs in bag");
+            let pos = bag.attr_pos(self.fd_rhs(bag.fds[j])).expect("rhs in bag");
             out |= 1 << pos;
         }
         out
@@ -419,7 +417,11 @@ impl PrimalityContext {
         let mut out = FxHashSet::default();
         for s in src {
             let co_len = na - 1 - (s.y.count_ones() as usize);
-            let lifted_co = co_map(s.co, co_len, |p| if (p as usize) < bpos { p } else { p + 1 });
+            let lifted_co = co_map(
+                s.co,
+                co_len,
+                |p| if (p as usize) < bpos { p } else { p + 1 },
+            );
             let y = mask_lift(s.y, bpos);
             let dc = mask_lift(s.dc, bpos);
             // Rule: b joins Y.
@@ -540,7 +542,11 @@ impl PrimalityContext {
                     dc: mask_drop(s.dc, bpos),
                     fy: s.fy,
                     fc: s.fc,
-                    co: co_map(s.co, co_len, |p| if (p as usize) < bpos { p } else { p - 1 }),
+                    co: co_map(
+                        s.co,
+                        co_len,
+                        |p| if (p as usize) < bpos { p } else { p - 1 },
+                    ),
                 });
             } else {
                 // b was in C°: its derivation must have been witnessed.
@@ -554,7 +560,11 @@ impl PrimalityContext {
                     dc: mask_drop(s.dc, bpos),
                     fy: s.fy,
                     fc: s.fc,
-                    co: co_map(co, co_len - 1, |p| if (p as usize) < bpos { p } else { p - 1 }),
+                    co: co_map(
+                        co,
+                        co_len - 1,
+                        |p| if (p as usize) < bpos { p } else { p - 1 },
+                    ),
                 });
             }
         }
@@ -724,11 +734,7 @@ impl PrimalityContext {
                     } else {
                         siblings[0]
                     };
-                    self.branch_combine(
-                        &down[parent.index()],
-                        &up[sibling.index()],
-                        node_bag,
-                    )
+                    self.branch_combine(&down[parent.index()], &up[sibling.index()], node_bag)
                 }
                 NiceKind::Leaf => unreachable!("leaf cannot be a parent"),
             };
@@ -801,11 +807,7 @@ pub fn is_prime_fpt(schema: &Schema, attr: AttrId) -> bool {
 }
 
 /// Decision variant reusing a caller-supplied decomposition.
-pub fn is_prime_fpt_with_td(
-    encoding: SchemaEncoding,
-    td: TreeDecomposition,
-    attr: AttrId,
-) -> bool {
+pub fn is_prime_fpt_with_td(encoding: SchemaEncoding, td: TreeDecomposition, attr: AttrId) -> bool {
     let ctx = PrimalityContext::for_decision(encoding, td, attr);
     let up = ctx.run_up();
     let root = ctx.nice.root();

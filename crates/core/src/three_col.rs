@@ -189,12 +189,12 @@ impl<'a> ThreeColSolver<'a> {
             NiceKind::Branch => {
                 let children = &self.td.node(node).children;
                 let (c1, c2) = (children[0], children[1]);
-                let (small, large) = if self.tables[c1.index()].len() <= self.tables[c2.index()].len()
-                {
-                    (c1, c2)
-                } else {
-                    (c2, c1)
-                };
+                let (small, large) =
+                    if self.tables[c1.index()].len() <= self.tables[c2.index()].len() {
+                        (c1, c2)
+                    } else {
+                        (c2, c1)
+                    };
                 for state in &self.tables[small.index()] {
                     if self.tables[large.index()].contains(state) {
                         out.insert(*state);
@@ -322,7 +322,7 @@ pub fn is_three_colorable_fpt(graph: &Graph) -> bool {
 
 /// End-to-end decision plus witness extraction.
 pub fn three_coloring_fpt(graph: &Graph) -> (bool, Option<Vec<u8>>) {
-    if graph.len() == 0 {
+    if graph.is_empty() {
         return (true, Some(Vec::new()));
     }
     let structure = mdtw_graph::encode_graph(graph);
@@ -338,15 +338,22 @@ pub fn three_coloring_fpt(graph: &Graph) -> (bool, Option<Vec<u8>>) {
 mod tests {
     use super::*;
     use mdtw_graph::{
-        complete, cycle, grid, is_proper_coloring, is_three_colorable_exact, partial_k_tree,
-        path, petersen, wheel,
+        complete, cycle, grid, is_proper_coloring, is_three_colorable_exact, partial_k_tree, path,
+        petersen, wheel,
     };
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 
     #[test]
     fn classic_yes_instances() {
-        for g in [path(6), cycle(5), cycle(6), grid(3, 5), petersen(), wheel(6)] {
+        for g in [
+            path(6),
+            cycle(5),
+            cycle(6),
+            grid(3, 5),
+            petersen(),
+            wheel(6),
+        ] {
             assert!(is_three_colorable_fpt(&g), "{g}");
         }
     }

@@ -10,6 +10,10 @@ use crate::ast::{Atom, IdbId, PredRef, Program, Rule, Term, Var};
 use mdtw_structure::fx::FxHashSet;
 use mdtw_structure::{ElemId, Structure};
 
+/// The semi-naive frontier: the set of IDB facts derived in the previous
+/// iteration, keyed by predicate.
+type DeltaSet = FxHashSet<(IdbId, Box<[ElemId]>)>;
+
 /// The computed least fixpoint: one relation per intensional predicate.
 #[derive(Debug, Clone)]
 pub struct IdbStore {
@@ -152,7 +156,7 @@ pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, Ev
 
     while !frontier.is_empty() {
         stats.rounds += 1;
-        let delta_set: FxHashSet<(IdbId, Box<[ElemId]>)> = frontier.drain(..).collect();
+        let delta_set: DeltaSet = frontier.drain(..).collect();
         let mut new_facts: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
         for rule in &program.rules {
             // One pass per IDB body position: that position must match the
@@ -200,7 +204,7 @@ fn for_each_match(
     rule: &Rule,
     structure: &Structure,
     store: &IdbStore,
-    delta: Option<(usize, &FxHashSet<(IdbId, Box<[ElemId]>)>)>,
+    delta: Option<(usize, &DeltaSet)>,
     emit: &mut dyn FnMut(Box<[ElemId]>),
 ) {
     let mut bindings: Vec<Option<ElemId>> = vec![None; rule.var_count as usize];
@@ -244,7 +248,7 @@ fn descend(
     rule: &Rule,
     structure: &Structure,
     store: &IdbStore,
-    delta: Option<(usize, &FxHashSet<(IdbId, Box<[ElemId]>)>)>,
+    delta: Option<(usize, &DeltaSet)>,
     positives: &[usize],
     next: usize,
     negatives: &[usize],
@@ -256,8 +260,8 @@ fn descend(
         // their variables are bound) and emit.
         for &ni in negatives {
             let lit = &rule.body[ni];
-            let args = instantiate(&lit.atom, bindings)
-                .expect("safe rule: negative literal fully bound");
+            let args =
+                instantiate(&lit.atom, bindings).expect("safe rule: negative literal fully bound");
             let holds = match lit.atom.pred {
                 PredRef::Edb(p) => structure.holds(p, &args),
                 PredRef::Idb(_) => unreachable!("semipositive program"),
@@ -282,7 +286,15 @@ fn descend(
         let mut touched: Vec<Var> = Vec::new();
         if unify(&lit.atom, tuple, bindings, &mut touched) {
             descend(
-                rule, structure, store, delta, positives, next + 1, negatives, bindings, emit,
+                rule,
+                structure,
+                store,
+                delta,
+                positives,
+                next + 1,
+                negatives,
+                bindings,
+                emit,
             );
         }
         for v in touched {

@@ -104,7 +104,10 @@ impl std::fmt::Display for QgError {
                 write!(f, "rule {rule} is not quasi-guarded")
             }
             QgError::FdViolated { pred } => {
-                write!(f, "relation {pred} violates a declared functional dependency")
+                write!(
+                    f,
+                    "relation {pred} violates a declared functional dependency"
+                )
             }
         }
     }
@@ -197,11 +200,9 @@ fn analyze_rule(rule: &Rule, catalog: &FdCatalog) -> Option<RulePlan> {
                     {
                         continue; // malformed declaration for this arity
                     }
-                    let det_bound = fd.determinant.iter().all(|&pos| {
-                        match lit.atom.terms[pos] {
-                            Term::Const(_) => true,
-                            Term::Var(v) => bound[v.index()],
-                        }
+                    let det_bound = fd.determinant.iter().all(|&pos| match lit.atom.terms[pos] {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound[v.index()],
                     });
                     if !det_bound {
                         continue;
@@ -551,7 +552,7 @@ mod tests {
     fn rejects_unguarded_rule() {
         let s = chain_structure(4);
         let cat = FdCatalog::new(); // no FDs declared
-        // Y is not functionally dependent on any single EDB atom's vars.
+                                    // Y is not functionally dependent on any single EDB atom's vars.
         let p = parse_program("pair(X, Y) :- first(X), first(Y).", &s).unwrap();
         // first(X) binds X only; first(Y) binds Y only; neither atom alone
         // covers both and no FDs help... but wait: both are EDB candidates

@@ -103,7 +103,12 @@ mod tests {
     fn conjunction_requires_all_atoms() {
         let p = HornProgram {
             n_atoms: 4,
-            rules: vec![rule(0, &[]), rule(1, &[]), rule(2, &[0, 1]), rule(3, &[0, 2])],
+            rules: vec![
+                rule(0, &[]),
+                rule(1, &[]),
+                rule(2, &[0, 1]),
+                rule(3, &[0, 2]),
+            ],
         };
         let m = p.least_model();
         assert!(m.iter().all(|&b| b));

@@ -63,10 +63,9 @@ pub fn parse_program(source: &str, structure: &Structure) -> Result<Program, Par
         let rule = parse_rule(text, *line, structure, &mut program)?;
         program.rules.push(rule);
     }
-    program.check_semipositive().map_err(|message| ParseError {
-        line: 0,
-        message,
-    })?;
+    program
+        .check_semipositive()
+        .map_err(|message| ParseError { line: 0, message })?;
     Ok(program)
 }
 
@@ -141,10 +140,7 @@ fn parse_atom(text: &str, line: usize) -> Result<RawAtom, ParseError> {
             let pred = text[..open].trim();
             validate_ident(pred, line)?;
             let inner = &text[open + 1..text.len() - 1];
-            let args: Vec<String> = inner
-                .split(',')
-                .map(|a| a.trim().to_owned())
-                .collect();
+            let args: Vec<String> = inner.split(',').map(|a| a.trim().to_owned()).collect();
             if args.iter().any(String::is_empty) {
                 return Err(err(format!("empty argument in `{text}`")));
             }
@@ -229,8 +225,8 @@ fn parse_rule(
     };
 
     let resolve_atom = |raw: &RawAtom,
-                            program: &mut Program,
-                            resolve_term: &mut dyn FnMut(&str) -> Result<Term, ParseError>|
+                        program: &mut Program,
+                        resolve_term: &mut dyn FnMut(&str) -> Result<Term, ParseError>|
      -> Result<Atom, ParseError> {
         let terms: Result<Vec<Term>, ParseError> =
             raw.args.iter().map(|a| resolve_term(a)).collect();
@@ -329,8 +325,7 @@ mod tests {
     #[test]
     fn parses_negation_and_constants() {
         let s = tiny_structure();
-        let p = parse_program("far(X) :- path(a, X), !e(a, X). path(X,Y) :- e(X,Y).", &s)
-            .unwrap();
+        let p = parse_program("far(X) :- path(a, X), !e(a, X). path(X,Y) :- e(X,Y).", &s).unwrap();
         let rule = &p.rules[0];
         assert_eq!(rule.body.len(), 2);
         assert!(!rule.body[1].positive);
@@ -349,11 +344,7 @@ mod tests {
     #[test]
     fn comments_and_multiline_statements() {
         let s = tiny_structure();
-        let p = parse_program(
-            "% a comment\npath(X, Y) :-\n   e(X, Y). # trailing\n",
-            &s,
-        )
-        .unwrap();
+        let p = parse_program("% a comment\npath(X, Y) :-\n   e(X, Y). # trailing\n", &s).unwrap();
         assert_eq!(p.rules.len(), 1);
     }
 

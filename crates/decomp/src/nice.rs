@@ -210,8 +210,7 @@ impl NiceTd {
                 }
                 (1, NiceKind::Forget(a)) => {
                     let child = self.bag(node.children[0]);
-                    let expect: Vec<ElemId> =
-                        child.iter().copied().filter(|&e| e != a).collect();
+                    let expect: Vec<ElemId> = child.iter().copied().filter(|&e| e != a).collect();
                     if !child.contains(&a) || expect != node.bag {
                         return Err(format!("{id}: bad forget({a})"));
                     }
@@ -422,10 +421,7 @@ impl NiceBuilder<'_> {
 /// each occurrence subtree of `c` grows by subtrees that intersect it,
 /// preserving connectedness. Validity should be re-checked in tests via
 /// [`TreeDecomposition::validate`].
-pub fn augment_bags(
-    td: &mut TreeDecomposition,
-    mut companions: impl FnMut(ElemId) -> Vec<ElemId>,
-) {
+pub fn augment_bags(td: &mut TreeDecomposition, mut companions: impl FnMut(ElemId) -> Vec<ElemId>) {
     td.map_bags(|_, bag| {
         let mut out = bag.to_vec();
         for &e in bag {

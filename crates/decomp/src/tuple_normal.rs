@@ -252,13 +252,15 @@ impl TupleTd {
         // those elements occur nowhere else.
         let mut sets: Vec<Vec<ElemId>> = td.node_ids().map(|id| td.bag(id).to_vec()).collect();
         let parent_of: Vec<Option<NodeId>> = td.node_ids().map(|id| td.node(id).parent).collect();
-        let children_of: Vec<Vec<NodeId>> =
-            td.node_ids().map(|id| td.node(id).children.clone()).collect();
+        let children_of: Vec<Vec<NodeId>> = td
+            .node_ids()
+            .map(|id| td.node(id).children.clone())
+            .collect();
         loop {
             let mut changed = false;
             let mut all_full = true;
             for i in 0..sets.len() {
-                if sets[i].len() >= w + 1 {
+                if sets[i].len() > w {
                     continue;
                 }
                 all_full = false;
@@ -268,7 +270,7 @@ impl TupleTd {
                 }
                 neighbors.extend(children_of[i].iter().copied());
                 for nb in neighbors {
-                    if sets[i].len() >= w + 1 {
+                    if sets[i].len() > w {
                         break;
                     }
                     let candidates: Vec<ElemId> = sets[nb.index()]
@@ -277,7 +279,7 @@ impl TupleTd {
                         .filter(|e| !sets[i].contains(e))
                         .collect();
                     for e in candidates {
-                        if sets[i].len() >= w + 1 {
+                        if sets[i].len() > w {
                             break;
                         }
                         sets[i].push(e);

@@ -160,9 +160,18 @@ mod tests {
         // f(f(a)): two f's → even.
         ColoredTree::from_nodes(
             vec![
-                CtNode { symbol: 0, children: vec![] },
-                CtNode { symbol: 1, children: vec![0] },
-                CtNode { symbol: 1, children: vec![1] },
+                CtNode {
+                    symbol: 0,
+                    children: vec![],
+                },
+                CtNode {
+                    symbol: 1,
+                    children: vec![0],
+                },
+                CtNode {
+                    symbol: 1,
+                    children: vec![1],
+                },
             ],
             2,
         )
@@ -172,10 +181,22 @@ mod tests {
         // g(f(a), a): one f → odd.
         ColoredTree::from_nodes(
             vec![
-                CtNode { symbol: 0, children: vec![] },
-                CtNode { symbol: 1, children: vec![0] },
-                CtNode { symbol: 0, children: vec![] },
-                CtNode { symbol: 2, children: vec![1, 2] },
+                CtNode {
+                    symbol: 0,
+                    children: vec![],
+                },
+                CtNode {
+                    symbol: 1,
+                    children: vec![0],
+                },
+                CtNode {
+                    symbol: 0,
+                    children: vec![],
+                },
+                CtNode {
+                    symbol: 2,
+                    children: vec![1, 2],
+                },
             ],
             3,
         )
@@ -208,7 +229,13 @@ mod tests {
         };
         a.leaf.insert(0, vec![0, 1]);
         a.finals.insert(1);
-        let t = ColoredTree::from_nodes(vec![CtNode { symbol: 0, children: vec![] }], 0);
+        let t = ColoredTree::from_nodes(
+            vec![CtNode {
+                symbol: 0,
+                children: vec![],
+            }],
+            0,
+        );
         assert_eq!(a.run(&t).len(), 2);
         assert!(a.accepts(&t));
     }
@@ -217,7 +244,13 @@ mod tests {
     fn missing_transitions_reject() {
         let a = parity();
         // Unknown leaf symbol 9: no run.
-        let t = ColoredTree::from_nodes(vec![CtNode { symbol: 9, children: vec![] }], 0);
+        let t = ColoredTree::from_nodes(
+            vec![CtNode {
+                symbol: 9,
+                children: vec![],
+            }],
+            0,
+        );
         assert!(a.run(&t).is_empty());
         assert!(!a.accepts(&t));
     }

@@ -115,8 +115,8 @@ pub fn determinize(
     let mut subsets: Vec<Vec<State>> = Vec::new();
     let mut index: FxHashMap<Vec<State>, u32> = FxHashMap::default();
     let intern = |set: Vec<State>,
-                      subsets: &mut Vec<Vec<State>>,
-                      index: &mut FxHashMap<Vec<State>, u32>|
+                  subsets: &mut Vec<Vec<State>>,
+                  index: &mut FxHashMap<Vec<State>, u32>|
      -> u32 {
         if let Some(&i) = index.get(&set) {
             return i;
@@ -248,20 +248,44 @@ mod tests {
         let (nfta, alphabet) = parity();
         let dfta = determinize(&nfta, &alphabet, DetBudget::default()).unwrap();
         let trees = [
-            ColoredTree::from_nodes(vec![CtNode { symbol: 0, children: vec![] }], 0),
+            ColoredTree::from_nodes(
+                vec![CtNode {
+                    symbol: 0,
+                    children: vec![],
+                }],
+                0,
+            ),
             ColoredTree::from_nodes(
                 vec![
-                    CtNode { symbol: 0, children: vec![] },
-                    CtNode { symbol: 1, children: vec![0] },
+                    CtNode {
+                        symbol: 0,
+                        children: vec![],
+                    },
+                    CtNode {
+                        symbol: 1,
+                        children: vec![0],
+                    },
                 ],
                 1,
             ),
             ColoredTree::from_nodes(
                 vec![
-                    CtNode { symbol: 0, children: vec![] },
-                    CtNode { symbol: 1, children: vec![0] },
-                    CtNode { symbol: 0, children: vec![] },
-                    CtNode { symbol: 2, children: vec![1, 2] },
+                    CtNode {
+                        symbol: 0,
+                        children: vec![],
+                    },
+                    CtNode {
+                        symbol: 1,
+                        children: vec![0],
+                    },
+                    CtNode {
+                        symbol: 0,
+                        children: vec![],
+                    },
+                    CtNode {
+                        symbol: 2,
+                        children: vec![1, 2],
+                    },
                 ],
                 3,
             ),

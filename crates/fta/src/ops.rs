@@ -100,10 +100,7 @@ pub fn is_empty(d: &Dfta) -> bool {
             break;
         }
     }
-    !reach
-        .iter()
-        .zip(&d.accepting)
-        .any(|(&r, &a)| r && a)
+    !reach.iter().zip(&d.accepting).any(|(&r, &a)| r && a)
 }
 
 #[cfg(test)]
@@ -132,21 +129,48 @@ mod tests {
 
     fn sample_trees() -> Vec<ColoredTree> {
         vec![
-            ColoredTree::from_nodes(vec![CtNode { symbol: 0, children: vec![] }], 0),
+            ColoredTree::from_nodes(
+                vec![CtNode {
+                    symbol: 0,
+                    children: vec![],
+                }],
+                0,
+            ),
             ColoredTree::from_nodes(
                 vec![
-                    CtNode { symbol: 0, children: vec![] },
-                    CtNode { symbol: 1, children: vec![0] },
+                    CtNode {
+                        symbol: 0,
+                        children: vec![],
+                    },
+                    CtNode {
+                        symbol: 1,
+                        children: vec![0],
+                    },
                 ],
                 1,
             ),
             ColoredTree::from_nodes(
                 vec![
-                    CtNode { symbol: 0, children: vec![] },
-                    CtNode { symbol: 1, children: vec![0] },
-                    CtNode { symbol: 1, children: vec![1] },
-                    CtNode { symbol: 0, children: vec![] },
-                    CtNode { symbol: 2, children: vec![2, 3] },
+                    CtNode {
+                        symbol: 0,
+                        children: vec![],
+                    },
+                    CtNode {
+                        symbol: 1,
+                        children: vec![0],
+                    },
+                    CtNode {
+                        symbol: 1,
+                        children: vec![1],
+                    },
+                    CtNode {
+                        symbol: 0,
+                        children: vec![],
+                    },
+                    CtNode {
+                        symbol: 2,
+                        children: vec![2, 3],
+                    },
                 ],
                 4,
             ),

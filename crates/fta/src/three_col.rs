@@ -119,10 +119,7 @@ pub fn full_alphabet(max_bag: usize) -> SymbolTable {
     for n in 1..=max_bag {
         let pairs = n * (n - 1) / 2;
         for edges in 0..(1u32 << pairs) {
-            table.intern(ThreeColSym::Leaf {
-                n: n as u8,
-                edges,
-            });
+            table.intern(ThreeColSym::Leaf { n: n as u8, edges });
             for vpos in 0..n {
                 table.intern(ThreeColSym::Intro {
                     n: n as u8,
@@ -144,11 +141,7 @@ pub fn full_alphabet(max_bag: usize) -> SymbolTable {
 
 /// Encodes the decomposition as a colored tree over `table` (linear
 /// time; interns any missing symbols).
-pub fn encode_three_col(
-    graph: &Graph,
-    td: &NiceTd,
-    table: &mut SymbolTable,
-) -> ColoredTree {
+pub fn encode_three_col(graph: &Graph, td: &NiceTd, table: &mut SymbolTable) -> ColoredTree {
     ColoredTree::of_nice_td(td, |id| {
         let bag = td.bag(id);
         let sym = match td.kind(id) {
@@ -169,9 +162,7 @@ pub fn encode_three_col(
                     vpos: child_bag.binary_search(&v).expect("forgotten in child") as u8,
                 }
             }
-            NiceKind::Branch => ThreeColSym::Branch {
-                n: bag.len() as u8,
-            },
+            NiceKind::Branch => ThreeColSym::Branch { n: bag.len() as u8 },
         };
         table.intern(sym)
     })

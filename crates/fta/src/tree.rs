@@ -128,10 +128,16 @@ mod tests {
     fn build_and_traverse() {
         // f(a, g(a))
         let nodes = vec![
-            leaf(0),                                  // 0: a
-            leaf(0),                                  // 1: a
-            CtNode { symbol: 1, children: vec![1] },  // 2: g(a)
-            CtNode { symbol: 2, children: vec![0, 2] }, // 3: f(a, g(a))
+            leaf(0), // 0: a
+            leaf(0), // 1: a
+            CtNode {
+                symbol: 1,
+                children: vec![1],
+            }, // 2: g(a)
+            CtNode {
+                symbol: 2,
+                children: vec![0, 2],
+            }, // 3: f(a, g(a))
         ];
         let t = ColoredTree::from_nodes(nodes, 3);
         assert_eq!(t.len(), 4);
@@ -147,7 +153,10 @@ mod tests {
             leaf(0),
             leaf(0),
             leaf(0),
-            CtNode { symbol: 1, children: vec![0, 1, 2] },
+            CtNode {
+                symbol: 1,
+                children: vec![0, 1, 2],
+            },
         ];
         ColoredTree::from_nodes(nodes, 3);
     }

@@ -14,7 +14,9 @@ pub fn is_proper_coloring(g: &Graph, colors: &[u8], palette: u8) -> bool {
     if colors.iter().any(|&c| c >= palette) {
         return false;
     }
-    g.edges().iter().all(|&(a, b)| colors[a as usize] != colors[b as usize])
+    g.edges()
+        .iter()
+        .all(|&(a, b)| colors[a as usize] != colors[b as usize])
 }
 
 /// Exact 3-colorability by backtracking with degree-ordered vertices.

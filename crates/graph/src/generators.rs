@@ -92,7 +92,7 @@ pub fn partial_k_tree(
     k: usize,
     keep_prob: f64,
 ) -> (Graph, TreeDecomposition) {
-    assert!(n >= k + 1, "need at least k+1 vertices");
+    assert!(n > k, "need at least k+1 vertices");
     assert!(k >= 1);
     let mut g = Graph::new(n);
     // Seed clique on vertices 0..=k.

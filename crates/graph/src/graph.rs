@@ -107,12 +107,7 @@ impl Graph {
 
 impl fmt::Display for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "graph: {} vertices, {} edges",
-            self.n,
-            self.edges.len()
-        )
+        write!(f, "graph: {} vertices, {} edges", self.n, self.edges.len())
     }
 }
 

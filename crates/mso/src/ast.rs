@@ -206,10 +206,9 @@ impl Mso {
                 a.visit(f);
                 b.visit(f);
             }
-            Mso::Exists(_, a)
-            | Mso::Forall(_, a)
-            | Mso::ExistsSet(_, a)
-            | Mso::ForallSet(_, a) => a.visit(f),
+            Mso::Exists(_, a) | Mso::Forall(_, a) | Mso::ExistsSet(_, a) | Mso::ForallSet(_, a) => {
+                a.visit(f)
+            }
             _ => {}
         }
     }

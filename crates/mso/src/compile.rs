@@ -174,7 +174,15 @@ pub fn compile_unary_filtered(
         // One rule per enumerated structure ("in any case, we add the
         // following rule"), even when the type was seen before — distinct
         // EDB masks match different data.
-        emit_base_rule(&mut program, base_sig, w, &bag_atoms, mask, up.name(ty), true);
+        emit_base_rule(
+            &mut program,
+            base_sig,
+            w,
+            &bag_atoms,
+            mask,
+            up.name(ty),
+            true,
+        );
         down.insert(ty, witness);
         emit_base_rule(
             &mut program,
@@ -231,13 +239,7 @@ pub fn compile_unary_filtered(
                 let mut budget = Budget::new(limits.check_budget);
                 match eval_unary(phi, x, &glued.s, ai, &mut budget) {
                     Ok(true) => {
-                        emit_selection_rule(
-                            &mut program,
-                            w,
-                            &up.names[iu],
-                            &down.names[id],
-                            i,
-                        );
+                        emit_selection_rule(&mut program, w, &up.names[iu], &down.names[id], i);
                     }
                     Ok(false) => {}
                     Err(BudgetExhausted) => return Err(CompileError::CheckBudget),
@@ -368,7 +370,10 @@ fn edb_literals_for_mask(
         let pred = sig_td.lookup(name).expect("base pred in τ_td");
         let atom = Atom {
             pred: PredRef::Edb(pred),
-            terms: pattern.iter().map(|&j| Term::Var(Var(1 + j as u32))).collect(),
+            terms: pattern
+                .iter()
+                .map(|&j| Term::Var(Var(1 + j as u32)))
+                .collect(),
         };
         out.push(Literal {
             atom,
@@ -380,7 +385,13 @@ fn edb_literals_for_mask(
 
 fn var_names(n: usize) -> Vec<String> {
     (0..n)
-        .map(|i| if i == 0 { "V".into() } else { format!("X{}", i - 1) })
+        .map(|i| {
+            if i == 0 {
+                "V".into()
+            } else {
+                format!("X{}", i - 1)
+            }
+        })
         .collect()
 }
 
@@ -397,7 +408,10 @@ fn emit_base_rule(
     let sig_td = base_sig.extend_td(w);
     let anchor = if is_up { "leaf" } else { "root" };
     let head_pred = program
-        .intern_idb(&format!("{}_{}", if is_up { "up" } else { "down" }, ty_name), 1)
+        .intern_idb(
+            &format!("{}_{}", if is_up { "up" } else { "down" }, ty_name),
+            1,
+        )
         .expect("arity 1");
     let v = Var(0);
     let mut body = vec![
@@ -488,12 +502,19 @@ fn saturate(
                 .map(|(i, _)| i)
                 .collect();
             for sel in 0u32..(1u32 << pos0_atoms.len()) {
-                let (new_s, new_bag) = replace_element(&witness, base_sig, bag_atoms, &pos0_atoms, sel);
+                let (new_s, new_bag) =
+                    replace_element(&witness, base_sig, bag_atoms, &pos0_atoms, sel);
                 if !class(&new_s) {
                     continue;
                 }
                 let ty = type_of(ti, &new_s, &new_bag, k, fo_only);
-                table.insert(ty, Witness { s: new_s, bag: new_bag });
+                table.insert(
+                    ty,
+                    Witness {
+                        s: new_s,
+                        bag: new_bag,
+                    },
+                );
                 // Mask over all bag atoms: selected pos-0 atoms, plus the
                 // old-bag atoms not involving position 0 are inherited and
                 // unconstrained in the rule (per the construction, only
@@ -538,7 +559,15 @@ fn saturate(
         }
         for (ty, glued, partner_name) in branch_results {
             table.insert(ty, glued);
-            emit_branch_rules(program, &sig_td, w, &src_name, &partner_name, table.name(ty), dir);
+            emit_branch_rules(
+                program,
+                &sig_td,
+                w,
+                &src_name,
+                &partner_name,
+                table.name(ty),
+                dir,
+            );
         }
         cursor += 1;
     }
@@ -592,10 +621,10 @@ fn merge_witnesses(w1: &Witness, w2: &Witness) -> Option<Witness> {
         map2.insert(b, w1.bag[i]);
     }
     for e in w2.s.domain().elems() {
-        if !map2.contains_key(&e) {
+        map2.entry(e).or_insert_with(|| {
             let id = dom.insert(format!("r{}", e.0));
-            map2.insert(e, id);
-        }
+            id
+        });
     }
     let mut s = Structure::new(Arc::clone(w1.s.signature()), dom);
     for p in w1.s.signature().preds() {
@@ -747,7 +776,10 @@ fn emit_unary_rule(
                 let pred = mdtw_structure::PredId(*p);
                 let atom = Atom {
                     pred: PredRef::Edb(pred),
-                    terms: pattern.iter().map(|&j| Term::Var(Var(1 + j as u32))).collect(),
+                    terms: pattern
+                        .iter()
+                        .map(|&j| Term::Var(Var(1 + j as u32)))
+                        .collect(),
                 };
                 body.push(Literal {
                     atom,
@@ -1042,7 +1074,10 @@ mod tests {
         // τ with a ternary predicate at width 2: 27 candidate atoms > 16.
         let sig = Arc::new(Signature::from_pairs([("r", 3)]));
         let err = compile_unary(
-            &Mso::exists(IndVar(1), Mso::pred("r", vec![IndVar(0), IndVar(1), IndVar(1)])),
+            &Mso::exists(
+                IndVar(1),
+                Mso::pred("r", vec![IndVar(0), IndVar(1), IndVar(1)]),
+            ),
             IndVar(0),
             &sig,
             2,

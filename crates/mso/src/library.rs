@@ -34,7 +34,10 @@ pub fn three_colorability() -> Mso {
             ])),
         ),
     );
-    Mso::exists_set(r, Mso::exists_set(g, Mso::exists_set(b, partition.and(proper))))
+    Mso::exists_set(
+        r,
+        Mso::exists_set(g, Mso::exists_set(b, partition.and(proper))),
+    )
 }
 
 /// 2-Colorability (bipartiteness), a smaller sibling used in tests.

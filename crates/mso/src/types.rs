@@ -251,8 +251,14 @@ mod tests {
             u.insert(e, &[ElemId(i + 1), ElemId(i)]);
         }
         for k in 0..=2 {
-            assert!(ti.equivalent(&u, &[ElemId(0)], &u, &[ElemId(3)], k), "k={k}");
-            assert!(ti.equivalent(&u, &[ElemId(1)], &u, &[ElemId(2)], k), "k={k}");
+            assert!(
+                ti.equivalent(&u, &[ElemId(0)], &u, &[ElemId(3)], k),
+                "k={k}"
+            );
+            assert!(
+                ti.equivalent(&u, &[ElemId(1)], &u, &[ElemId(2)], k),
+                "k={k}"
+            );
         }
     }
 
@@ -283,10 +289,8 @@ mod tests {
                     for b in s2.domain().elems() {
                         for (k, f) in &formulas {
                             if ti.equivalent(s1, &[a], s2, &[b], *k) {
-                                let va =
-                                    eval_unary(f, x, s1, a, &mut Budget::unlimited()).unwrap();
-                                let vb =
-                                    eval_unary(f, x, s2, b, &mut Budget::unlimited()).unwrap();
+                                let va = eval_unary(f, x, s1, a, &mut Budget::unlimited()).unwrap();
+                                let vb = eval_unary(f, x, s2, b, &mut Budget::unlimited()).unwrap();
                                 assert_eq!(va, vb, "type-equal points disagree on {f}");
                             }
                         }

@@ -20,11 +20,11 @@ mod schema;
 
 pub use encode::{encode_schema, schema_signature, SchemaEncoding};
 pub use examples::{example_2_1, example_2_2};
+pub use generator::{
+    block_tree_instance, random_schema, seeded_rng, GeneratedInstance, TABLE1_FD_COUNTS,
+};
 pub use normal_forms::{
     bcnf_violations, is_3nf_exact, is_bcnf, third_nf_violations_with, BcnfViolation,
     ThirdNfViolation,
-};
-pub use generator::{
-    block_tree_instance, random_schema, seeded_rng, GeneratedInstance, TABLE1_FD_COUNTS,
 };
 pub use schema::{AttrId, AttrSet, Fd, Schema};

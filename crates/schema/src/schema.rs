@@ -266,7 +266,10 @@ impl Schema {
         let others: Vec<AttrId> = self.attrs().filter(|&a| a != attr).collect();
         let m = others.len();
         for mask in 0u64..(1u64 << m) {
-            let y: AttrSet = (0..m).filter(|i| mask >> i & 1 == 1).map(|i| others[i]).collect();
+            let y: AttrSet = (0..m)
+                .filter(|i| mask >> i & 1 == 1)
+                .map(|i| others[i])
+                .collect();
             // Y must be closed and a ∉ Y (guaranteed) and (Y ∪ {a})⁺ = R.
             if self.closure(&y).len() != y.len() {
                 continue;
@@ -302,7 +305,12 @@ impl fmt::Display for Schema {
             self.fd_count()
         )?;
         for fd in &self.fds {
-            writeln!(f, "  {} -> {}", self.render_set(&fd.lhs), self.attr_name(fd.rhs))?;
+            writeln!(
+                f,
+                "  {} -> {}",
+                self.render_set(&fd.lhs),
+                self.attr_name(fd.rhs)
+            )?;
         }
         Ok(())
     }

@@ -45,7 +45,7 @@ proptest! {
         let e = s.signature().lookup("e").unwrap();
         let all = s.induced(&|_| true);
         prop_assert_eq!(all.len(), s.domain().len());
-        let half = s.induced(&|x: ElemId| x.0 % 2 == 0);
+        let half = s.induced(&|x: ElemId| x.0.is_multiple_of(2));
         for t in s.relation(e).iter() {
             let inside = t.iter().all(|a| a.0 % 2 == 0);
             prop_assert_eq!(half.holds(e, t), inside);
@@ -55,7 +55,7 @@ proptest! {
     #[test]
     fn materialized_induced_preserves_atoms((s, _) in arb_structure(10)) {
         let e = s.signature().lookup("e").unwrap();
-        let view = s.induced(&|x: ElemId| x.0 % 2 == 0);
+        let view = s.induced(&|x: ElemId| x.0.is_multiple_of(2));
         let (owned, map) = view.materialize();
         let mut expected = 0usize;
         for t in s.relation(e).iter() {

@@ -1,0 +1,24 @@
+//! The whole pipeline through the `mdtw` facade crate alone: decompose,
+//! solve 3-Colorability (Figure 5), decide PRIMALITY (Figure 6).
+
+use mdtw::prelude::*;
+
+fn main() {
+    // Graph side: Petersen is 3-colorable, K4 needs a proper run to say no.
+    let g = mdtw::graph::petersen();
+    let s = encode_graph(&g);
+    let td = decompose(&s, Heuristic::MinFill);
+    let nice = NiceTd::from_td(&td, NiceOptions::default());
+    let solver = ThreeColSolver::run(&g, &nice);
+    println!(
+        "petersen: width {} decomposition, 3-colorable = {}",
+        td.width(),
+        solver.is_colorable()
+    );
+
+    // Schema side: the paper's running example (Example 2.1/2.2).
+    let schema = mdtw::schema::example_2_1();
+    let primes = prime_attributes_fpt(&schema);
+    let names: Vec<&str> = primes.iter().map(|&a| schema.attr_name(a)).collect();
+    println!("example 2.1 prime attributes: {names:?}");
+}

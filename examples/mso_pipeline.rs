@@ -32,7 +32,10 @@ fn undirected(s: &Structure) -> bool {
 fn main() {
     // --- 1. The query: φ(x) = ∃y e(x, y), over forests (treewidth 1). ---
     let phi = has_neighbor();
-    println!("query ϕ(x) = {phi}   (quantifier depth {})", phi.quantifier_depth());
+    println!(
+        "query ϕ(x) = {phi}   (quantifier depth {})",
+        phi.quantifier_depth()
+    );
 
     let forest = Graph::from_edges(7, &[(0, 1), (1, 2), (3, 4), (2, 5)]);
     let structure = encode_graph(&forest);

@@ -44,14 +44,11 @@ fn main() {
         start.elapsed().as_secs_f64() * 1e3
     );
     if let Some(colors) = solver.witness() {
-        println!(
-            "  extracted witness uses colors: {:?}",
-            {
-                let mut used: Vec<u8> = colors.clone();
-                used.sort_unstable();
-                used.dedup();
-                used
-            }
-        );
+        println!("  extracted witness uses colors: {:?}", {
+            let mut used: Vec<u8> = colors.clone();
+            used.sort_unstable();
+            used.dedup();
+            used
+        });
     }
 }

@@ -43,8 +43,7 @@ fn three_col_mso_sentence_agrees_on_tiny_graphs() {
         let (g, td) = partial_k_tree(&mut rng, 5 + i % 3, 2, 0.6);
         let nice = NiceTd::from_td(&td, NiceOptions::default());
         let s = encode_graph(&g);
-        let via_mso =
-            eval_sentence(&three_colorability(), &s, &mut Budget::unlimited()).unwrap();
+        let via_mso = eval_sentence(&three_colorability(), &s, &mut Budget::unlimited()).unwrap();
         let via_dp = ThreeColSolver::run(&g, &nice).is_colorable();
         assert_eq!(via_mso, via_dp, "instance {i}");
     }

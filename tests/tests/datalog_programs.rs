@@ -59,10 +59,7 @@ fn mutual_recursion_even_odd() {
     let (store, _) = eval_seminaive(&p, &s);
     let even = p.idb("even").unwrap();
     let odd = p.idb("odd").unwrap();
-    assert_eq!(
-        store.unary(even),
-        vec![ElemId(0), ElemId(2), ElemId(4)]
-    );
+    assert_eq!(store.unary(even), vec![ElemId(0), ElemId(2), ElemId(4)]);
     assert_eq!(store.unary(odd), vec![ElemId(1), ElemId(3), ElemId(5)]);
 }
 
@@ -118,10 +115,7 @@ fn semipositive_negation_complement() {
     .unwrap();
     let (store, _) = eval_seminaive(&p, &s);
     let reach = p.idb("reach").unwrap();
-    assert_eq!(
-        store.unary(reach),
-        vec![ElemId(0), ElemId(1), ElemId(2)]
-    );
+    assert_eq!(store.unary(reach), vec![ElemId(0), ElemId(1), ElemId(2)]);
     let dead = p.idb("dead").unwrap();
     // 3 and 5 have no incoming edges from 0,1,3 and are not the start:
     // 3 qualifies (no incoming at all), 5 qualifies, 4 has e(3,4).

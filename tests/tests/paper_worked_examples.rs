@@ -3,9 +3,7 @@
 //! engine in the workspace.
 
 use mdtw_core::{is_prime_fpt, prime_attributes_fpt};
-use mdtw_decomp::{
-    exact_treewidth, NiceOptions, NiceTd, PrimalGraph, TupleNodeKind, TupleTd,
-};
+use mdtw_decomp::{exact_treewidth, NiceOptions, NiceTd, PrimalGraph, TupleNodeKind, TupleTd};
 use mdtw_mso::{eval_unary, primality, Budget, IndVar};
 use mdtw_schema::{encode_schema, example_2_1, example_2_2};
 
@@ -70,8 +68,14 @@ fn example_2_6_mso_and_figure_6_agree() {
     let phi = primality();
     for attr in schema.attrs() {
         let elem = enc.elem_of_attr(attr);
-        let via_mso =
-            eval_unary(&phi, IndVar(0), &enc.structure, elem, &mut Budget::unlimited()).unwrap();
+        let via_mso = eval_unary(
+            &phi,
+            IndVar(0),
+            &enc.structure,
+            elem,
+            &mut Budget::unlimited(),
+        )
+        .unwrap();
         let via_datalog = is_prime_fpt(&schema, attr);
         let via_keys = schema.is_prime_exact(attr);
         assert_eq!(via_mso, via_datalog, "{}", schema.attr_name(attr));
@@ -82,8 +86,5 @@ fn example_2_6_mso_and_figure_6_agree() {
 #[test]
 fn enumeration_matches_on_running_example() {
     let schema = example_2_1();
-    assert_eq!(
-        schema.render_set(&prime_attributes_fpt(&schema)),
-        "abcd"
-    );
+    assert_eq!(schema.render_set(&prime_attributes_fpt(&schema)), "abcd");
 }

@@ -6,21 +6,17 @@
 //! they are *checked* on concrete structures by computing rank-k types of
 //! the induced substructures directly (mdtw-mso's type machinery).
 
+use mdtw_decomp::{NodeId, TupleNodeKind, TupleTd};
 use mdtw_graph::{encode_graph, partial_k_tree};
 use mdtw_mso::TypeInterner;
 use mdtw_structure::{ElemId, Structure};
-use mdtw_decomp::{NodeId, TupleNodeKind, TupleTd};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 /// Materializes `I(𝒜, S_s, s)`: the substructure induced by the union of
 /// the bags in the subtree rooted at `s`, with the bag of `s`
 /// distinguished. Returns the structure and the remapped bag.
-fn induced_subtree(
-    structure: &Structure,
-    td: &TupleTd,
-    s: NodeId,
-) -> (Structure, Vec<ElemId>) {
+fn induced_subtree(structure: &Structure, td: &TupleTd, s: NodeId) -> (Structure, Vec<ElemId>) {
     // Collect the subtree's elements.
     let mut live = vec![false; structure.domain().len()];
     let mut stack = vec![s];

@@ -64,8 +64,7 @@ fn check_query_on_forests(phi: &Mso, seed: u64) {
         let (reference, _) = eval_seminaive(&compiled.program, &enc.structure);
 
         for v in s.domain().elems() {
-            let expected =
-                eval_unary(phi, IndVar(0), &s, v, &mut Budget::unlimited()).unwrap();
+            let expected = eval_unary(phi, IndVar(0), &s, v, &mut Budget::unlimited()).unwrap();
             assert_eq!(
                 store.holds(compiled.phi, &[v]),
                 expected,
