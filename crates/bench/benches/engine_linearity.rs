@@ -61,7 +61,9 @@ fn bench_seminaive(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
-    for n in [1_000usize, 2_000, 4_000] {
+    // With the indexed join engine the semi-naive series now scales to the
+    // same sizes as the quasi-guarded pipeline.
+    for n in [1_000usize, 2_000, 4_000, 8_000] {
         let s = chain(n);
         let (p, _) = program(&s);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

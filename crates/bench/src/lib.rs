@@ -115,6 +115,30 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     out
 }
 
+/// Renders rows as a machine-readable JSON array (hand-rolled: the build
+/// environment has no serde). `mona_us` is `null` for budget-exhausted
+/// rows. Consumed by cross-commit perf tracking of the `table1` bin's
+/// `--json` mode.
+pub fn render_table1_json(rows: &[Table1Row]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let mona = match r.mona_micros {
+            Some(us) => format!("{us:.1}"),
+            None => "null".to_owned(),
+        };
+        out.push_str(&format!(
+            "\n  {{\"tw\": {}, \"n_att\": {}, \"n_fd\": {}, \"n_tn\": {}, \
+             \"md_us\": {:.1}, \"mona_us\": {}}}",
+            r.tw, r.n_att, r.n_fd, r.n_tn, r.md_micros, mona
+        ));
+    }
+    out.push_str("\n]");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +167,33 @@ mod tests {
         let s = render_table1(&rows);
         assert!(s.contains("MD(us)"));
         assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed() {
+        let rows = vec![
+            Table1Row {
+                tw: 3,
+                n_att: 3,
+                n_fd: 1,
+                n_tn: 10,
+                md_micros: 42.25,
+                mona_micros: Some(7.5),
+            },
+            Table1Row {
+                tw: 3,
+                n_att: 5,
+                n_fd: 2,
+                n_tn: 20,
+                md_micros: 84.0,
+                mona_micros: None,
+            },
+        ];
+        let s = render_table1_json(&rows);
+        assert!(s.starts_with('[') && s.ends_with(']'));
+        assert!(s.contains("\"md_us\": 42.2") || s.contains("\"md_us\": 42.3"));
+        assert!(s.contains("\"mona_us\": 7.5"));
+        assert!(s.contains("\"mona_us\": null"));
+        assert_eq!(s.matches("{\"tw\"").count(), 2);
     }
 }

@@ -1,31 +1,60 @@
 //! Bottom-up evaluation: naive and semi-naive least-fixpoint computation
 //! of semipositive datalog over a finite structure (paper §2.4).
 //!
-//! The naive evaluator is the executable definition of the minimal-model
-//! semantics and serves as ground truth; the semi-naive evaluator is the
-//! general-purpose engine. The *linear-time* evaluation of quasi-guarded
-//! programs (Theorem 4.4) lives in the `ground` and `horn` modules.
+//! Three engines live here:
+//!
+//! * [`eval_naive`] — the executable definition of the minimal-model
+//!   semantics (all rules, every round, no indexes). Ground truth.
+//! * [`eval_seminaive`] — the production engine: per-rule join plans
+//!   (module [`plan`](crate::plan)) probe lazily built secondary indexes
+//!   ([`mdtw_structure::PosIndex`]) instead of scanning whole relations,
+//!   the frontier is a set of per-predicate delta relations, and rules
+//!   with several intensional body atoms use the textbook semi-naive
+//!   split — for the delta at body position *i*, positions before *i*
+//!   read the pre-round store and positions after read the updated
+//!   store — so no instantiation fires twice in a round.
+//! * [`eval_seminaive_scan`] — the pre-index engine (nested-loop joins,
+//!   one shared delta set, full store on non-delta positions), kept as a
+//!   differential-testing oracle and scan baseline for the
+//!   `join_indexing` bench. It re-fires instantiations whose atoms match
+//!   several delta tuples; its fixpoint is nevertheless correct.
+//!
+//! The *linear-time* evaluation of quasi-guarded programs (Theorem 4.4)
+//! lives in the `ground` and `horn` modules.
 
 use crate::ast::{Atom, IdbId, PredRef, Program, Rule, Term, Var};
-use mdtw_structure::fx::FxHashSet;
-use mdtw_structure::{ElemId, Structure};
+use crate::plan::{plan_program, Access, JoinPlan, RulePlans};
+use mdtw_structure::fx::{FxHashMap, FxHashSet};
+use mdtw_structure::{ElemId, PosIndex, Relation, Structure};
+use std::sync::Arc;
 
-/// The semi-naive frontier: the set of IDB facts derived in the previous
-/// iteration, keyed by predicate.
+/// The scan engine's semi-naive frontier: the set of IDB facts derived in
+/// the previous iteration, keyed by predicate.
 type DeltaSet = FxHashSet<(IdbId, Box<[ElemId]>)>;
 
-/// The computed least fixpoint: one relation per intensional predicate.
+/// The computed least fixpoint: one indexed relation per intensional
+/// predicate. The relations expose the same secondary-index layer as the
+/// extensional [`Relation`]s, so joins probe IDB and EDB atoms uniformly.
 #[derive(Debug, Clone)]
 pub struct IdbStore {
-    rels: Vec<FxHashSet<Box<[ElemId]>>>,
-    names: Vec<String>,
+    rels: Vec<Relation>,
+    by_name: FxHashMap<String, IdbId>,
 }
 
 impl IdbStore {
     fn new(program: &Program) -> Self {
         Self {
-            rels: vec![FxHashSet::default(); program.idb_count()],
-            names: program.idb_names.clone(),
+            rels: program
+                .idb_arities
+                .iter()
+                .map(|&a| Relation::new(a))
+                .collect(),
+            by_name: program
+                .idb_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), IdbId(i as u32)))
+                .collect(),
         }
     }
 
@@ -34,12 +63,13 @@ impl IdbStore {
         self.rels[pred.index()].contains(args)
     }
 
-    /// Looks a predicate up by name and tests membership.
+    /// Looks a predicate up by name and tests membership. The name map is
+    /// built once at store construction, so this is a hash lookup, not a
+    /// scan over the predicate table.
     pub fn holds_named(&self, name: &str, args: &[ElemId]) -> bool {
-        self.names
-            .iter()
-            .position(|n| n == name)
-            .is_some_and(|i| self.rels[i].contains(args))
+        self.by_name
+            .get(name)
+            .is_some_and(|id| self.rels[id.index()].contains(args))
     }
 
     /// All tuples of `pred`, sorted for determinism.
@@ -65,10 +95,16 @@ impl IdbStore {
 
     /// Total number of derived facts.
     pub fn fact_count(&self) -> usize {
-        self.rels.iter().map(FxHashSet::len).sum()
+        self.rels.iter().map(Relation::len).sum()
     }
 
-    fn insert(&mut self, pred: IdbId, args: Box<[ElemId]>) -> bool {
+    /// The relation of `pred` (with its secondary-index layer).
+    #[inline]
+    fn rel(&self, pred: IdbId) -> &Relation {
+        &self.rels[pred.index()]
+    }
+
+    fn insert(&mut self, pred: IdbId, args: &[ElemId]) -> bool {
         self.rels[pred.index()].insert(args)
     }
 
@@ -80,7 +116,7 @@ impl IdbStore {
 
     /// Direct insertion (used when decoding a ground model).
     pub(crate) fn insert_raw(&mut self, pred: IdbId, args: Box<[ElemId]>) {
-        self.rels[pred.index()].insert(args);
+        self.rels[pred.index()].insert(&args);
     }
 }
 
@@ -94,6 +130,15 @@ pub struct EvalStats {
     pub facts: usize,
     /// Number of fixpoint rounds.
     pub rounds: usize,
+    /// Secondary-index probes performed (indexed engine only).
+    pub index_probes: usize,
+    /// Unindexed enumerations of an EDB relation or the IDB store
+    /// (indexed engine only; enumerating a round's delta relation — the
+    /// point of semi-naive evaluation — is not counted).
+    pub full_scans: usize,
+    /// Candidate tuples enumerated across all literal accesses (indexed
+    /// engine only).
+    pub tuples_considered: usize,
 }
 
 /// Naive evaluation: apply all rules until nothing changes.
@@ -115,7 +160,7 @@ pub fn eval_naive(program: &Program, structure: &Structure) -> (IdbStore, EvalSt
         }
         let mut changed = false;
         for (id, args) in new_facts {
-            if store.insert(id, args) {
+            if store.insert(id, &args) {
                 changed = true;
                 stats.facts += 1;
             }
@@ -127,9 +172,291 @@ pub fn eval_naive(program: &Program, structure: &Structure) -> (IdbStore, EvalSt
     (store, stats)
 }
 
-/// Semi-naive evaluation: after the first round, a rule fires only with at
-/// least one body atom taken from the previous round's delta.
+// ---------------------------------------------------------------------------
+// Indexed semi-naive engine
+// ---------------------------------------------------------------------------
+
+/// The per-predicate delta relations of one semi-naive round. Plugged into
+/// the same index layer as the store, so delta atoms with bound arguments
+/// are probed rather than scanned.
+struct DeltaStore {
+    rels: Vec<Relation>,
+    count: usize,
+}
+
+impl DeltaStore {
+    fn new(program: &Program) -> Self {
+        Self {
+            rels: program
+                .idb_arities
+                .iter()
+                .map(|&a| Relation::new(a))
+                .collect(),
+            count: 0,
+        }
+    }
+
+    fn insert(&mut self, pred: IdbId, args: &[ElemId]) {
+        if self.rels[pred.index()].insert(args) {
+            self.count += 1;
+        }
+    }
+
+    #[inline]
+    fn rel(&self, pred: IdbId) -> &Relation {
+        &self.rels[pred.index()]
+    }
+}
+
+/// Everything a plan execution needs to look at (bundled so the recursion
+/// stays within clippy's argument budget).
+struct PlanCtx<'a> {
+    rule: &'a Rule,
+    plan: &'a JoinPlan,
+    /// `Some((body index of the delta literal, delta store))` for delta
+    /// passes, `None` for the unconstrained round-0 pass.
+    delta: Option<(usize, &'a DeltaStore)>,
+    structure: &'a Structure,
+    store: &'a IdbStore,
+}
+
+/// Semi-naive evaluation over indexed join plans: after the first round, a
+/// rule fires only with at least one body atom taken from the previous
+/// round's delta, and each body literal enumerates only the tuples
+/// matching its already-bound arguments (via [`Relation::index_on`]).
 pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
+    let plans: Vec<RulePlans> = plan_program(program);
+    let mut store = IdbStore::new(program);
+    let mut stats = EvalStats::default();
+
+    // Round 0: all rules, unconstrained.
+    stats.rounds += 1;
+    let mut fresh: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
+    for (rule, rp) in program.rules.iter().zip(&plans) {
+        let ctx = PlanCtx {
+            rule,
+            plan: &rp.base,
+            delta: None,
+            structure,
+            store: &store,
+        };
+        apply_plan(&ctx, &mut stats, &mut fresh);
+    }
+    let mut delta = DeltaStore::new(program);
+    merge_round(&mut store, &mut delta, fresh, &mut stats);
+
+    while delta.count > 0 {
+        stats.rounds += 1;
+        let mut fresh: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
+        for (rule, rp) in program.rules.iter().zip(&plans) {
+            for (dpos, plan) in &rp.delta {
+                let ctx = PlanCtx {
+                    rule,
+                    plan,
+                    delta: Some((*dpos, &delta)),
+                    structure,
+                    store: &store,
+                };
+                apply_plan(&ctx, &mut stats, &mut fresh);
+            }
+        }
+        let mut next = DeltaStore::new(program);
+        merge_round(&mut store, &mut next, fresh, &mut stats);
+        delta = next;
+    }
+    (store, stats)
+}
+
+/// Folds a round's derivations into the store; survivors (genuinely new
+/// facts) become the next round's delta.
+fn merge_round(
+    store: &mut IdbStore,
+    delta: &mut DeltaStore,
+    fresh: Vec<(IdbId, Box<[ElemId]>)>,
+    stats: &mut EvalStats,
+) {
+    for (id, args) in fresh {
+        if store.insert(id, &args) {
+            stats.facts += 1;
+            delta.insert(id, &args);
+        }
+    }
+}
+
+fn apply_plan(ctx: &PlanCtx<'_>, stats: &mut EvalStats, out: &mut Vec<(IdbId, Box<[ElemId]>)>) {
+    for &ni in &ctx.plan.ground_negatives {
+        let bindings: Vec<Option<ElemId>> = vec![None; ctx.rule.var_count as usize];
+        if negative_holds(ctx, ni, &bindings) {
+            return;
+        }
+    }
+    let execs = resolve_steps(ctx);
+    let mut bindings: Vec<Option<ElemId>> = vec![None; ctx.rule.var_count as usize];
+    descend_plan(ctx, &execs, 0, &mut bindings, stats, out);
+}
+
+/// True if the *atom* of negative literal `ni` holds in the structure
+/// (i.e. the literal fails).
+fn negative_holds(ctx: &PlanCtx<'_>, ni: usize, bindings: &[Option<ElemId>]) -> bool {
+    let atom = &ctx.rule.body[ni].atom;
+    let args = instantiate(atom, bindings).expect("planner schedules negatives when bound");
+    match atom.pred {
+        PredRef::Edb(p) => ctx.structure.holds(p, &args),
+        PredRef::Idb(_) => unreachable!("semipositive program"),
+    }
+}
+
+/// A plan step resolved against one pass's relations: the source
+/// relation, the delta exclusion (for pre-round reads), and the probe
+/// index. Resolved once per [`apply_plan`] call so the recursive join
+/// touches no locks and clones no `Arc`s.
+struct StepExec<'a> {
+    rel: &'a Relation,
+    /// `Some(delta relation)` when the step reads the pre-round store
+    /// (store minus delta).
+    exclude: Option<&'a Relation>,
+    /// The secondary index probed by `Access::Probe` steps.
+    index: Option<Arc<PosIndex>>,
+    /// True when the step enumerates the round's delta relation.
+    from_delta: bool,
+}
+
+fn resolve_steps<'a>(ctx: &PlanCtx<'a>) -> Vec<StepExec<'a>> {
+    ctx.plan
+        .steps
+        .iter()
+        .map(|step| {
+            let lit = &ctx.rule.body[step.literal];
+            let mut from_delta = false;
+            let (rel, exclude): (&Relation, Option<&Relation>) = match lit.atom.pred {
+                PredRef::Edb(p) => (ctx.structure.relation(p), None),
+                PredRef::Idb(id) => match ctx.delta {
+                    None => (ctx.store.rel(id), None),
+                    Some((dpos, ds)) => {
+                        use std::cmp::Ordering;
+                        match step.literal.cmp(&dpos) {
+                            // The delta literal itself reads the frontier.
+                            Ordering::Equal => {
+                                from_delta = true;
+                                (ds.rel(id), None)
+                            }
+                            // Body positions before the delta read the
+                            // pre-round store, positions after read the
+                            // updated store: an instantiation with several
+                            // delta atoms fires exactly once, in the pass
+                            // of its first delta position.
+                            Ordering::Less => (ctx.store.rel(id), Some(ds.rel(id))),
+                            Ordering::Greater => (ctx.store.rel(id), None),
+                        }
+                    }
+                },
+            };
+            let index = match &step.access {
+                Access::Scan => None,
+                Access::Probe { positions } => Some(rel.index_on(positions)),
+            };
+            StepExec {
+                rel,
+                exclude,
+                index,
+                from_delta,
+            }
+        })
+        .collect()
+}
+
+fn descend_plan(
+    ctx: &PlanCtx<'_>,
+    execs: &[StepExec<'_>],
+    step_idx: usize,
+    bindings: &mut Vec<Option<ElemId>>,
+    stats: &mut EvalStats,
+    out: &mut Vec<(IdbId, Box<[ElemId]>)>,
+) {
+    if step_idx == ctx.plan.steps.len() {
+        stats.firings += 1;
+        let head_args = instantiate(&ctx.rule.head, bindings).expect("safe rule: head bound");
+        if let PredRef::Idb(id) = ctx.rule.head.pred {
+            if !ctx.store.holds(id, &head_args) {
+                out.push((id, head_args));
+            }
+        }
+        return;
+    }
+
+    let step = &ctx.plan.steps[step_idx];
+    let lit = &ctx.rule.body[step.literal];
+    let exec = &execs[step_idx];
+    let (rel, exclude) = (exec.rel, exec.exclude);
+
+    let on_tuple = |tuple: &[ElemId],
+                    bindings: &mut Vec<Option<ElemId>>,
+                    stats: &mut EvalStats,
+                    out: &mut Vec<(IdbId, Box<[ElemId]>)>| {
+        stats.tuples_considered += 1;
+        let mut touched: Vec<Var> = Vec::new();
+        if unify(&lit.atom, tuple, bindings, &mut touched) {
+            let negatives_ok = step
+                .negatives_after
+                .iter()
+                .all(|&ni| !negative_holds(ctx, ni, bindings));
+            if negatives_ok {
+                descend_plan(ctx, execs, step_idx + 1, bindings, stats, out);
+            }
+        }
+        for v in touched {
+            bindings[v.index()] = None;
+        }
+    };
+
+    match &step.access {
+        Access::Scan => {
+            if !exec.from_delta {
+                stats.full_scans += 1;
+            }
+            for tuple in rel.iter() {
+                if exclude.is_some_and(|d| d.contains(tuple)) {
+                    continue;
+                }
+                on_tuple(tuple, bindings, stats, out);
+            }
+        }
+        Access::Probe { positions } => {
+            stats.index_probes += 1;
+            let key: Vec<ElemId> = positions
+                .iter()
+                .map(|&p| match lit.atom.terms[p] {
+                    Term::Const(c) => c,
+                    Term::Var(v) => bindings[v.index()].expect("planner binds key positions"),
+                })
+                .collect();
+            let index = exec.index.as_ref().expect("probe steps resolve an index");
+            for &row in index.rows(&key) {
+                let tuple = rel.tuple(row);
+                if exclude.is_some_and(|d| d.contains(tuple)) {
+                    continue;
+                }
+                on_tuple(tuple, bindings, stats, out);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scan engine (pre-index oracle and baseline)
+// ---------------------------------------------------------------------------
+
+/// The pre-index semi-naive engine: nested-loop joins over full relation
+/// scans, one shared delta set, and one delta pass per intensional body
+/// position with every other position reading the already-updated store.
+///
+/// Kept verbatim as a differential-testing oracle (its least fixpoint is
+/// correct) and as the scan baseline of the `join_indexing` bench. Note
+/// its known inefficiency: an instantiation whose intensional atoms match
+/// several delta tuples fires once per delta pass, inflating
+/// [`EvalStats::firings`]; [`eval_seminaive`] fixes this with the proper
+/// rule split.
+pub fn eval_seminaive_scan(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
     let mut store = IdbStore::new(program);
     let mut stats = EvalStats::default();
 
@@ -148,7 +475,7 @@ pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, Ev
     }
     let mut frontier: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
     for (id, args) in delta {
-        if store.insert(id, args.clone()) {
+        if store.insert(id, &args) {
             stats.facts += 1;
             frontier.push((id, args));
         }
@@ -186,7 +513,7 @@ pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, Ev
             }
         }
         for (id, args) in new_facts {
-            if store.insert(id, args.clone()) {
+            if store.insert(id, &args) {
                 stats.facts += 1;
                 frontier.push((id, args));
             }
@@ -209,12 +536,8 @@ fn for_each_match(
 ) {
     let mut bindings: Vec<Option<ElemId>> = vec![None; rule.var_count as usize];
 
-    // Literal processing order: positive literals first (greedy: most
-    // bound variables first at each step), negative literals as soon as
-    // fully bound. We precompute just a static order: positives in body
-    // order, then after each positive we flush any negative whose
-    // variables are all bound. Simpler: recursive descent over positives
-    // in body order, checking negatives whenever bound.
+    // Literal processing order: positives in body order (no reordering —
+    // this is the scan oracle), negatives once all positives are matched.
     let positives: Vec<usize> = rule
         .body
         .iter()
@@ -391,6 +714,7 @@ mod tests {
     }
 
     const TC: &str = "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).";
+    const TC_NONLINEAR: &str = "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), path(Y, Z).";
 
     #[test]
     fn transitive_closure_naive() {
@@ -414,6 +738,17 @@ mod tests {
     }
 
     #[test]
+    fn scan_engine_agrees_with_naive() {
+        let s = chain(7);
+        let p = parse_program(TC_NONLINEAR, &s).unwrap();
+        let (naive, naive_stats) = eval_naive(&p, &s);
+        let (scan, scan_stats) = eval_seminaive_scan(&p, &s);
+        let path = p.idb("path").unwrap();
+        assert_eq!(naive.tuples(path), scan.tuples(path));
+        assert_eq!(naive_stats.facts, scan_stats.facts);
+    }
+
+    #[test]
     fn seminaive_fires_less_than_naive() {
         let s = chain(12);
         let p = parse_program(TC, &s).unwrap();
@@ -421,6 +756,58 @@ mod tests {
         let (_, semi_stats) = eval_seminaive(&p, &s);
         assert!(semi_stats.firings < naive_stats.firings);
         assert_eq!(semi_stats.facts, naive_stats.facts);
+    }
+
+    /// Regression test for the semi-naive double-firing bug: with a rule
+    /// carrying two intensional body atoms, the scan engine runs one delta
+    /// pass per position against the already-updated store, so an
+    /// instantiation whose atoms both match delta tuples fires once per
+    /// pass. The rule split in the indexed engine fires it exactly once.
+    ///
+    /// On the 4-chain with nonlinear transitive closure the counts are
+    /// small enough to pin exactly. Round 0 fires the base rule 3 times;
+    /// round 1 joins the delta {p01,p12,p23} with itself — instantiations
+    /// (p01,p12) and (p12,p23) are all-delta, so the split engine fires
+    /// them once (2 firings) while the scan engine fires them in both
+    /// passes (4 firings); round 2 has two genuinely distinct derivations
+    /// of p03 (via p02⋈p23 and p01⋈p13) in both engines; round 3 fires
+    /// nothing. Totals: 3+2+2 = 7 indexed, 3+4+2 = 9 scan.
+    #[test]
+    fn two_idb_atoms_fire_once_per_instantiation() {
+        let s = chain(4);
+        let p = parse_program(TC_NONLINEAR, &s).unwrap();
+        let (indexed_store, indexed) = eval_seminaive(&p, &s);
+        let (scan_store, scan) = eval_seminaive_scan(&p, &s);
+        let path = p.idb("path").unwrap();
+        assert_eq!(indexed_store.tuples(path), scan_store.tuples(path));
+        assert_eq!(indexed.facts, 6);
+        assert_eq!(scan.facts, 6);
+        assert_eq!(
+            indexed.firings, 7,
+            "rule split must fire all-delta instantiations once"
+        );
+        assert_eq!(
+            scan.firings, 9,
+            "scan oracle keeps the seed double-firing behavior"
+        );
+    }
+
+    /// On delta-bound literals the indexed engine must probe, not scan:
+    /// the only full-relation scans of the whole linear-TC evaluation are
+    /// the two round-0 scans (one per rule's first literal).
+    #[test]
+    fn delta_passes_probe_instead_of_scanning() {
+        let s = chain(50);
+        let p = parse_program(TC, &s).unwrap();
+        let (_, stats) = eval_seminaive(&p, &s);
+        assert_eq!(
+            stats.full_scans, 2,
+            "only the unconstrained round-0 scans remain"
+        );
+        assert!(stats.index_probes > 0);
+        // Each round's recursive pass probes `e` once per delta tuple, so
+        // the work stays proportional to the output, not |store| × |e|.
+        assert!(stats.tuples_considered < 5 * stats.facts + 100);
     }
 
     #[test]
@@ -493,5 +880,42 @@ mod tests {
         let (store, stats) = eval_seminaive(&p, &s);
         assert_eq!(store.fact_count(), 0);
         assert_eq!(stats.facts, 0);
+    }
+
+    #[test]
+    fn holds_named_uses_interned_names() {
+        let s = chain(4);
+        let p = parse_program(TC, &s).unwrap();
+        let (store, _) = eval_seminaive(&p, &s);
+        assert!(store.holds_named("path", &[ElemId(0), ElemId(3)]));
+        assert!(!store.holds_named("path", &[ElemId(3), ElemId(0)]));
+        assert!(!store.holds_named("no_such_predicate", &[ElemId(0)]));
+    }
+
+    #[test]
+    fn mutual_recursion_same_fixpoint_across_engines() {
+        let sig = Arc::new(Signature::from_pairs([("succ", 2), ("zero", 1)]));
+        let dom = Domain::anonymous(8);
+        let mut s = Structure::new(sig, dom);
+        let succ = s.signature().lookup("succ").unwrap();
+        let zero = s.signature().lookup("zero").unwrap();
+        s.insert(zero, &[ElemId(0)]);
+        for i in 0..7u32 {
+            s.insert(succ, &[ElemId(i), ElemId(i + 1)]);
+        }
+        let p = parse_program(
+            "even(X) :- zero(X).\nodd(Y) :- even(X), succ(X, Y).\n\
+             even(Y) :- odd(X), succ(X, Y).",
+            &s,
+        )
+        .unwrap();
+        let (naive, _) = eval_naive(&p, &s);
+        let (indexed, _) = eval_seminaive(&p, &s);
+        let (scan, _) = eval_seminaive_scan(&p, &s);
+        for name in ["even", "odd"] {
+            let id = p.idb(name).unwrap();
+            assert_eq!(naive.tuples(id), indexed.tuples(id), "{name}");
+            assert_eq!(naive.tuples(id), scan.tuples(id), "{name}");
+        }
     }
 }

@@ -10,7 +10,15 @@
 //!
 //! * [`ast`] / [`parser`] — programs as data or text;
 //! * [`eval`] — naive and semi-naive least-fixpoint evaluation (the
-//!   reference semantics of §2.4);
+//!   reference semantics of §2.4). The semi-naive engine executes per-rule
+//!   join plans over the secondary-index layer of [`mdtw_structure`]:
+//!   body literals are greedily ordered by bound-variable count and probe
+//!   argument-position hash indexes instead of scanning relations, and the
+//!   frontier is a set of per-predicate delta relations plugged into the
+//!   same index layer;
+//! * [`plan`](mod@crate::plan) — the join planner: access-path selection
+//!   (scan vs. index probe), delta-plan generation for the semi-naive
+//!   rule split, early scheduling of negative literals;
 //! * [`ground`](mod@crate::ground) — **quasi-guarded** datalog (Definition 4.3): guard
 //!   analysis with declared functional dependencies, grounding in
 //!   `O(|P|·|𝒜|)`, and the linear-time evaluation of Theorem 4.4;
@@ -25,9 +33,11 @@ pub mod eval;
 pub mod ground;
 pub mod horn;
 pub mod parser;
+pub mod plan;
 
 pub use ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term, Var};
-pub use eval::{eval_naive, eval_seminaive, EvalStats, IdbStore};
+pub use eval::{eval_naive, eval_seminaive, eval_seminaive_scan, EvalStats, IdbStore};
 pub use ground::{eval_quasi_guarded, ground, FdCatalog, FuncDep, Grounding, QgError, QgStats};
 pub use horn::{HornProgram, HornRule};
 pub use parser::{parse_program, ParseError};
+pub use plan::{plan_program, plan_rule, Access, JoinPlan, JoinStep, RulePlans};

@@ -1,0 +1,341 @@
+//! Join planning for the indexed evaluation engine.
+//!
+//! Per rule, the planner orders the positive body literals greedily by
+//! bound-argument count and records, for every literal, which secondary
+//! index ([`mdtw_structure::PosIndex`]) it probes: the key positions are
+//! exactly the argument positions held by a constant or by a variable
+//! bound at an earlier step. Negative literals are scheduled at the first
+//! step after which all their variables are bound, so failing branches are
+//! pruned as early as possible.
+//!
+//! For semi-naive evaluation the planner additionally produces one *delta
+//! plan* per positive intensional body literal: that literal is forced to
+//! the front of the join order (the delta is the smallest relation in the
+//! round) and the evaluator reads it from the per-predicate delta store.
+
+use crate::ast::{PredRef, Program, Rule, Term};
+
+/// How a positive body literal is matched at its step of the join order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Access {
+    /// No argument position is bound when the literal runs: enumerate the
+    /// whole relation.
+    Scan,
+    /// Probe the secondary index on `positions` (the argument positions
+    /// bound by constants or by variables of earlier steps).
+    Probe {
+        /// Indexed argument positions, in key order.
+        positions: Vec<usize>,
+    },
+}
+
+/// One step of a rule's join order.
+#[derive(Debug, Clone)]
+pub struct JoinStep {
+    /// Index of the positive literal in the rule body.
+    pub literal: usize,
+    /// Access path used to enumerate candidate tuples.
+    pub access: Access,
+    /// Negative body literals whose variables are all bound once this
+    /// step's atom is matched; checked immediately after the match.
+    pub negatives_after: Vec<usize>,
+}
+
+/// A compiled join plan for one rule.
+#[derive(Debug, Clone)]
+pub struct JoinPlan {
+    /// Steps over the positive body literals, in execution order.
+    pub steps: Vec<JoinStep>,
+    /// Negative body literals without variables, checked before any step.
+    pub ground_negatives: Vec<usize>,
+}
+
+/// All plans of one rule.
+#[derive(Debug, Clone)]
+pub struct RulePlans {
+    /// The unconstrained plan (round 0 of semi-naive evaluation).
+    pub base: JoinPlan,
+    /// One `(body literal index, plan)` pair per positive intensional body
+    /// literal; the plan joins that literal first, reading it from the
+    /// delta store.
+    pub delta: Vec<(usize, JoinPlan)>,
+}
+
+/// Plans every rule of `program`.
+pub fn plan_program(program: &Program) -> Vec<RulePlans> {
+    program.rules.iter().map(plan_rule).collect()
+}
+
+/// Plans a single rule: the base plan plus one delta plan per positive
+/// intensional body literal.
+pub fn plan_rule(rule: &Rule) -> RulePlans {
+    let idb_positions: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.positive && matches!(l.atom.pred, PredRef::Idb(_)))
+        .map(|(i, _)| i)
+        .collect();
+    RulePlans {
+        base: plan_with_first(rule, None),
+        delta: idb_positions
+            .into_iter()
+            .map(|pos| (pos, plan_with_first(rule, Some(pos))))
+            .collect(),
+    }
+}
+
+/// Greedy planner. `first`, if set, forces that body literal to the front
+/// (used for delta literals).
+fn plan_with_first(rule: &Rule, first: Option<usize>) -> JoinPlan {
+    let nvars = rule.var_count as usize;
+    let mut bound = vec![false; nvars];
+
+    let mut remaining: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| l.positive && Some(*i) != first)
+        .map(|(i, _)| i)
+        .collect();
+    let negatives: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.positive)
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut neg_emitted = vec![false; rule.body.len()];
+    let mut ground_negatives = Vec::new();
+    for &ni in &negatives {
+        if rule.body[ni].atom.vars().next().is_none() {
+            ground_negatives.push(ni);
+            neg_emitted[ni] = true;
+        }
+    }
+
+    let mut steps = Vec::new();
+    let mut push_step = |li: usize, bound: &mut Vec<bool>, neg_emitted: &mut Vec<bool>| {
+        let access = access_for(rule, li, bound);
+        for v in rule.body[li].atom.vars() {
+            bound[v.index()] = true;
+        }
+        let negatives_after: Vec<usize> = negatives
+            .iter()
+            .copied()
+            .filter(|&ni| !neg_emitted[ni] && rule.body[ni].atom.vars().all(|v| bound[v.index()]))
+            .collect();
+        for &ni in &negatives_after {
+            neg_emitted[ni] = true;
+        }
+        steps.push(JoinStep {
+            literal: li,
+            access,
+            negatives_after,
+        });
+    };
+
+    if let Some(li) = first {
+        push_step(li, &mut bound, &mut neg_emitted);
+    }
+    while !remaining.is_empty() {
+        // Greedy: the literal with the most bound argument positions next;
+        // ties broken by body order (stable ordering for reproducibility).
+        let (slot, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|&(slot, &li)| (bound_positions(rule, li, &bound).len(), usize::MAX - slot))
+            .expect("remaining non-empty");
+        let li = remaining.remove(slot);
+        push_step(li, &mut bound, &mut neg_emitted);
+    }
+
+    // Every negative literal must have been scheduled (safety: all its
+    // variables occur in positive literals, which are all bound by now).
+    // Failing loudly here keeps hand-built unsafe programs from being
+    // silently evaluated as if the unschedulable negation were absent.
+    assert!(
+        negatives.iter().all(|&ni| neg_emitted[ni]),
+        "unsafe rule: a negative literal's variable occurs in no positive body literal"
+    );
+
+    JoinPlan {
+        steps,
+        ground_negatives,
+    }
+}
+
+/// The argument positions of body literal `li` that are bound under
+/// `bound`: constants, plus variables already bound by earlier steps.
+fn bound_positions(rule: &Rule, li: usize, bound: &[bool]) -> Vec<usize> {
+    rule.body[li]
+        .atom
+        .terms
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound[v.index()],
+        })
+        .map(|(p, _)| p)
+        .collect()
+}
+
+fn access_for(rule: &Rule, li: usize, bound: &[bool]) -> Access {
+    let positions = bound_positions(rule, li, bound);
+    if positions.is_empty() {
+        Access::Scan
+    } else {
+        Access::Probe { positions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use mdtw_structure::{Domain, ElemId, Signature, Structure};
+    use std::sync::Arc;
+
+    fn edge_structure() -> Structure {
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let dom = Domain::anonymous(4);
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        s.insert(e, &[ElemId(0), ElemId(1)]);
+        s
+    }
+
+    #[test]
+    fn linear_rule_probes_on_join_variable() {
+        let s = edge_structure();
+        let p = parse_program(
+            "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).",
+            &s,
+        )
+        .unwrap();
+        let plans = plan_program(&p);
+        // Recursive rule, delta plan for the `path` literal (body index 0):
+        // `path` first (scan of the delta), then `e` probed on position 0
+        // (its first argument Y is bound by the delta literal).
+        let (pos, plan) = &plans[1].delta[0];
+        assert_eq!(*pos, 0);
+        assert_eq!(plan.steps.len(), 2);
+        assert_eq!(plan.steps[0].literal, 0);
+        assert_eq!(plan.steps[0].access, Access::Scan);
+        assert_eq!(plan.steps[1].literal, 1);
+        assert_eq!(plan.steps[1].access, Access::Probe { positions: vec![0] });
+    }
+
+    #[test]
+    fn greedy_order_prefers_most_bound() {
+        let s = edge_structure();
+        // Base plan: e(X,Y) binds X,Y; then sg (two bound) before e(Z,W)
+        // (zero bound) even though sg comes later in the body.
+        let p = parse_program(
+            "sg(X, Y) :- e(X, Y).\nq(X) :- e(X, Y), e(Z, W), sg(X, Y), sg(Z, W).",
+            &s,
+        )
+        .unwrap();
+        let rule = p.rules.last().unwrap();
+        let plans = plan_rule(rule);
+        let order: Vec<usize> = plans.base.steps.iter().map(|st| st.literal).collect();
+        assert_eq!(order, vec![0, 2, 1, 3]);
+        assert_eq!(
+            plans.base.steps[1].access,
+            Access::Probe {
+                positions: vec![0, 1]
+            }
+        );
+    }
+
+    #[test]
+    fn constants_are_bound_from_the_start() {
+        let s = edge_structure();
+        let p = parse_program("from_start(Y) :- e(x0, Y).", &s).unwrap();
+        let plans = plan_rule(&p.rules[0]);
+        assert_eq!(
+            plans.base.steps[0].access,
+            Access::Probe { positions: vec![0] }
+        );
+    }
+
+    #[test]
+    fn negatives_scheduled_at_earliest_bound_step() {
+        let s = edge_structure();
+        let p = parse_program("q(X) :- e(X, Y), e(Y, Z), !e(X, Y), !e(X, Z).", &s).unwrap();
+        let plans = plan_rule(&p.rules[0]);
+        // !e(X,Y) is fully bound after step 0; !e(X,Z) only after step 1.
+        assert_eq!(plans.base.steps[0].negatives_after, vec![2]);
+        assert_eq!(plans.base.steps[1].negatives_after, vec![3]);
+        assert!(plans.base.ground_negatives.is_empty());
+    }
+
+    #[test]
+    fn fact_rule_has_empty_plan() {
+        let s = edge_structure();
+        let p = parse_program("mark(x1).", &s).unwrap();
+        let plans = plan_rule(&p.rules[0]);
+        assert!(plans.base.steps.is_empty());
+        assert!(plans.delta.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unsafe rule")]
+    fn unsafe_negative_literal_is_rejected_loudly() {
+        use crate::ast::{Atom, Literal, PredRef, Program, Rule, Term, Var};
+        let s = edge_structure();
+        let e = s.signature().lookup("e").unwrap();
+        let mut p = Program::default();
+        let q = p.intern_idb("q", 1).unwrap();
+        // q(X) :- e(X, Y), !e(Z, Z).  — Z occurs in no positive literal;
+        // the parser rejects this, but hand-built programs must not have
+        // the negation silently dropped.
+        let rule = Rule {
+            head: Atom {
+                pred: PredRef::Idb(q),
+                terms: vec![Term::Var(Var(0))],
+            },
+            body: vec![
+                Literal {
+                    atom: Atom {
+                        pred: PredRef::Edb(e),
+                        terms: vec![Term::Var(Var(0)), Term::Var(Var(1))],
+                    },
+                    positive: true,
+                },
+                Literal {
+                    atom: Atom {
+                        pred: PredRef::Edb(e),
+                        terms: vec![Term::Var(Var(2)), Term::Var(Var(2))],
+                    },
+                    positive: false,
+                },
+            ],
+            var_count: 3,
+            var_names: vec!["X".into(), "Y".into(), "Z".into()],
+        };
+        assert!(!rule.is_safe());
+        let _ = plan_rule(&rule);
+    }
+
+    #[test]
+    fn one_delta_plan_per_idb_literal() {
+        let s = edge_structure();
+        let p = parse_program(
+            "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), path(Y, Z).",
+            &s,
+        )
+        .unwrap();
+        let plans = plan_rule(&p.rules[1]);
+        let positions: Vec<usize> = plans.delta.iter().map(|(p, _)| *p).collect();
+        assert_eq!(positions, vec![0, 1]);
+        // Second delta plan: path(Y,Z) from the delta first, then path(X,Y)
+        // probed on position 1 (Y bound).
+        let (_, dp) = &plans.delta[1];
+        assert_eq!(dp.steps[0].literal, 1);
+        assert_eq!(dp.steps[1].literal, 0);
+        assert_eq!(dp.steps[1].access, Access::Probe { positions: vec![1] });
+    }
+}

@@ -10,6 +10,9 @@
 //! * [`Signature`] — the predicate vocabulary τ,
 //! * [`Domain`] / [`ElemId`] — interned universes,
 //! * [`Structure`] — the structure itself, with EDB-style atom iteration,
+//! * [`Relation`] / [`PosIndex`] — tuple sets with lazily built, cached
+//!   secondary hash indexes by argument positions (the probe targets of
+//!   the indexed join engine in `mdtw-datalog`),
 //! * [`InducedStructure`] — induced substructures (Definition 3.2),
 //! * [`fx`] — a small fast hasher used across the workspace.
 //!
@@ -27,4 +30,4 @@ mod structure;
 
 pub use domain::{Domain, ElemId};
 pub use signature::{PredId, Signature};
-pub use structure::{GroundAtom, InducedStructure, Relation, Structure};
+pub use structure::{GroundAtom, InducedStructure, PosIndex, Relation, Structure};

@@ -4,7 +4,7 @@ use crate::domain::{Domain, ElemId};
 use crate::fx::FxHashMap;
 use crate::signature::{PredId, Signature};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// A ground atom `R(a₁, …, a_α)`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -25,21 +25,77 @@ impl GroundAtom {
     }
 }
 
-/// One relation `R^𝒜 ⊆ A^α`: a deduplicated set of tuples with stable
-/// insertion order (order matters for reproducible iteration).
+/// A secondary hash index over a [`Relation`]: maps the values at a fixed
+/// set of argument positions (the *key positions*) to the rows of every
+/// tuple carrying those values. Built lazily by [`Relation::index_on`] and
+/// kept current by [`Relation::insert`], so join engines can probe
+/// `R(…, a, …)` without scanning `R`.
 #[derive(Debug, Clone, Default)]
+pub struct PosIndex {
+    positions: Box<[usize]>,
+    map: FxHashMap<Box<[ElemId]>, Vec<u32>>,
+}
+
+impl PosIndex {
+    /// The indexed argument positions, in key order.
+    #[inline]
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Rows of all tuples whose key-position values equal `key`
+    /// (empty if none). Resolve rows with [`Relation::tuple`].
+    #[inline]
+    pub fn rows(&self, key: &[ElemId]) -> &[u32] {
+        debug_assert_eq!(key.len(), self.positions.len());
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.len()
+    }
+
+    fn add(&mut self, row: u32, tuple: &[ElemId]) {
+        let key: Box<[ElemId]> = self.positions.iter().map(|&p| tuple[p]).collect();
+        self.map.entry(key).or_default().push(row);
+    }
+}
+
+/// One relation `R^𝒜 ⊆ A^α`: a deduplicated set of tuples with stable
+/// insertion order (order matters for reproducible iteration), plus a
+/// cache of lazily built secondary indexes keyed by argument positions.
+#[derive(Debug, Default)]
 pub struct Relation {
     arity: usize,
     tuples: Vec<Box<[ElemId]>>,
     index: FxHashMap<Box<[ElemId]>, u32>,
+    /// Secondary indexes by key positions. Behind a lock so `index_on`
+    /// can build and cache through `&self` (probes happen mid-join, where
+    /// the relation is shared); `Arc` so probers hold the index without
+    /// holding the lock.
+    secondary: RwLock<FxHashMap<Box<[usize]>, Arc<PosIndex>>>,
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Self {
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+            index: self.index.clone(),
+            secondary: RwLock::new(self.secondary.read().expect("index cache lock").clone()),
+        }
+    }
 }
 
 impl Relation {
-    fn new(arity: usize) -> Self {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
         Self {
             arity,
             tuples: Vec::new(),
             index: FxHashMap::default(),
+            secondary: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -76,8 +132,20 @@ impl Relation {
         if self.index.contains_key(tuple) {
             return false;
         }
+        let row = self.tuples.len() as u32;
         let boxed: Box<[ElemId]> = tuple.into();
-        self.index.insert(boxed.clone(), self.tuples.len() as u32);
+        self.index.insert(boxed.clone(), row);
+        // Keep cached secondary indexes current so they never have to be
+        // rebuilt. `make_mut` copies only if a prober still holds the Arc
+        // (it then keeps a consistent snapshot of the pre-insert relation).
+        for idx in self
+            .secondary
+            .get_mut()
+            .expect("index cache lock")
+            .values_mut()
+        {
+            Arc::make_mut(idx).add(row, &boxed);
+        }
         self.tuples.push(boxed);
         true
     }
@@ -91,6 +159,61 @@ impl Relation {
     /// Iterates over tuples in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &[ElemId]> {
         self.tuples.iter().map(|t| &t[..])
+    }
+
+    /// The tuple stored at `row` (rows come from [`PosIndex::rows`]).
+    #[inline]
+    pub fn tuple(&self, row: u32) -> &[ElemId] {
+        &self.tuples[row as usize]
+    }
+
+    /// The secondary index keyed by `positions`, built on first request
+    /// and cached (subsequent calls are a lock + hash lookup). Positions
+    /// must be distinct and `< arity`.
+    ///
+    /// # Panics
+    /// Panics if a position is out of range or `positions` is empty.
+    pub fn index_on(&self, positions: &[usize]) -> Arc<PosIndex> {
+        assert!(!positions.is_empty(), "index on zero positions is a scan");
+        for &p in positions {
+            assert!(
+                p < self.arity,
+                "index position {p} out of arity {}",
+                self.arity
+            );
+        }
+        if let Some(idx) = self
+            .secondary
+            .read()
+            .expect("index cache lock")
+            .get(positions)
+        {
+            return Arc::clone(idx);
+        }
+        let mut cache = self.secondary.write().expect("index cache lock");
+        // Re-check: another prober may have built it between the locks.
+        if let Some(idx) = cache.get(positions) {
+            return Arc::clone(idx);
+        }
+        let mut idx = PosIndex {
+            positions: positions.into(),
+            map: FxHashMap::default(),
+        };
+        for (row, t) in self.tuples.iter().enumerate() {
+            idx.add(row as u32, t);
+        }
+        let idx = Arc::new(idx);
+        cache.insert(positions.into(), Arc::clone(&idx));
+        idx
+    }
+
+    /// Iterates over the tuples matching `key` on `index`'s positions.
+    pub fn matching<'a>(
+        &'a self,
+        index: &'a PosIndex,
+        key: &[ElemId],
+    ) -> impl Iterator<Item = &'a [ElemId]> {
+        index.rows(key).iter().map(move |&r| self.tuple(r))
     }
 }
 
@@ -419,5 +542,67 @@ mod tests {
     fn size_counts_domain_and_cells() {
         let (s, _) = triangle();
         assert_eq!(s.size(), 3 + 6 * 2);
+    }
+
+    #[test]
+    fn secondary_index_probes_match_scan() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let rel = s.relation(e);
+        let idx = rel.index_on(&[0]);
+        for &src in &v {
+            let probed: Vec<&[ElemId]> = rel.matching(&idx, &[src]).collect();
+            let scanned: Vec<&[ElemId]> = rel.iter().filter(|t| t[0] == src).collect();
+            assert_eq!(probed, scanned);
+        }
+        assert_eq!(idx.rows(&[v[0]]).len(), 2);
+        assert_eq!(idx.key_count(), 3);
+    }
+
+    #[test]
+    fn secondary_index_is_cached_and_maintained_on_insert() {
+        let (mut s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let before = s.relation(e).index_on(&[1]);
+        // Same positions → same cached index object.
+        assert!(Arc::ptr_eq(&before, &s.relation(e).index_on(&[1])));
+        // Insert a new tuple: the cached index must see it.
+        s.insert(e, &[v[0], v[0]]);
+        let after = s.relation(e).index_on(&[1]);
+        assert_eq!(after.rows(&[v[0]]).len(), 3);
+        let hits: Vec<&[ElemId]> = s.relation(e).matching(&after, &[v[0]]).collect();
+        assert!(hits.contains(&&[v[0], v[0]][..]));
+        // The pre-insert Arc still held by the caller is a consistent
+        // snapshot of the old relation contents.
+        assert_eq!(before.rows(&[v[0]]).len(), 2);
+    }
+
+    #[test]
+    fn multi_position_index() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let idx = s.relation(e).index_on(&[0, 1]);
+        assert_eq!(idx.rows(&[v[0], v[1]]).len(), 1);
+        assert_eq!(idx.rows(&[v[0], v[0]]).len(), 0);
+    }
+
+    #[test]
+    fn cloned_relation_keeps_index_cache_consistent() {
+        let (mut s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let _ = s.relation(e).index_on(&[0]);
+        let cloned = s.clone();
+        s.insert(e, &[v[0], v[0]]);
+        // The clone is unaffected by the original's insert.
+        assert_eq!(cloned.relation(e).index_on(&[0]).rows(&[v[0]]).len(), 2);
+        assert_eq!(s.relation(e).index_on(&[0]).rows(&[v[0]]).len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of arity")]
+    fn index_position_out_of_range_panics() {
+        let (s, _) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let _ = s.relation(e).index_on(&[2]);
     }
 }

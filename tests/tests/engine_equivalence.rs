@@ -1,0 +1,183 @@
+//! Property test: the three evaluation engines — naive (the executable
+//! minimal-model definition), the pre-index scan engine (kept as oracle),
+//! and the indexed semi-naive engine — compute identical least fixpoints
+//! and identical distinct-fact counts on randomly generated semipositive
+//! programs over randomly generated structures.
+
+use mdtw_datalog::{
+    eval_naive, eval_seminaive, eval_seminaive_scan, Atom, IdbId, Literal, PredRef, Program, Rule,
+    Term, Var,
+};
+use mdtw_structure::{Domain, ElemId, PredId, Signature, Structure};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Raw material for one body literal: `(kind, arg, arg)`.
+type RawLit = (u8, u8, u8);
+/// Raw material for one rule:
+/// `(head pick, (head arg, head arg), positive body, negative pick)`.
+type RawRule = (u8, (u8, u8), Vec<RawLit>, RawLit);
+
+const NVARS: u8 = 3;
+
+fn build_structure(n: usize, edges: &[(u8, u8)], marks: &[u8]) -> Structure {
+    let sig = Arc::new(Signature::from_pairs([("e", 2), ("m", 1)]));
+    let dom = Domain::anonymous(n);
+    let mut s = Structure::new(sig, dom);
+    let e = s.signature().lookup("e").unwrap();
+    let m = s.signature().lookup("m").unwrap();
+    for &(a, b) in edges {
+        s.insert(
+            e,
+            &[ElemId(a as u32 % n as u32), ElemId(b as u32 % n as u32)],
+        );
+    }
+    for &a in marks {
+        s.insert(m, &[ElemId(a as u32 % n as u32)]);
+    }
+    s
+}
+
+fn var(i: u8) -> Term {
+    Term::Var(Var((i % NVARS) as u32))
+}
+
+/// Builds a positive body literal from raw ints. Kinds: e/2, m/1, q0/1,
+/// q1/2 (IDB ids 0 and 1).
+fn positive_literal(raw: RawLit, e: PredId, m: PredId) -> Literal {
+    let (kind, a, b) = raw;
+    let atom = match kind % 4 {
+        0 => Atom {
+            pred: PredRef::Edb(e),
+            terms: vec![var(a), var(b)],
+        },
+        1 => Atom {
+            pred: PredRef::Edb(m),
+            terms: vec![var(a)],
+        },
+        2 => Atom {
+            pred: PredRef::Idb(IdbId(0)),
+            terms: vec![var(a)],
+        },
+        _ => Atom {
+            pred: PredRef::Idb(IdbId(1)),
+            terms: vec![var(a), var(b)],
+        },
+    };
+    Literal {
+        atom,
+        positive: true,
+    }
+}
+
+/// Builds a random but always-safe semipositive program: head variables
+/// and negative-literal variables are drawn from the variables of the
+/// positive body (never empty: the generator emits 1–3 positive literals,
+/// each with at least one variable), so `Rule::is_safe` holds by
+/// construction.
+fn build_program(raw_rules: &[RawRule], structure: &Structure) -> Program {
+    let e = structure.signature().lookup("e").unwrap();
+    let m = structure.signature().lookup("m").unwrap();
+    let mut program = Program::default();
+    program.intern_idb("q0", 1).unwrap();
+    program.intern_idb("q1", 2).unwrap();
+
+    for (head_pick, (h1, h2), body_raw, neg_raw) in raw_rules {
+        let body: Vec<Literal> = body_raw
+            .iter()
+            .map(|&raw| positive_literal(raw, e, m))
+            .collect();
+        let mut pos_vars: Vec<Var> = body
+            .iter()
+            .flat_map(|l| l.atom.vars().collect::<Vec<_>>())
+            .collect();
+        pos_vars.sort();
+        pos_vars.dedup();
+        debug_assert!(!pos_vars.is_empty(), "every positive literal has a var");
+        let pick = |sel: u8| Term::Var(pos_vars[sel as usize % pos_vars.len()]);
+
+        let head = if head_pick % 2 == 0 {
+            Atom {
+                pred: PredRef::Idb(IdbId(0)),
+                terms: vec![pick(*h1)],
+            }
+        } else {
+            Atom {
+                pred: PredRef::Idb(IdbId(1)),
+                terms: vec![pick(*h1), pick(*h2)],
+            }
+        };
+
+        let mut body = body;
+        let (nkind, na, nb) = *neg_raw;
+        // Negation only on EDB atoms (semipositive fragment), with
+        // variables from the positive body (safety).
+        match nkind % 3 {
+            0 => {}
+            1 => body.push(Literal {
+                atom: Atom {
+                    pred: PredRef::Edb(e),
+                    terms: vec![pick(na), pick(nb)],
+                },
+                positive: false,
+            }),
+            _ => body.push(Literal {
+                atom: Atom {
+                    pred: PredRef::Edb(m),
+                    terms: vec![pick(na)],
+                },
+                positive: false,
+            }),
+        }
+
+        let rule = Rule {
+            head,
+            body,
+            var_count: NVARS as u32,
+            var_names: vec!["X".into(), "Y".into(), "Z".into()],
+        };
+        assert!(rule.is_safe(), "generator must only build safe rules");
+        program.rules.push(rule);
+    }
+    program
+        .check_semipositive()
+        .expect("generator must only build semipositive programs");
+    program
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn engines_compute_identical_fixpoints(
+        n in 2usize..6,
+        edges in vec((0u8..8, 0u8..8), 0..10),
+        marks in vec(0u8..8, 0..4),
+        raw_rules in vec(
+            (
+                0u8..4,
+                (0u8..8, 0u8..8),
+                vec((0u8..8, 0u8..8, 0u8..8), 1..4),
+                (0u8..6, 0u8..8, 0u8..8),
+            ),
+            1..5,
+        ),
+    ) {
+        let s = build_structure(n, &edges, &marks);
+        let p = build_program(&raw_rules, &s);
+        let (naive, naive_stats) = eval_naive(&p, &s);
+        let (scan, scan_stats) = eval_seminaive_scan(&p, &s);
+        let (indexed, indexed_stats) = eval_seminaive(&p, &s);
+
+        for idb in 0..p.idb_count() {
+            let id = IdbId(idb as u32);
+            prop_assert_eq!(naive.tuples(id), scan.tuples(id), "scan vs naive, idb {}", idb);
+            prop_assert_eq!(naive.tuples(id), indexed.tuples(id), "indexed vs naive, idb {}", idb);
+        }
+        prop_assert_eq!(naive.fact_count(), indexed.fact_count());
+        prop_assert_eq!(naive_stats.facts, scan_stats.facts);
+        prop_assert_eq!(naive_stats.facts, indexed_stats.facts);
+        // The rule split may only save work, never add it.
+        prop_assert!(indexed_stats.firings <= scan_stats.firings);
+    }
+}
