@@ -1,0 +1,131 @@
+//! Machine-readable join-engine performance report.
+//!
+//! ```text
+//! cargo run -p mdtw-bench --bin bench_report --release -- \
+//!     [--out PATH] [--sizes N,N,...] [--label LABEL] [--append]
+//! ```
+//!
+//! Runs the `join_indexing`/`engine_linearity` workloads at fixed chain
+//! sizes through the semi-naive engines and writes one labelled record of
+//! rows (ns/eval, ns/derived-fact, work counters) to `--out` (default
+//! `BENCH_joins.json`). With `--append`, the record is appended to the
+//! records array of an existing report file, so before/after measurements
+//! of the same workloads accumulate in one place.
+
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: bench_report [--out PATH] [--sizes N,N,...] [--label LABEL] [--append]\n\
+    \n\
+    --out PATH      output file (default BENCH_joins.json)\n\
+    --sizes N,N,..  comma-separated chain sizes (default 1000,2000,4000,8000)\n\
+    --label LABEL   record label (default `current`)\n\
+    --append        append the record to an existing report file";
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("bench_report: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// The scan engine is superlinear; cap the sizes it is attempted on.
+const SCAN_CAP: usize = 1000;
+
+fn main() -> ExitCode {
+    let mut out_path = String::from("BENCH_joins.json");
+    let mut sizes: Vec<usize> = vec![1000, 2000, 4000, 8000];
+    let mut label = String::from("current");
+    let mut append = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--append" => append = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => return usage_error("--out requires a path"),
+            },
+            "--label" => match args.next() {
+                Some(l) => label = l,
+                None => return usage_error("--label requires a value"),
+            },
+            "--sizes" => match args.next() {
+                Some(list) => {
+                    let parsed: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
+                    match parsed {
+                        Ok(v) if !v.is_empty() && v.iter().all(|&n| n >= 2) => sizes = v,
+                        _ => return usage_error(&format!("malformed --sizes `{list}`")),
+                    }
+                }
+                None => return usage_error("--sizes requires a list"),
+            },
+            s => return usage_error(&format!("unknown argument `{s}`")),
+        }
+    }
+
+    eprintln!("bench_report: measuring sizes {sizes:?} (scan baseline capped at {SCAN_CAP})…");
+    let rows = mdtw_bench::join_report(&sizes, SCAN_CAP);
+    let record = mdtw_bench::render_join_record_json(&label, &rows);
+
+    let report = if append {
+        match std::fs::read_to_string(&out_path) {
+            Ok(existing) => match splice_record(&existing, &record) {
+                Some(merged) => merged,
+                None => {
+                    eprintln!("bench_report: `{out_path}` is not a bench_report file; rewriting");
+                    fresh_report(&record)
+                }
+            },
+            Err(_) => fresh_report(&record),
+        }
+    } else {
+        fresh_report(&record)
+    };
+
+    if let Err(e) = std::fs::write(&out_path, &report) {
+        eprintln!("bench_report: cannot write `{out_path}`: {e}");
+        return ExitCode::FAILURE;
+    }
+    for r in &rows {
+        eprintln!(
+            "  {:>16}/{:<8} n={:<6} facts={:<9} {:>10.1} ns/fact",
+            r.workload, r.engine, r.n, r.facts, r.ns_per_fact
+        );
+    }
+    eprintln!("bench_report: wrote {out_path}");
+    ExitCode::SUCCESS
+}
+
+fn fresh_report(record: &str) -> String {
+    format!("{{\"records\": [\n  {record}\n]}}\n")
+}
+
+/// Appends `record` to the records array of an existing report. The file
+/// is always produced by this bin, so the splice point is the exact
+/// closing text written by [`fresh_report`].
+fn splice_record(existing: &str, record: &str) -> Option<String> {
+    let trimmed = existing.trim_end();
+    let body = trimmed.strip_suffix("\n]}")?;
+    Some(format!("{body},\n  {record}\n]}}\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_splices_into_records_array() {
+        let first = fresh_report("{\"label\": \"a\", \"rows\": []}");
+        let merged = splice_record(&first, "{\"label\": \"b\", \"rows\": []}").unwrap();
+        assert_eq!(merged.matches("\"label\"").count(), 2);
+        assert!(merged.trim_end().ends_with("]}"));
+        // A third append still works on the merged output.
+        let merged = splice_record(&merged, "{\"label\": \"c\", \"rows\": []}").unwrap();
+        assert_eq!(merged.matches("\"label\"").count(), 3);
+        // Arbitrary text is rejected rather than corrupted.
+        assert!(splice_record("not a report", "{}").is_none());
+    }
+}

@@ -139,6 +139,182 @@ pub fn render_table1_json(rows: &[Table1Row]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// Join-engine perf report (`bench_report` bin)
+// ---------------------------------------------------------------------------
+
+/// One measured row of the join-engine performance report: a workload at a
+/// fixed size, evaluated by one engine, with wall-clock and work counters.
+/// Written to `BENCH_joins.json` by the `bench_report` bin so the perf
+/// trajectory of the semi-naive engine is recorded across PRs.
+#[derive(Debug, Clone)]
+pub struct JoinBenchRow {
+    /// Workload name (`linear_tc` or `reach_linearity`).
+    pub workload: String,
+    /// Engine name (`indexed` or `scan`).
+    pub engine: String,
+    /// Structure size (chain length).
+    pub n: usize,
+    /// Distinct facts derived by the evaluation.
+    pub facts: usize,
+    /// Mean nanoseconds per full evaluation.
+    pub nanos_per_eval: f64,
+    /// Mean nanoseconds per derived fact (the headline metric).
+    pub ns_per_fact: f64,
+    /// Work counters of one evaluation.
+    pub stats: mdtw_datalog::EvalStats,
+}
+
+fn chain_structure_for_bench(n: usize, preds: &[(&str, usize)]) -> mdtw_structure::Structure {
+    use mdtw_structure::{Domain, Signature, Structure};
+    let sig = std::sync::Arc::new(Signature::from_pairs(preds.iter().copied()));
+    let dom = Domain::anonymous(n);
+    Structure::new(sig, dom)
+}
+
+fn linear_tc_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog::Program) {
+    use mdtw_structure::ElemId;
+    let mut s = chain_structure_for_bench(n, &[("e", 2)]);
+    let e = s.signature().lookup("e").unwrap();
+    for i in 0..n - 1 {
+        s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+    }
+    let p = mdtw_datalog::parse_program(
+        "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).",
+        &s,
+    )
+    .unwrap();
+    (s, p)
+}
+
+fn reach_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog::Program) {
+    use mdtw_structure::ElemId;
+    let mut s = chain_structure_for_bench(n, &[("next", 2), ("first", 1)]);
+    let next = s.signature().lookup("next").unwrap();
+    let first = s.signature().lookup("first").unwrap();
+    s.insert(first, &[ElemId(0)]);
+    for i in 0..n - 1 {
+        s.insert(next, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+    }
+    let p = mdtw_datalog::parse_program(
+        "reach(X) :- first(X).\nreach(Y) :- reach(X), next(X, Y).\n\
+         inner(X) :- reach(X), next(X, Y), !first(X).",
+        &s,
+    )
+    .unwrap();
+    (s, p)
+}
+
+/// Times `eval` until at least ~200 ms or 50 iterations have elapsed
+/// (after one warm-up run) and returns mean nanoseconds per evaluation.
+fn time_eval(mut eval: impl FnMut() -> usize) -> f64 {
+    let _ = eval(); // warm-up (builds lazy indexes, faults pages)
+    let budget = std::time::Duration::from_millis(200);
+    let start = Instant::now();
+    let mut iters = 0u32;
+    while iters < 50 && (iters < 3 || start.elapsed() < budget) {
+        std::hint::black_box(eval());
+        iters += 1;
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+/// Measures the join/linearity workloads at the given chain sizes.
+///
+/// The indexed engine runs at every size; the scan baseline only at sizes
+/// ≤ `scan_cap` (it is superlinear and would dominate the wall-clock).
+pub fn join_report(sizes: &[usize], scan_cap: usize) -> Vec<JoinBenchRow> {
+    let mut rows = Vec::new();
+    let measure = |workload: &str,
+                   engine: &str,
+                   n: usize,
+                   rows: &mut Vec<JoinBenchRow>,
+                   eval: &mut dyn FnMut() -> (usize, mdtw_datalog::EvalStats)| {
+        // Stats come from a *second* evaluation so the recorded counters
+        // reflect steady state (e.g. `plan_cache_hits` = 1 once warm).
+        let (facts, _) = eval();
+        let (_, stats) = eval();
+        let nanos = time_eval(|| eval().0);
+        rows.push(JoinBenchRow {
+            workload: workload.into(),
+            engine: engine.into(),
+            n,
+            facts,
+            nanos_per_eval: nanos,
+            ns_per_fact: nanos / facts.max(1) as f64,
+            stats,
+        });
+    };
+    for &n in sizes {
+        let (s, p) = linear_tc_workload(n);
+        measure("linear_tc", "indexed", n, &mut rows, &mut || {
+            let (store, stats) = mdtw_datalog::eval_seminaive(&p, &s);
+            (store.fact_count(), stats)
+        });
+        if n <= scan_cap {
+            measure("linear_tc", "scan", n, &mut rows, &mut || {
+                let (store, stats) = mdtw_datalog::eval_seminaive_scan(&p, &s);
+                (store.fact_count(), stats)
+            });
+        }
+
+        let (s, p) = reach_workload(n);
+        measure("reach_linearity", "indexed", n, &mut rows, &mut || {
+            let (store, stats) = mdtw_datalog::eval_seminaive(&p, &s);
+            (store.fact_count(), stats)
+        });
+    }
+    rows
+}
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). The workload/engine fields are
+/// internal constants, but the record label comes from the command line.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one labelled record of join-bench rows as JSON (hand-rolled:
+/// no serde in the build environment).
+pub fn render_join_record_json(label: &str, rows: &[JoinBenchRow]) -> String {
+    let mut out = format!("{{\"label\": \"{}\", \"rows\": [", escape_json(label));
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"workload\": \"{}\", \"engine\": \"{}\", \"n\": {}, \
+             \"facts\": {}, \"ns_per_eval\": {:.0}, \"ns_per_fact\": {:.1}, \
+             \"firings\": {}, \"index_probes\": {}, \"full_scans\": {}, \
+             \"tuples_considered\": {}, \"interned_hits\": {}, \
+             \"plan_cache_hits\": {}}}",
+            r.workload,
+            r.engine,
+            r.n,
+            r.facts,
+            r.nanos_per_eval,
+            r.ns_per_fact,
+            r.stats.firings,
+            r.stats.index_probes,
+            r.stats.full_scans,
+            r.stats.tuples_considered,
+            r.stats.interned_hits,
+            r.stats.plan_cache_hits,
+        ));
+    }
+    out.push_str("\n  ]}");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +343,31 @@ mod tests {
         let s = render_table1(&rows);
         assert!(s.contains("MD(us)"));
         assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn join_report_smoke_and_json_shape() {
+        let rows = join_report(&[40], 40);
+        // indexed + scan on linear_tc, indexed on reach_linearity.
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.facts > 0);
+            assert!(r.ns_per_fact > 0.0);
+        }
+        // Steady-state stats: the indexed rows ran against a warm plan
+        // cache.
+        assert!(rows
+            .iter()
+            .filter(|r| r.engine == "indexed")
+            .all(|r| r.stats.plan_cache_hits == 1));
+        let json = render_join_record_json("test", &rows);
+        assert!(json.starts_with("{\"label\": \"test\""));
+        // Hostile labels are escaped, not interpolated raw.
+        let hostile = render_join_record_json("a\"b\\c\n", &rows);
+        assert!(hostile.starts_with("{\"label\": \"a\\\"b\\\\c\\u000a\""));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches("\"workload\"").count(), 3);
+        assert!(json.contains("\"plan_cache_hits\": 1"));
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub enum Term {
 }
 
 /// An atom `p(t₁, …, t_n)`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Atom {
     /// The predicate.
     pub pred: PredRef,
@@ -73,7 +73,7 @@ impl Atom {
 }
 
 /// A body literal: an atom or its negation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Literal {
     /// The underlying atom.
     pub atom: Atom,
@@ -83,7 +83,7 @@ pub struct Literal {
 
 /// A rule `head ← body`. A rule with an empty body and a ground head is a
 /// fact.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Rule {
     /// The head atom; its predicate must be intensional.
     pub head: Atom,

@@ -23,7 +23,7 @@
 //! lives in the `ground` and `horn` modules.
 
 use crate::ast::{Atom, IdbId, PredRef, Program, Rule, Term, Var};
-use crate::plan::{plan_program, Access, JoinPlan, RulePlans};
+use crate::plan::{Access, JoinPlan, RulePlans};
 use mdtw_structure::fx::{FxHashMap, FxHashSet};
 use mdtw_structure::{ElemId, PosIndex, Relation, Structure};
 use std::sync::Arc;
@@ -120,7 +120,8 @@ impl IdbStore {
     }
 }
 
-/// Evaluation statistics (for the linearity experiments).
+/// Evaluation statistics (for the linearity experiments and the
+/// `bench_report` perf trajectory).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Number of successful rule instantiations considered (including
@@ -130,15 +131,25 @@ pub struct EvalStats {
     pub facts: usize,
     /// Number of fixpoint rounds.
     pub rounds: usize,
-    /// Secondary-index probes performed (indexed engine only).
+    /// Secondary-index probes performed (always 0 for the naive and scan
+    /// engines, which never probe).
     pub index_probes: usize,
-    /// Unindexed enumerations of an EDB relation or the IDB store
-    /// (indexed engine only; enumerating a round's delta relation — the
+    /// Unindexed enumerations of an EDB relation or the IDB store,
+    /// counted by all three engines (enumerating a round's delta — the
     /// point of semi-naive evaluation — is not counted).
     pub full_scans: usize,
-    /// Candidate tuples enumerated across all literal accesses (indexed
-    /// engine only).
+    /// Candidate tuples enumerated across all literal accesses, counted
+    /// by all three engines.
     pub tuples_considered: usize,
+    /// Derivations that resolved to an already-interned tuple (in the
+    /// store or the round's staging relation) instead of allocating new
+    /// storage: `interned_hits + facts` equals the number of firings with
+    /// an intensional head. Indexed engine only.
+    pub interned_hits: usize,
+    /// 1 if this evaluation reused compiled rule plans from a
+    /// [`PlanCache`](crate::cache::PlanCache), 0 if it had to plan.
+    /// Indexed engine only.
+    pub plan_cache_hits: usize,
 }
 
 /// Naive evaluation: apply all rules until nothing changes.
@@ -149,14 +160,20 @@ pub fn eval_naive(program: &Program, structure: &Structure) -> (IdbStore, EvalSt
         stats.rounds += 1;
         let mut new_facts: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
         for rule in &program.rules {
-            for_each_match(rule, structure, &store, None, &mut |head_args| {
-                stats.firings += 1;
-                if let PredRef::Idb(id) = rule.head.pred {
-                    if !store.holds(id, &head_args) {
-                        new_facts.push((id, head_args));
+            for_each_match(
+                rule,
+                structure,
+                &store,
+                None,
+                &mut stats,
+                &mut |head_args| {
+                    if let PredRef::Idb(id) = rule.head.pred {
+                        if !store.holds(id, &head_args) {
+                            new_facts.push((id, head_args));
+                        }
                     }
-                }
-            });
+                },
+            );
         }
         let mut changed = false;
         for (id, args) in new_facts {
@@ -178,7 +195,8 @@ pub fn eval_naive(program: &Program, structure: &Structure) -> (IdbStore, EvalSt
 
 /// The per-predicate delta relations of one semi-naive round. Plugged into
 /// the same index layer as the store, so delta atoms with bound arguments
-/// are probed rather than scanned.
+/// are probed rather than scanned. Recycled across rounds ([`Self::clear`])
+/// so round turnover reallocates nothing.
 struct DeltaStore {
     rels: Vec<Relation>,
     count: usize,
@@ -202,9 +220,50 @@ impl DeltaStore {
         }
     }
 
+    fn clear(&mut self) {
+        for rel in &mut self.rels {
+            rel.clear();
+        }
+        self.count = 0;
+    }
+
     #[inline]
     fn rel(&self, pred: IdbId) -> &Relation {
         &self.rels[pred.index()]
+    }
+}
+
+/// Per-predicate staging relations collecting one round's derivations
+/// before they are folded into the store (facts derived in round *i*
+/// become visible in round *i+1*). Arena-backed like everything else, so
+/// the derive path stages tuples without boxing them; recycled across
+/// rounds.
+struct FreshStore {
+    rels: Vec<Relation>,
+}
+
+impl FreshStore {
+    fn new(program: &Program) -> Self {
+        Self {
+            rels: program
+                .idb_arities
+                .iter()
+                .map(|&a| Relation::new(a))
+                .collect(),
+        }
+    }
+
+    /// Stages a derivation; returns `false` if it was already staged this
+    /// round (an interned-duplicate hit).
+    #[inline]
+    fn insert(&mut self, pred: IdbId, args: &[ElemId]) -> bool {
+        self.rels[pred.index()].insert(args)
+    }
+
+    fn clear(&mut self) {
+        for rel in &mut self.rels {
+            rel.clear();
+        }
     }
 }
 
@@ -224,15 +283,37 @@ struct PlanCtx<'a> {
 /// rule fires only with at least one body atom taken from the previous
 /// round's delta, and each body literal enumerates only the tuples
 /// matching its already-bound arguments (via [`Relation::index_on`]).
+///
+/// Compiled plans are memoized in the process-wide
+/// [`PlanCache`](crate::cache::PlanCache): repeated evaluations of the
+/// same program (the enumeration solvers re-evaluate per candidate) skip
+/// planning entirely and report it in
+/// [`EvalStats::plan_cache_hits`]. Use
+/// [`eval_seminaive_with_cache`](crate::cache::eval_seminaive_with_cache)
+/// to control the cache explicitly.
 pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
-    let plans: Vec<RulePlans> = plan_program(program);
+    let (plans, hit) = crate::cache::global_plan_cache().plans(program, structure);
+    let stats = EvalStats {
+        plan_cache_hits: usize::from(hit),
+        ..EvalStats::default()
+    };
+    run_seminaive(program, structure, &plans, stats)
+}
+
+/// The semi-naive round loop, parameterized by pre-compiled plans.
+pub(crate) fn run_seminaive(
+    program: &Program,
+    structure: &Structure,
+    plans: &[RulePlans],
+    mut stats: EvalStats,
+) -> (IdbStore, EvalStats) {
     let mut store = IdbStore::new(program);
-    let mut stats = EvalStats::default();
+    let mut scratch: Vec<ElemId> = Vec::new();
 
     // Round 0: all rules, unconstrained.
     stats.rounds += 1;
-    let mut fresh: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
-    for (rule, rp) in program.rules.iter().zip(&plans) {
+    let mut fresh = FreshStore::new(program);
+    for (rule, rp) in program.rules.iter().zip(plans) {
         let ctx = PlanCtx {
             rule,
             plan: &rp.base,
@@ -240,15 +321,18 @@ pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, Ev
             structure,
             store: &store,
         };
-        apply_plan(&ctx, &mut stats, &mut fresh);
+        apply_plan(&ctx, &mut stats, &mut fresh, &mut scratch);
     }
+    // Two delta stores ping-pong across rounds: `delta` is read by the
+    // round while `next` collects the survivors, then they swap and the
+    // stale one is cleared (arena capacity is retained).
     let mut delta = DeltaStore::new(program);
-    merge_round(&mut store, &mut delta, fresh, &mut stats);
+    let mut next = DeltaStore::new(program);
+    merge_round(&mut store, &mut delta, &mut fresh, &mut stats);
 
     while delta.count > 0 {
         stats.rounds += 1;
-        let mut fresh: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
-        for (rule, rp) in program.rules.iter().zip(&plans) {
+        for (rule, rp) in program.rules.iter().zip(plans) {
             for (dpos, plan) in &rp.delta {
                 let ctx = PlanCtx {
                     rule,
@@ -257,51 +341,64 @@ pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, Ev
                     structure,
                     store: &store,
                 };
-                apply_plan(&ctx, &mut stats, &mut fresh);
+                apply_plan(&ctx, &mut stats, &mut fresh, &mut scratch);
             }
         }
-        let mut next = DeltaStore::new(program);
-        merge_round(&mut store, &mut next, fresh, &mut stats);
-        delta = next;
+        next.clear();
+        merge_round(&mut store, &mut next, &mut fresh, &mut stats);
+        std::mem::swap(&mut delta, &mut next);
     }
     (store, stats)
 }
 
-/// Folds a round's derivations into the store; survivors (genuinely new
-/// facts) become the next round's delta.
+/// Folds a round's staged derivations into the store; survivors (genuinely
+/// new facts) become the next round's delta. Drains the staging store.
 fn merge_round(
     store: &mut IdbStore,
     delta: &mut DeltaStore,
-    fresh: Vec<(IdbId, Box<[ElemId]>)>,
+    fresh: &mut FreshStore,
     stats: &mut EvalStats,
 ) {
-    for (id, args) in fresh {
-        if store.insert(id, &args) {
-            stats.facts += 1;
-            delta.insert(id, &args);
+    for (idx, staged) in fresh.rels.iter().enumerate() {
+        let id = IdbId(idx as u32);
+        for args in staged.iter() {
+            if store.rels[idx].insert(args) {
+                stats.facts += 1;
+                delta.insert(id, args);
+            }
         }
     }
+    fresh.clear();
 }
 
-fn apply_plan(ctx: &PlanCtx<'_>, stats: &mut EvalStats, out: &mut Vec<(IdbId, Box<[ElemId]>)>) {
+fn apply_plan(
+    ctx: &PlanCtx<'_>,
+    stats: &mut EvalStats,
+    out: &mut FreshStore,
+    scratch: &mut Vec<ElemId>,
+) {
+    let mut bindings: Vec<Option<ElemId>> = vec![None; ctx.rule.var_count as usize];
     for &ni in &ctx.plan.ground_negatives {
-        let bindings: Vec<Option<ElemId>> = vec![None; ctx.rule.var_count as usize];
-        if negative_holds(ctx, ni, &bindings) {
+        if negative_holds(ctx, ni, &bindings, scratch) {
             return;
         }
     }
     let execs = resolve_steps(ctx);
-    let mut bindings: Vec<Option<ElemId>> = vec![None; ctx.rule.var_count as usize];
-    descend_plan(ctx, &execs, 0, &mut bindings, stats, out);
+    descend_plan(ctx, &execs, 0, &mut bindings, stats, out, scratch);
 }
 
 /// True if the *atom* of negative literal `ni` holds in the structure
-/// (i.e. the literal fails).
-fn negative_holds(ctx: &PlanCtx<'_>, ni: usize, bindings: &[Option<ElemId>]) -> bool {
+/// (i.e. the literal fails). Instantiates into `scratch` — no allocation.
+fn negative_holds(
+    ctx: &PlanCtx<'_>,
+    ni: usize,
+    bindings: &[Option<ElemId>],
+    scratch: &mut Vec<ElemId>,
+) -> bool {
     let atom = &ctx.rule.body[ni].atom;
-    let args = instantiate(atom, bindings).expect("planner schedules negatives when bound");
+    instantiate_into(atom, bindings, scratch);
     match atom.pred {
-        PredRef::Edb(p) => ctx.structure.holds(p, &args),
+        PredRef::Edb(p) => ctx.structure.holds(p, scratch),
         PredRef::Idb(_) => unreachable!("semipositive program"),
     }
 }
@@ -365,20 +462,22 @@ fn resolve_steps<'a>(ctx: &PlanCtx<'a>) -> Vec<StepExec<'a>> {
         .collect()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn descend_plan(
     ctx: &PlanCtx<'_>,
     execs: &[StepExec<'_>],
     step_idx: usize,
     bindings: &mut Vec<Option<ElemId>>,
     stats: &mut EvalStats,
-    out: &mut Vec<(IdbId, Box<[ElemId]>)>,
+    out: &mut FreshStore,
+    scratch: &mut Vec<ElemId>,
 ) {
     if step_idx == ctx.plan.steps.len() {
         stats.firings += 1;
-        let head_args = instantiate(&ctx.rule.head, bindings).expect("safe rule: head bound");
         if let PredRef::Idb(id) = ctx.rule.head.pred {
-            if !ctx.store.holds(id, &head_args) {
-                out.push((id, head_args));
+            instantiate_into(&ctx.rule.head, bindings, scratch);
+            if ctx.store.holds(id, scratch) || !out.insert(id, scratch) {
+                stats.interned_hits += 1;
             }
         }
         return;
@@ -392,16 +491,17 @@ fn descend_plan(
     let on_tuple = |tuple: &[ElemId],
                     bindings: &mut Vec<Option<ElemId>>,
                     stats: &mut EvalStats,
-                    out: &mut Vec<(IdbId, Box<[ElemId]>)>| {
+                    out: &mut FreshStore,
+                    scratch: &mut Vec<ElemId>| {
         stats.tuples_considered += 1;
         let mut touched: Vec<Var> = Vec::new();
         if unify(&lit.atom, tuple, bindings, &mut touched) {
             let negatives_ok = step
                 .negatives_after
                 .iter()
-                .all(|&ni| !negative_holds(ctx, ni, bindings));
+                .all(|&ni| !negative_holds(ctx, ni, bindings, scratch));
             if negatives_ok {
-                descend_plan(ctx, execs, step_idx + 1, bindings, stats, out);
+                descend_plan(ctx, execs, step_idx + 1, bindings, stats, out, scratch);
             }
         }
         for v in touched {
@@ -414,29 +514,34 @@ fn descend_plan(
             if !exec.from_delta {
                 stats.full_scans += 1;
             }
-            for tuple in rel.iter() {
-                if exclude.is_some_and(|d| d.contains(tuple)) {
-                    continue;
-                }
-                on_tuple(tuple, bindings, stats, out);
-            }
-        }
-        Access::Probe { positions } => {
-            stats.index_probes += 1;
-            let key: Vec<ElemId> = positions
-                .iter()
-                .map(|&p| match lit.atom.terms[p] {
-                    Term::Const(c) => c,
-                    Term::Var(v) => bindings[v.index()].expect("planner binds key positions"),
-                })
-                .collect();
-            let index = exec.index.as_ref().expect("probe steps resolve an index");
-            for &row in index.rows(&key) {
+            for row in 0..rel.len() as u32 {
                 let tuple = rel.tuple(row);
                 if exclude.is_some_and(|d| d.contains(tuple)) {
                     continue;
                 }
-                on_tuple(tuple, bindings, stats, out);
+                on_tuple(tuple, bindings, stats, out, scratch);
+            }
+        }
+        Access::Probe { positions } => {
+            stats.index_probes += 1;
+            // Build the probe key in the shared scratch buffer: its use
+            // ends at `rows_matching` (the row slice borrows the index,
+            // not the key), so deeper recursion levels can reuse it.
+            scratch.clear();
+            for &p in positions {
+                scratch.push(match lit.atom.terms[p] {
+                    Term::Const(c) => c,
+                    Term::Var(v) => bindings[v.index()].expect("planner binds key positions"),
+                });
+            }
+            let index = exec.index.as_ref().expect("probe steps resolve an index");
+            let rows = rel.rows_matching(index, scratch);
+            for &row in rows {
+                let tuple = rel.tuple(row);
+                if exclude.is_some_and(|d| d.contains(tuple)) {
+                    continue;
+                }
+                on_tuple(tuple, bindings, stats, out, scratch);
             }
         }
     }
@@ -464,14 +569,20 @@ pub fn eval_seminaive_scan(program: &Program, structure: &Structure) -> (IdbStor
     stats.rounds += 1;
     let mut delta: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
     for rule in &program.rules {
-        for_each_match(rule, structure, &store, None, &mut |head_args| {
-            stats.firings += 1;
-            if let PredRef::Idb(id) = rule.head.pred {
-                if !store.holds(id, &head_args) {
-                    delta.push((id, head_args));
+        for_each_match(
+            rule,
+            structure,
+            &store,
+            None,
+            &mut stats,
+            &mut |head_args| {
+                if let PredRef::Idb(id) = rule.head.pred {
+                    if !store.holds(id, &head_args) {
+                        delta.push((id, head_args));
+                    }
                 }
-            }
-        });
+            },
+        );
     }
     let mut frontier: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
     for (id, args) in delta {
@@ -501,8 +612,8 @@ pub fn eval_seminaive_scan(program: &Program, structure: &Structure) -> (IdbStor
                     structure,
                     &store,
                     Some((pos, &delta_set)),
+                    &mut stats,
                     &mut |head_args| {
-                        stats.firings += 1;
                         if let PredRef::Idb(id) = rule.head.pred {
                             if !store.holds(id, &head_args) {
                                 new_facts.push((id, head_args));
@@ -532,6 +643,7 @@ fn for_each_match(
     structure: &Structure,
     store: &IdbStore,
     delta: Option<(usize, &DeltaSet)>,
+    stats: &mut EvalStats,
     emit: &mut dyn FnMut(Box<[ElemId]>),
 ) {
     let mut bindings: Vec<Option<ElemId>> = vec![None; rule.var_count as usize];
@@ -562,6 +674,7 @@ fn for_each_match(
         0,
         &negatives,
         &mut bindings,
+        stats,
         emit,
     );
 }
@@ -576,6 +689,7 @@ fn descend(
     next: usize,
     negatives: &[usize],
     bindings: &mut Vec<Option<ElemId>>,
+    stats: &mut EvalStats,
     emit: &mut dyn FnMut(Box<[ElemId]>),
 ) {
     if next == positives.len() {
@@ -593,6 +707,7 @@ fn descend(
                 return;
             }
         }
+        stats.firings += 1;
         let head_args = instantiate(&rule.head, bindings).expect("safe rule: head bound");
         emit(head_args);
         return;
@@ -605,7 +720,9 @@ fn descend(
     // Enumerate candidate tuples for this literal.
     let try_tuple = |tuple: &[ElemId],
                      bindings: &mut Vec<Option<ElemId>>,
+                     stats: &mut EvalStats,
                      emit: &mut dyn FnMut(Box<[ElemId]>)| {
+        stats.tuples_considered += 1;
         let mut touched: Vec<Var> = Vec::new();
         if unify(&lit.atom, tuple, bindings, &mut touched) {
             descend(
@@ -617,6 +734,7 @@ fn descend(
                 next + 1,
                 negatives,
                 bindings,
+                stats,
                 emit,
             );
         }
@@ -625,22 +743,28 @@ fn descend(
         }
     };
 
+    // The scan engines enumerate whole relations on every non-delta
+    // literal — that is the point of the ablation. Count those scans so
+    // the three engines report comparable [`EvalStats`]; enumerating the
+    // delta (the semi-naive frontier) is not a full scan.
     match (lit.atom.pred, is_delta_pos) {
         (PredRef::Edb(p), _) => {
+            stats.full_scans += 1;
             for tuple in structure.relation(p).iter() {
-                try_tuple(tuple, bindings, emit);
+                try_tuple(tuple, bindings, stats, emit);
             }
         }
         (PredRef::Idb(id), false) => {
+            stats.full_scans += 1;
             for tuple in store.rels[id.index()].iter() {
-                try_tuple(tuple, bindings, emit);
+                try_tuple(tuple, bindings, stats, emit);
             }
         }
         (PredRef::Idb(id), true) => {
             let (_, set) = delta.expect("delta position implies delta set");
             for (tid, tuple) in set.iter() {
                 if *tid == id {
-                    try_tuple(tuple, bindings, emit);
+                    try_tuple(tuple, bindings, stats, emit);
                 }
             }
         }
@@ -682,6 +806,24 @@ fn unify(
         }
     }
     true
+}
+
+/// Instantiates an atom under complete bindings into a reusable buffer
+/// (the zero-allocation twin of [`instantiate`], used by the indexed
+/// engine's derive path).
+///
+/// # Panics
+/// Panics if a variable of the atom is unbound (plan safety guarantees
+/// all are).
+#[inline]
+fn instantiate_into(atom: &Atom, bindings: &[Option<ElemId>], out: &mut Vec<ElemId>) {
+    out.clear();
+    for t in &atom.terms {
+        out.push(match t {
+            Term::Const(c) => *c,
+            Term::Var(v) => bindings[v.index()].expect("safe rule: atom fully bound"),
+        });
+    }
 }
 
 /// Instantiates an atom under complete bindings.

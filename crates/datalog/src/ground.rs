@@ -20,7 +20,8 @@ use crate::ast::{Literal, PredRef, Program, Rule, Term};
 use crate::eval::IdbStore;
 use crate::horn::{HornProgram, HornRule};
 use mdtw_structure::fx::FxHashMap;
-use mdtw_structure::{ElemId, PredId, Structure};
+use mdtw_structure::{ElemId, PosIndex, PredId, Structure};
+use std::sync::Arc;
 
 /// A declared functional dependency on an extensional predicate: the
 /// argument positions in `determinant` uniquely determine the positions in
@@ -233,37 +234,23 @@ fn analyze_rule(rule: &Rule, catalog: &FdCatalog) -> Option<RulePlan> {
     None
 }
 
-/// A unique index over a relation, keyed by determinant positions.
-struct UniqueIndex {
-    key_positions: Vec<usize>,
-    map: FxHashMap<Box<[ElemId]>, Box<[ElemId]>>,
-}
-
-impl UniqueIndex {
-    fn build(
-        structure: &Structure,
-        pred: PredId,
-        key_positions: &[usize],
-    ) -> Result<Self, QgError> {
-        let mut map: FxHashMap<Box<[ElemId]>, Box<[ElemId]>> = FxHashMap::default();
-        for tuple in structure.relation(pred).iter() {
-            let key: Box<[ElemId]> = key_positions.iter().map(|&p| tuple[p]).collect();
-            if let Some(prev) = map.insert(key, tuple.into()) {
-                if &prev[..] != tuple {
-                    return Err(QgError::FdViolated { pred });
-                }
-            }
-        }
-        Ok(Self {
-            key_positions: key_positions.to_vec(),
-            map,
-        })
+/// Builds (through the relation's shared index cache) the secondary index
+/// on `pred`'s determinant positions and verifies the declared dependency
+/// actually holds in the data: a [`PosIndex`] bucket with two rows means
+/// two distinct tuples share a determinant value — an FD violation.
+///
+/// This *is* the unique index of Theorem 4.4's proof; uniqueness makes
+/// every bucket a singleton, so lookups are `rows_matching(..).first()`.
+fn unique_index(
+    structure: &Structure,
+    pred: PredId,
+    key_positions: &[usize],
+) -> Result<Arc<PosIndex>, QgError> {
+    let idx = structure.relation(pred).index_on(key_positions);
+    if idx.buckets().any(|b| b.len() > 1) {
+        return Err(QgError::FdViolated { pred });
     }
-
-    fn lookup(&self, key: &[ElemId]) -> Option<&[ElemId]> {
-        debug_assert_eq!(key.len(), self.key_positions.len());
-        self.map.get(key).map(|t| &t[..])
-    }
+    Ok(idx)
 }
 
 /// The ground program plus the atom interner used to decode the model.
@@ -296,20 +283,29 @@ pub fn ground(
         .expect("caller must supply a valid semipositive program");
     let plans = analyze(program, catalog)?;
 
-    // Build the unique indexes needed by the plans.
-    let mut indexes: FxHashMap<(PredId, Box<[usize]>), UniqueIndex> = FxHashMap::default();
+    // Resolve each rule's lookup steps to (predicate, unique index) pairs
+    // up front, validating the declared FDs once per distinct index.
+    let mut validated: FxHashMap<(PredId, Box<[usize]>), Arc<PosIndex>> = FxHashMap::default();
+    let mut step_indexes: Vec<Vec<(PredId, Arc<PosIndex>)>> = Vec::with_capacity(plans.len());
     for (rule, plan) in program.rules.iter().zip(&plans) {
+        let mut resolved = Vec::with_capacity(plan.steps.len());
         for step in &plan.steps {
             let pred = match rule.body[step.literal].atom.pred {
                 PredRef::Edb(p) => p,
                 PredRef::Idb(_) => unreachable!(),
             };
-            let key: Box<[usize]> = step.fd.determinant.clone().into();
-            if !indexes.contains_key(&(pred, key.clone())) {
-                let idx = UniqueIndex::build(structure, pred, &step.fd.determinant)?;
-                indexes.insert((pred, key), idx);
-            }
+            let key = (pred, step.fd.determinant.clone().into_boxed_slice());
+            let idx = match validated.get(&key) {
+                Some(idx) => Arc::clone(idx),
+                None => {
+                    let idx = unique_index(structure, pred, &step.fd.determinant)?;
+                    validated.insert(key, Arc::clone(&idx));
+                    idx
+                }
+            };
+            resolved.push((pred, idx));
         }
+        step_indexes.push(resolved);
     }
 
     let mut atom_ids: FxHashMap<(u32, Box<[ElemId]>), u32> = FxHashMap::default();
@@ -324,7 +320,8 @@ pub fn ground(
         *atom_ids.entry((pred, args)).or_insert(next)
     };
 
-    for (rule, plan) in program.rules.iter().zip(&plans) {
+    let mut key_buf: Vec<ElemId> = Vec::new();
+    for ((rule, plan), rule_indexes) in program.rules.iter().zip(&plans).zip(&step_indexes) {
         let mut bindings: Vec<Option<ElemId>> = vec![None; rule.var_count as usize];
         match plan.guard {
             None => {
@@ -366,27 +363,23 @@ pub fn ground(
                         }
                     }
                     // Execute the lookup plan.
-                    for step in &plan.steps {
+                    for (step, (pred, idx)) in plan.steps.iter().zip(rule_indexes) {
                         let lit = &rule.body[step.literal];
-                        let pred = match lit.atom.pred {
-                            PredRef::Edb(p) => p,
-                            PredRef::Idb(_) => unreachable!(),
-                        };
-                        let key: Box<[ElemId]> = step
-                            .fd
-                            .determinant
-                            .iter()
-                            .map(|&pos| match lit.atom.terms[pos] {
+                        key_buf.clear();
+                        for &pos in &step.fd.determinant {
+                            key_buf.push(match lit.atom.terms[pos] {
                                 Term::Const(c) => c,
                                 Term::Var(v) => {
                                     bindings[v.index()].expect("determinant bound by plan")
                                 }
-                            })
-                            .collect();
-                        let idx = &indexes[&(pred, step.fd.determinant.clone().into())];
-                        let Some(found) = idx.lookup(&key) else {
+                            });
+                        }
+                        let rel = structure.relation(*pred);
+                        // FD validation made every bucket a singleton.
+                        let Some(&row) = rel.rows_matching(idx, &key_buf).first() else {
                             continue 'tuples; // no matching tuple: rule body unsatisfiable
                         };
+                        let found = rel.tuple(row);
                         for (pos, &value) in found.iter().enumerate() {
                             match lit.atom.terms[pos] {
                                 Term::Const(c) => {

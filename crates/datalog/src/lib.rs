@@ -11,14 +11,22 @@
 //! * [`ast`] / [`parser`] — programs as data or text;
 //! * [`eval`] — naive and semi-naive least-fixpoint evaluation (the
 //!   reference semantics of §2.4). The semi-naive engine executes per-rule
-//!   join plans over the secondary-index layer of [`mdtw_structure`]:
-//!   body literals are greedily ordered by bound-variable count and probe
-//!   argument-position hash indexes instead of scanning relations, and the
-//!   frontier is a set of per-predicate delta relations plugged into the
-//!   same index layer;
+//!   join plans over the arena-backed secondary-index layer of
+//!   [`mdtw_structure`]: body literals probe argument-position hash
+//!   indexes instead of scanning relations, the frontier is a set of
+//!   per-predicate delta relations plugged into the same index layer, and
+//!   the whole probe/insert path — delta sets, index keys, staging, IDB
+//!   membership — is keyed by interned integer ids, so deriving a fact
+//!   allocates nothing beyond amortized arena growth;
 //! * [`plan`](mod@crate::plan) — the join planner: access-path selection
-//!   (scan vs. index probe), delta-plan generation for the semi-naive
-//!   rule split, early scheduling of negative literals;
+//!   (scan vs. index probe), greedy ordering by bound-variable count with
+//!   cardinality/selectivity tie-breaks from relation statistics,
+//!   delta-plan generation for the semi-naive rule split, early
+//!   scheduling of negative literals;
+//! * [`cache`](mod@crate::cache) — the cross-evaluation [`PlanCache`]:
+//!   compiled rule plans memoized by program identity and structure
+//!   cardinality shape, so workloads that re-evaluate the same program
+//!   (enumeration solvers, per-candidate pipelines) skip planning;
 //! * [`ground`](mod@crate::ground) — **quasi-guarded** datalog (Definition 4.3): guard
 //!   analysis with declared functional dependencies, grounding in
 //!   `O(|P|·|𝒜|)`, and the linear-time evaluation of Theorem 4.4;
@@ -29,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod cache;
 pub mod eval;
 pub mod ground;
 pub mod horn;
@@ -36,8 +45,12 @@ pub mod parser;
 pub mod plan;
 
 pub use ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term, Var};
+pub use cache::{eval_seminaive_with_cache, global_plan_cache, PlanCache};
 pub use eval::{eval_naive, eval_seminaive, eval_seminaive_scan, EvalStats, IdbStore};
 pub use ground::{eval_quasi_guarded, ground, FdCatalog, FuncDep, Grounding, QgError, QgStats};
 pub use horn::{HornProgram, HornRule};
 pub use parser::{parse_program, ParseError};
-pub use plan::{plan_program, plan_rule, Access, JoinPlan, JoinStep, RulePlans};
+pub use plan::{
+    plan_program, plan_program_with, plan_rule, plan_rule_with, Access, CardEstimator, JoinPlan,
+    JoinStep, NoEstimates, RulePlans, StructureStats,
+};

@@ -8,12 +8,30 @@
 //! step after which all their variables are bound, so failing branches are
 //! pruned as early as possible.
 //!
+//! Ties on bound-argument count are broken by cardinality: a
+//! [`CardEstimator`] supplies relation sizes ([`Relation::len`]) and probe
+//! selectivities (relation size over [`PosIndex::key_count`]), and among
+//! equally bound literals the planner picks the one expected to enumerate
+//! the fewest tuples. [`plan_program`] plans without statistics
+//! ([`NoEstimates`] — ties fall back to body order);
+//! [`plan_program_with`] takes real statistics, usually
+//! [`StructureStats`] wrapping the structure under evaluation. In the
+//! *base* plan (executed only in round 0, where every intensional
+//! relation is still empty) intensional literals cost 0 by definition, so
+//! recursive rules short-circuit on an empty scan instead of enumerating
+//! their extensional atoms first.
+//!
 //! For semi-naive evaluation the planner additionally produces one *delta
 //! plan* per positive intensional body literal: that literal is forced to
 //! the front of the join order (the delta is the smallest relation in the
 //! round) and the evaluator reads it from the per-predicate delta store.
+//!
+//! [`Relation::len`]: mdtw_structure::Relation::len
+//! [`PosIndex::key_count`]: mdtw_structure::PosIndex::key_count
 
 use crate::ast::{PredRef, Program, Rule, Term};
+use mdtw_structure::Structure;
+use std::cmp::Reverse;
 
 /// How a positive body literal is matched at its step of the join order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,14 +79,102 @@ pub struct RulePlans {
     pub delta: Vec<(usize, JoinPlan)>,
 }
 
-/// Plans every rule of `program`.
+/// Cardinality and selectivity estimates feeding the planner's
+/// tie-breaks. `None` means "unknown"; unknown literals sort after every
+/// literal with a known estimate and tie among themselves by body order.
+pub trait CardEstimator {
+    /// Estimated number of tuples of `pred`'s relation.
+    fn relation_len(&self, pred: PredRef) -> Option<usize>;
+
+    /// Estimated number of rows a probe of `pred` on the index over
+    /// `positions` returns.
+    fn probe_len(&self, pred: PredRef, positions: &[usize]) -> Option<usize>;
+}
+
+/// The statistics-free estimator: everything is unknown, so greedy ties
+/// are broken by body order alone (the pre-cost-model behavior, and the
+/// deterministic default of [`plan_program`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoEstimates;
+
+impl CardEstimator for NoEstimates {
+    fn relation_len(&self, _pred: PredRef) -> Option<usize> {
+        None
+    }
+    fn probe_len(&self, _pred: PredRef, _positions: &[usize]) -> Option<usize> {
+        None
+    }
+}
+
+/// Real statistics from the structure under evaluation: extensional
+/// cardinalities come from [`Relation::len`] and probe selectivities from
+/// `len / distinct keys` at the probed positions
+/// ([`Relation::distinct_key_count`]: the cached index's exact
+/// [`PosIndex::key_count`] when evaluation already built it, otherwise a
+/// one-shot count that leaves no index behind for access paths the
+/// planner ends up rejecting). Intensional relations are unknown — their
+/// size varies by round.
+///
+/// [`Relation::len`]: mdtw_structure::Relation::len
+/// [`Relation::distinct_key_count`]: mdtw_structure::Relation::distinct_key_count
+/// [`PosIndex::key_count`]: mdtw_structure::PosIndex::key_count
+#[derive(Debug, Clone, Copy)]
+pub struct StructureStats<'a> {
+    structure: &'a Structure,
+}
+
+impl<'a> StructureStats<'a> {
+    /// Wraps the structure the program will be evaluated over.
+    pub fn new(structure: &'a Structure) -> Self {
+        Self { structure }
+    }
+}
+
+impl CardEstimator for StructureStats<'_> {
+    fn relation_len(&self, pred: PredRef) -> Option<usize> {
+        match pred {
+            PredRef::Edb(p) => Some(self.structure.relation(p).len()),
+            PredRef::Idb(_) => None,
+        }
+    }
+
+    fn probe_len(&self, pred: PredRef, positions: &[usize]) -> Option<usize> {
+        match pred {
+            PredRef::Edb(p) => {
+                let rel = self.structure.relation(p);
+                if rel.is_empty() {
+                    return Some(0);
+                }
+                let keys = rel.distinct_key_count(positions).max(1);
+                Some(rel.len().div_ceil(keys))
+            }
+            PredRef::Idb(_) => None,
+        }
+    }
+}
+
+/// Plans every rule of `program` without cardinality statistics.
 pub fn plan_program(program: &Program) -> Vec<RulePlans> {
-    program.rules.iter().map(plan_rule).collect()
+    plan_program_with(program, &NoEstimates)
+}
+
+/// Plans every rule of `program`, breaking greedy ties with `est`.
+pub fn plan_program_with(program: &Program, est: &dyn CardEstimator) -> Vec<RulePlans> {
+    program
+        .rules
+        .iter()
+        .map(|r| plan_rule_with(r, est))
+        .collect()
+}
+
+/// Plans a single rule without cardinality statistics.
+pub fn plan_rule(rule: &Rule) -> RulePlans {
+    plan_rule_with(rule, &NoEstimates)
 }
 
 /// Plans a single rule: the base plan plus one delta plan per positive
 /// intensional body literal.
-pub fn plan_rule(rule: &Rule) -> RulePlans {
+pub fn plan_rule_with(rule: &Rule, est: &dyn CardEstimator) -> RulePlans {
     let idb_positions: Vec<usize> = rule
         .body
         .iter()
@@ -77,17 +183,41 @@ pub fn plan_rule(rule: &Rule) -> RulePlans {
         .map(|(i, _)| i)
         .collect();
     RulePlans {
-        base: plan_with_first(rule, None),
+        base: plan_with_first(rule, None, est),
         delta: idb_positions
             .into_iter()
-            .map(|pos| (pos, plan_with_first(rule, Some(pos))))
+            .map(|pos| (pos, plan_with_first(rule, Some(pos), est)))
             .collect(),
     }
 }
 
+/// The estimated number of tuples enumerating literal `li` would yield
+/// with the positions in `bp` bound. In the base plan (`first` is
+/// `None`), intensional relations are empty by definition of round 0, so
+/// their cost is 0 regardless of the estimator; everywhere else unknown
+/// estimates sort last (`usize::MAX`).
+fn candidate_cost(
+    rule: &Rule,
+    li: usize,
+    bp: &[usize],
+    base_plan: bool,
+    est: &dyn CardEstimator,
+) -> usize {
+    let pred = rule.body[li].atom.pred;
+    if base_plan && matches!(pred, PredRef::Idb(_)) {
+        return 0;
+    }
+    let cost = if bp.is_empty() {
+        est.relation_len(pred)
+    } else {
+        est.probe_len(pred, bp)
+    };
+    cost.unwrap_or(usize::MAX)
+}
+
 /// Greedy planner. `first`, if set, forces that body literal to the front
 /// (used for delta literals).
-fn plan_with_first(rule: &Rule, first: Option<usize>) -> JoinPlan {
+fn plan_with_first(rule: &Rule, first: Option<usize>, est: &dyn CardEstimator) -> JoinPlan {
     let nvars = rule.var_count as usize;
     let mut bound = vec![false; nvars];
 
@@ -136,16 +266,22 @@ fn plan_with_first(rule: &Rule, first: Option<usize>) -> JoinPlan {
         });
     };
 
+    let base_plan = first.is_none();
     if let Some(li) = first {
         push_step(li, &mut bound, &mut neg_emitted);
     }
     while !remaining.is_empty() {
-        // Greedy: the literal with the most bound argument positions next;
-        // ties broken by body order (stable ordering for reproducibility).
+        // Greedy: the literal with the most bound argument positions
+        // next; ties broken by estimated enumeration cost, then by body
+        // order (stable ordering for reproducibility).
         let (slot, _) = remaining
             .iter()
             .enumerate()
-            .max_by_key(|&(slot, &li)| (bound_positions(rule, li, &bound).len(), usize::MAX - slot))
+            .min_by_key(|&(slot, &li)| {
+                let bp = bound_positions(rule, li, &bound);
+                let cost = candidate_cost(rule, li, &bp, base_plan, est);
+                (Reverse(bp.len()), cost, slot)
+            })
             .expect("remaining non-empty");
         let li = remaining.remove(slot);
         push_step(li, &mut bound, &mut neg_emitted);
@@ -231,8 +367,10 @@ mod tests {
     #[test]
     fn greedy_order_prefers_most_bound() {
         let s = edge_structure();
-        // Base plan: e(X,Y) binds X,Y; then sg (two bound) before e(Z,W)
-        // (zero bound) even though sg comes later in the body.
+        // Base plan (= round 0, where intensional relations are empty by
+        // definition): sg(X,Y) costs 0 and goes first, its empty scan
+        // short-circuiting the round-0 pass; then e(X,Y) (two bound
+        // positions) before the unbound literals.
         let p = parse_program(
             "sg(X, Y) :- e(X, Y).\nq(X) :- e(X, Y), e(Z, W), sg(X, Y), sg(Z, W).",
             &s,
@@ -241,13 +379,66 @@ mod tests {
         let rule = p.rules.last().unwrap();
         let plans = plan_rule(rule);
         let order: Vec<usize> = plans.base.steps.iter().map(|st| st.literal).collect();
-        assert_eq!(order, vec![0, 2, 1, 3]);
+        assert_eq!(order, vec![2, 0, 3, 1]);
         assert_eq!(
             plans.base.steps[1].access,
             Access::Probe {
                 positions: vec![0, 1]
             }
         );
+    }
+
+    #[test]
+    fn cardinality_estimates_break_ties() {
+        use mdtw_structure::{Domain, Signature};
+        // big/2 has 9 tuples, small/2 has 1; at equal bound count the
+        // statistics-aware planner starts from the smaller relation,
+        // while the statistics-free planner keeps body order.
+        let sig = Arc::new(Signature::from_pairs([("big", 2), ("small", 2)]));
+        let dom = Domain::anonymous(10);
+        let mut s = Structure::new(sig, dom);
+        let big = s.signature().lookup("big").unwrap();
+        let small = s.signature().lookup("small").unwrap();
+        for i in 0..9u32 {
+            s.insert(big, &[ElemId(i), ElemId(i + 1)]);
+        }
+        s.insert(small, &[ElemId(0), ElemId(1)]);
+        let p = parse_program("q(X) :- big(X, Y), small(Y, Z).", &s).unwrap();
+
+        let blind = plan_rule(&p.rules[0]);
+        let blind_order: Vec<usize> = blind.base.steps.iter().map(|st| st.literal).collect();
+        assert_eq!(blind_order, vec![0, 1]);
+
+        let plans = plan_rule_with(&p.rules[0], &StructureStats::new(&s));
+        let order: Vec<usize> = plans.base.steps.iter().map(|st| st.literal).collect();
+        assert_eq!(order, vec![1, 0], "smaller relation joins first");
+        assert_eq!(
+            plans.base.steps[1].access,
+            Access::Probe { positions: vec![1] }
+        );
+    }
+
+    #[test]
+    fn probe_selectivity_prefers_more_distinct_keys() {
+        use mdtw_structure::{Domain, Signature};
+        // Both relations have 8 tuples; `sel`'s first column has 8
+        // distinct keys (probe yields ~1 row), `dup`'s only 1 (probe
+        // yields all 8). With X bound, the planner probes `sel` first.
+        let sig = Arc::new(Signature::from_pairs([("dup", 2), ("sel", 2), ("u", 1)]));
+        let dom = Domain::anonymous(10);
+        let mut s = Structure::new(sig, dom);
+        let dup = s.signature().lookup("dup").unwrap();
+        let sel = s.signature().lookup("sel").unwrap();
+        let u = s.signature().lookup("u").unwrap();
+        for i in 0..8u32 {
+            s.insert(dup, &[ElemId(0), ElemId(i)]);
+            s.insert(sel, &[ElemId(i), ElemId(i)]);
+        }
+        s.insert(u, &[ElemId(0)]);
+        let p = parse_program("q(X) :- u(X), dup(X, Y), sel(X, Z).", &s).unwrap();
+        let plans = plan_rule_with(&p.rules[0], &StructureStats::new(&s));
+        let order: Vec<usize> = plans.base.steps.iter().map(|st| st.literal).collect();
+        assert_eq!(order, vec![0, 2, 1], "selective probe scheduled first");
     }
 
     #[test]

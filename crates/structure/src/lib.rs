@@ -10,9 +10,13 @@
 //! * [`Signature`] — the predicate vocabulary τ,
 //! * [`Domain`] / [`ElemId`] — interned universes,
 //! * [`Structure`] — the structure itself, with EDB-style atom iteration,
-//! * [`Relation`] / [`PosIndex`] — tuple sets with lazily built, cached
-//!   secondary hash indexes by argument positions (the probe targets of
-//!   the indexed join engine in `mdtw-datalog`),
+//! * [`Relation`] / [`PosIndex`] — arena-backed tuple sets addressed by
+//!   `u32` row ids, with lazily built, cached secondary hash indexes by
+//!   argument positions (the probe targets of the indexed join engine in
+//!   `mdtw-datalog`). Tuples live in one flat `Vec<ElemId>` per relation
+//!   and every map is keyed by integers, so inserts, membership tests and
+//!   index probes do zero per-tuple heap allocation (see [`Relation`]'s
+//!   docs for the representation),
 //! * [`InducedStructure`] — induced substructures (Definition 3.2),
 //! * [`fx`] — a small fast hasher used across the workspace.
 //!

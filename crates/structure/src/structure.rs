@@ -1,9 +1,32 @@
 //! Finite τ-structures: a domain plus one relation per predicate symbol.
+//!
+//! # Tuple representation: arenas and row ids
+//!
+//! A [`Relation`] of arity α stores its tuples in one flat `Vec<ElemId>`
+//! *arena*: the tuple with row id `r` occupies cells `r·α .. (r+1)·α`.
+//! Tuples are never boxed individually; every internal map is keyed by
+//! integers:
+//!
+//! * deduplication uses an open-addressing [`RowTable`] whose slots hold
+//!   row ids — membership hashes the probe tuple's `u32` element ids and
+//!   compares against the arena in place, allocating nothing;
+//! * a secondary index ([`PosIndex`]) maps the values at fixed argument
+//!   positions to row buckets. Keys are not materialized either: a
+//!   single-position key hashes the `ElemId` directly, a multi-position
+//!   key hashes the packed sequence of `u32` ids, and collisions are
+//!   resolved by comparing the probe key with the key positions of a
+//!   bucket's representative row in the arena.
+//!
+//! Rows are append-only, so an `Arc<PosIndex>` snapshot taken before an
+//! insert remains a consistent view of the pre-insert relation (see
+//! [`Relation::index_on`]). [`Relation::clear`] is the one destructive
+//! operation; it drops all cached indexes.
 
 use crate::domain::{Domain, ElemId};
-use crate::fx::FxHashMap;
+use crate::fx::{FxHashMap, FxHasher};
 use crate::signature::{PredId, Signature};
 use std::fmt;
+use std::hash::Hasher;
 use std::sync::{Arc, RwLock};
 
 /// A ground atom `R(a₁, …, a_α)`.
@@ -25,15 +48,104 @@ impl GroundAtom {
     }
 }
 
+/// Hashes a sequence of element ids with the workspace [`FxHasher`]. A
+/// one-element sequence hashes the `ElemId` directly; longer sequences
+/// fold the packed `u32` ids into the 64-bit hash state — no key is ever
+/// materialized on the heap.
+#[inline]
+fn hash_elems(elems: impl IntoIterator<Item = ElemId>) -> u64 {
+    let mut h = FxHasher::default();
+    for e in elems {
+        h.write_u32(e.0);
+    }
+    h.finish()
+}
+
+/// An open-addressing hash table whose slots hold bare `u32` values (row
+/// ids, or bucket ids for [`PosIndex`]). The table stores no keys: callers
+/// supply the hash and an equality predicate that compares against the
+/// owning relation's arena, so probes and inserts allocate nothing.
+#[derive(Debug, Clone, Default)]
+struct RowTable {
+    /// Power-of-two slot array; `EMPTY` marks a free slot.
+    slots: Vec<u32>,
+    len: usize,
+}
+
+impl RowTable {
+    const EMPTY: u32 = u32::MAX;
+
+    /// Finds the stored value matching `hash` + `eq` via linear probing.
+    #[inline]
+    fn find(&self, hash: u64, mut eq: impl FnMut(u32) -> bool) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let v = self.slots[i];
+            if v == Self::EMPTY {
+                return None;
+            }
+            if eq(v) {
+                return Some(v);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts a value the caller knows is absent. `rehash` recomputes the
+    /// hash of a stored value when the table has to grow.
+    fn insert_new(&mut self, hash: u64, value: u32, mut rehash: impl FnMut(u32) -> u64) {
+        debug_assert_ne!(value, Self::EMPTY, "u32::MAX is the empty-slot sentinel");
+        // Grow at 7/8 occupancy (covers the empty-table case: 0 ≥ 0).
+        if self.len * 8 >= self.slots.len() * 7 {
+            let new_cap = (self.slots.len() * 2).max(8);
+            let mut slots = vec![Self::EMPTY; new_cap];
+            for &v in self.slots.iter().filter(|&&v| v != Self::EMPTY) {
+                Self::place(&mut slots, rehash(v), v);
+            }
+            self.slots = slots;
+        }
+        Self::place(&mut self.slots, hash, value);
+        self.len += 1;
+    }
+
+    fn place(slots: &mut [u32], hash: u64, value: u32) {
+        let mask = slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while slots[i] != Self::EMPTY {
+            i = (i + 1) & mask;
+        }
+        slots[i] = value;
+    }
+
+    fn clear(&mut self) {
+        self.slots.fill(Self::EMPTY);
+        self.len = 0;
+    }
+}
+
 /// A secondary hash index over a [`Relation`]: maps the values at a fixed
 /// set of argument positions (the *key positions*) to the rows of every
 /// tuple carrying those values. Built lazily by [`Relation::index_on`] and
 /// kept current by [`Relation::insert`], so join engines can probe
 /// `R(…, a, …)` without scanning `R`.
+///
+/// Keys are integers all the way down: the hash of a key is the packed
+/// hash of its `u32` element ids and the index stores only row buckets —
+/// a probe key is compared against the key positions of a bucket's
+/// representative row in the relation's arena. Because the comparison
+/// needs the arena, lookups go through [`Relation::rows_matching`] /
+/// [`Relation::matching`] rather than the index alone.
 #[derive(Debug, Clone, Default)]
 pub struct PosIndex {
     positions: Box<[usize]>,
-    map: FxHashMap<Box<[ElemId]>, Vec<u32>>,
+    /// Maps key hashes to indices into `buckets`.
+    table: RowTable,
+    /// Rows sharing a key, in first-seen key order.
+    buckets: Vec<Vec<u32>>,
 }
 
 impl PosIndex {
@@ -43,33 +155,87 @@ impl PosIndex {
         &self.positions
     }
 
-    /// Rows of all tuples whose key-position values equal `key`
-    /// (empty if none). Resolve rows with [`Relation::tuple`].
-    #[inline]
-    pub fn rows(&self, key: &[ElemId]) -> &[u32] {
-        debug_assert_eq!(key.len(), self.positions.len());
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
-    }
-
     /// Number of distinct keys.
     pub fn key_count(&self) -> usize {
-        self.map.len()
+        self.buckets.len()
     }
 
-    fn add(&mut self, row: u32, tuple: &[ElemId]) {
-        let key: Box<[ElemId]> = self.positions.iter().map(|&p| tuple[p]).collect();
-        self.map.entry(key).or_default().push(row);
+    /// Iterates over the row buckets (one per distinct key, in first-seen
+    /// key order). Used for selectivity estimates and uniqueness checks;
+    /// resolve rows with [`Relation::tuple`].
+    pub fn buckets(&self) -> impl Iterator<Item = &[u32]> {
+        self.buckets.iter().map(Vec::as_slice)
+    }
+
+    /// The key values of `row` in `arena`, as an id iterator.
+    #[inline]
+    fn key_of_row<'a>(
+        &'a self,
+        arena: &'a [ElemId],
+        arity: usize,
+        row: u32,
+    ) -> impl Iterator<Item = ElemId> + 'a {
+        let base = row as usize * arity;
+        self.positions.iter().map(move |&p| arena[base + p])
+    }
+
+    /// Rows whose key equals `key` (empty if none). `arena`/`arity` must
+    /// come from the owning relation.
+    #[inline]
+    fn rows_in<'i>(&'i self, arena: &[ElemId], arity: usize, key: &[ElemId]) -> &'i [u32] {
+        debug_assert_eq!(key.len(), self.positions.len());
+        let hash = hash_elems(key.iter().copied());
+        self.table
+            .find(hash, |b| {
+                self.key_of_row(arena, arity, self.buckets[b as usize][0])
+                    .eq(key.iter().copied())
+            })
+            .map(|b| self.buckets[b as usize].as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Registers `row` (whose tuple lives at `row·arity` in `arena`).
+    fn add(&mut self, arena: &[ElemId], arity: usize, row: u32) {
+        let hash = hash_elems(self.key_of_row(arena, arity, row));
+        let row_base = row as usize * arity;
+        let found = self.table.find(hash, |b| {
+            let base = self.buckets[b as usize][0] as usize * arity;
+            self.positions
+                .iter()
+                .all(|&p| arena[base + p] == arena[row_base + p])
+        });
+        match found {
+            Some(b) => self.buckets[b as usize].push(row),
+            None => {
+                let b = self.buckets.len() as u32;
+                self.buckets.push(vec![row]);
+                let (buckets, positions) = (&self.buckets, &self.positions);
+                self.table.insert_new(hash, b, |bb| {
+                    let base = buckets[bb as usize][0] as usize * arity;
+                    hash_elems(positions.iter().map(|&p| arena[base + p]))
+                });
+            }
+        }
     }
 }
 
 /// One relation `R^𝒜 ⊆ A^α`: a deduplicated set of tuples with stable
 /// insertion order (order matters for reproducible iteration), plus a
 /// cache of lazily built secondary indexes keyed by argument positions.
+///
+/// Tuples live in a flat arena addressed by `u32` row ids (see the module
+/// docs); no per-tuple heap allocation happens on insert, membership
+/// tests, or index probes.
 #[derive(Debug, Default)]
 pub struct Relation {
     arity: usize,
-    tuples: Vec<Box<[ElemId]>>,
-    index: FxHashMap<Box<[ElemId]>, u32>,
+    /// Number of rows (kept separately: `arena.len()/arity` is undefined
+    /// for zero-ary relations).
+    rows: usize,
+    /// Flat tuple storage: row `r` occupies cells `r·arity..(r+1)·arity`.
+    arena: Vec<ElemId>,
+    /// Deduplication table mapping tuple content to row ids.
+    table: RowTable,
     /// Secondary indexes by key positions. Behind a lock so `index_on`
     /// can build and cache through `&self` (probes happen mid-join, where
     /// the relation is shared); `Arc` so probers hold the index without
@@ -81,8 +247,9 @@ impl Clone for Relation {
     fn clone(&self) -> Self {
         Self {
             arity: self.arity,
-            tuples: self.tuples.clone(),
-            index: self.index.clone(),
+            rows: self.rows,
+            arena: self.arena.clone(),
+            table: self.table.clone(),
             secondary: RwLock::new(self.secondary.read().expect("index cache lock").clone()),
         }
     }
@@ -93,9 +260,7 @@ impl Relation {
     pub fn new(arity: usize) -> Self {
         Self {
             arity,
-            tuples: Vec::new(),
-            index: FxHashMap::default(),
-            secondary: RwLock::new(FxHashMap::default()),
+            ..Self::default()
         }
     }
 
@@ -108,20 +273,29 @@ impl Relation {
     /// Number of tuples.
     #[inline]
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.rows
     }
 
     /// True if the relation holds no tuples.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.rows == 0
     }
 
     /// Inserts a tuple; returns `true` if it was new.
     ///
     /// # Panics
     /// Panics if the tuple length differs from the relation arity.
+    #[inline]
     pub fn insert(&mut self, tuple: &[ElemId]) -> bool {
+        self.insert_row(tuple).1
+    }
+
+    /// Inserts a tuple, returning its row id and whether it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from the relation arity.
+    pub fn insert_row(&mut self, tuple: &[ElemId]) -> (u32, bool) {
         assert_eq!(
             tuple.len(),
             self.arity,
@@ -129,12 +303,21 @@ impl Relation {
             tuple.len(),
             self.arity
         );
-        if self.index.contains_key(tuple) {
-            return false;
+        let hash = hash_elems(tuple.iter().copied());
+        let (arena, arity) = (&self.arena, self.arity);
+        if let Some(row) = self
+            .table
+            .find(hash, |r| &arena[r as usize * arity..][..arity] == tuple)
+        {
+            return (row, false);
         }
-        let row = self.tuples.len() as u32;
-        let boxed: Box<[ElemId]> = tuple.into();
-        self.index.insert(boxed.clone(), row);
+        let row = self.rows as u32;
+        self.arena.extend_from_slice(tuple);
+        self.rows += 1;
+        let (arena, arity) = (&self.arena, self.arity);
+        self.table.insert_new(hash, row, |r| {
+            hash_elems(arena[r as usize * arity..][..arity].iter().copied())
+        });
         // Keep cached secondary indexes current so they never have to be
         // rebuilt. `make_mut` copies only if a prober still holds the Arc
         // (it then keeps a consistent snapshot of the pre-insert relation).
@@ -144,27 +327,48 @@ impl Relation {
             .expect("index cache lock")
             .values_mut()
         {
-            Arc::make_mut(idx).add(row, &boxed);
+            Arc::make_mut(idx).add(arena, arity, row);
         }
-        self.tuples.push(boxed);
-        true
+        (row, true)
     }
 
-    /// Membership test.
+    /// Membership test. Hashes the probe tuple's element ids and compares
+    /// against the arena; allocates nothing.
     #[inline]
     pub fn contains(&self, tuple: &[ElemId]) -> bool {
-        self.index.contains_key(tuple)
+        self.row_of(tuple).is_some()
     }
 
-    /// Iterates over tuples in insertion order.
+    /// The row id of `tuple` if present.
+    #[inline]
+    pub fn row_of(&self, tuple: &[ElemId]) -> Option<u32> {
+        debug_assert_eq!(tuple.len(), self.arity);
+        let (arena, arity) = (&self.arena, self.arity);
+        self.table.find(hash_elems(tuple.iter().copied()), |r| {
+            &arena[r as usize * arity..][..arity] == tuple
+        })
+    }
+
+    /// Iterates over tuples in insertion (row) order.
     pub fn iter(&self) -> impl Iterator<Item = &[ElemId]> {
-        self.tuples.iter().map(|t| &t[..])
+        (0..self.rows as u32).map(|r| self.tuple(r))
     }
 
-    /// The tuple stored at `row` (rows come from [`PosIndex::rows`]).
+    /// The tuple stored at `row` (rows come from [`Relation::rows_matching`]).
     #[inline]
     pub fn tuple(&self, row: u32) -> &[ElemId] {
-        &self.tuples[row as usize]
+        &self.arena[row as usize * self.arity..][..self.arity]
+    }
+
+    /// Removes all tuples and drops every cached secondary index (their
+    /// row ids would dangle). Capacity is retained, so a cleared relation
+    /// can be refilled without reallocating — the semi-naive evaluator
+    /// recycles its per-round delta relations this way.
+    pub fn clear(&mut self) {
+        self.rows = 0;
+        self.arena.clear();
+        self.table.clear();
+        self.secondary.get_mut().expect("index cache lock").clear();
     }
 
     /// The secondary index keyed by `positions`, built on first request
@@ -197,14 +401,65 @@ impl Relation {
         }
         let mut idx = PosIndex {
             positions: positions.into(),
-            map: FxHashMap::default(),
+            ..PosIndex::default()
         };
-        for (row, t) in self.tuples.iter().enumerate() {
-            idx.add(row as u32, t);
+        for row in 0..self.rows as u32 {
+            idx.add(&self.arena, self.arity, row);
         }
         let idx = Arc::new(idx);
         cache.insert(positions.into(), Arc::clone(&idx));
         idx
+    }
+
+    /// Rows of all tuples whose values at `index`'s key positions equal
+    /// `key` (empty if none). The slice borrows from `index`, so an
+    /// `Arc<PosIndex>` snapshot keeps serving its pre-insert rows.
+    #[inline]
+    pub fn rows_matching<'i>(&self, index: &'i PosIndex, key: &[ElemId]) -> &'i [u32] {
+        index.rows_in(&self.arena, self.arity, key)
+    }
+
+    /// Number of distinct values at `positions`: the exact
+    /// [`PosIndex::key_count`] when the index is already cached, otherwise
+    /// a one-shot count that does **not** build or cache an index —
+    /// planners can weigh candidate access paths without saddling the
+    /// relation with index maintenance for paths they reject. For one or
+    /// two positions the count packs keys exactly; for wider keys it
+    /// dedups by 64-bit hash, so it is an estimate (a collision
+    /// undercounts by one).
+    ///
+    /// # Panics
+    /// Panics if a position is out of range or `positions` is empty.
+    pub fn distinct_key_count(&self, positions: &[usize]) -> usize {
+        assert!(!positions.is_empty(), "zero positions have a single key");
+        for &p in positions {
+            assert!(
+                p < self.arity,
+                "key position {p} out of arity {}",
+                self.arity
+            );
+        }
+        if let Some(idx) = self
+            .secondary
+            .read()
+            .expect("index cache lock")
+            .get(positions)
+        {
+            return idx.key_count();
+        }
+        let mut seen: crate::fx::FxHashSet<u64> = crate::fx::FxHashSet::default();
+        for row in 0..self.rows {
+            let base = row * self.arity;
+            let packed = match positions {
+                [p] => u64::from(self.arena[base + p].0),
+                [p, q] => {
+                    (u64::from(self.arena[base + p].0) << 32) | u64::from(self.arena[base + q].0)
+                }
+                _ => hash_elems(positions.iter().map(|&p| self.arena[base + p])),
+            };
+            seen.insert(packed);
+        }
+        seen.len()
     }
 
     /// Iterates over the tuples matching `key` on `index`'s positions.
@@ -213,7 +468,9 @@ impl Relation {
         index: &'a PosIndex,
         key: &[ElemId],
     ) -> impl Iterator<Item = &'a [ElemId]> {
-        index.rows(key).iter().map(move |&r| self.tuple(r))
+        self.rows_matching(index, key)
+            .iter()
+            .map(move |&r| self.tuple(r))
     }
 }
 
@@ -555,8 +812,9 @@ mod tests {
             let scanned: Vec<&[ElemId]> = rel.iter().filter(|t| t[0] == src).collect();
             assert_eq!(probed, scanned);
         }
-        assert_eq!(idx.rows(&[v[0]]).len(), 2);
+        assert_eq!(rel.rows_matching(&idx, &[v[0]]).len(), 2);
         assert_eq!(idx.key_count(), 3);
+        assert_eq!(idx.buckets().map(<[u32]>::len).sum::<usize>(), rel.len());
     }
 
     #[test]
@@ -568,22 +826,24 @@ mod tests {
         assert!(Arc::ptr_eq(&before, &s.relation(e).index_on(&[1])));
         // Insert a new tuple: the cached index must see it.
         s.insert(e, &[v[0], v[0]]);
-        let after = s.relation(e).index_on(&[1]);
-        assert_eq!(after.rows(&[v[0]]).len(), 3);
-        let hits: Vec<&[ElemId]> = s.relation(e).matching(&after, &[v[0]]).collect();
+        let rel = s.relation(e);
+        let after = rel.index_on(&[1]);
+        assert_eq!(rel.rows_matching(&after, &[v[0]]).len(), 3);
+        let hits: Vec<&[ElemId]> = rel.matching(&after, &[v[0]]).collect();
         assert!(hits.contains(&&[v[0], v[0]][..]));
         // The pre-insert Arc still held by the caller is a consistent
-        // snapshot of the old relation contents.
-        assert_eq!(before.rows(&[v[0]]).len(), 2);
+        // snapshot of the old relation contents (rows are append-only).
+        assert_eq!(rel.rows_matching(&before, &[v[0]]).len(), 2);
     }
 
     #[test]
     fn multi_position_index() {
         let (s, v) = triangle();
         let e = s.signature().lookup("e").unwrap();
-        let idx = s.relation(e).index_on(&[0, 1]);
-        assert_eq!(idx.rows(&[v[0], v[1]]).len(), 1);
-        assert_eq!(idx.rows(&[v[0], v[0]]).len(), 0);
+        let rel = s.relation(e);
+        let idx = rel.index_on(&[0, 1]);
+        assert_eq!(rel.rows_matching(&idx, &[v[0], v[1]]).len(), 1);
+        assert_eq!(rel.rows_matching(&idx, &[v[0], v[0]]).len(), 0);
     }
 
     #[test]
@@ -594,8 +854,90 @@ mod tests {
         let cloned = s.clone();
         s.insert(e, &[v[0], v[0]]);
         // The clone is unaffected by the original's insert.
-        assert_eq!(cloned.relation(e).index_on(&[0]).rows(&[v[0]]).len(), 2);
-        assert_eq!(s.relation(e).index_on(&[0]).rows(&[v[0]]).len(), 3);
+        let crel = cloned.relation(e);
+        let cidx = crel.index_on(&[0]);
+        assert_eq!(crel.rows_matching(&cidx, &[v[0]]).len(), 2);
+        let rel = s.relation(e);
+        let idx = rel.index_on(&[0]);
+        assert_eq!(rel.rows_matching(&idx, &[v[0]]).len(), 3);
+    }
+
+    #[test]
+    fn row_ids_are_stable_and_dense() {
+        let mut rel = Relation::new(2);
+        let (r0, fresh0) = rel.insert_row(&[ElemId(4), ElemId(5)]);
+        let (r1, fresh1) = rel.insert_row(&[ElemId(5), ElemId(4)]);
+        assert!(fresh0 && fresh1);
+        assert_eq!((r0, r1), (0, 1));
+        // Re-inserting an existing tuple returns its original row.
+        let (again, fresh) = rel.insert_row(&[ElemId(4), ElemId(5)]);
+        assert_eq!(again, r0);
+        assert!(!fresh);
+        assert_eq!(rel.tuple(r0), &[ElemId(4), ElemId(5)]);
+        // Rows are dense 0..len, matching iteration order.
+        for (i, t) in rel.iter().enumerate() {
+            assert_eq!(rel.row_of(t), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn clear_resets_rows_and_drops_indexes() {
+        let mut rel = Relation::new(2);
+        for i in 0..100u32 {
+            rel.insert(&[ElemId(i), ElemId(i % 7)]);
+        }
+        let idx = rel.index_on(&[1]);
+        assert_eq!(idx.key_count(), 7);
+        rel.clear();
+        assert!(rel.is_empty());
+        assert!(!rel.contains(&[ElemId(3), ElemId(3)]));
+        // Refilling after clear rebuilds dedup and indexes from scratch.
+        rel.insert(&[ElemId(1), ElemId(2)]);
+        rel.insert(&[ElemId(1), ElemId(2)]);
+        assert_eq!(rel.len(), 1);
+        let idx = rel.index_on(&[1]);
+        assert_eq!(rel.rows_matching(&idx, &[ElemId(2)]), &[0]);
+    }
+
+    #[test]
+    fn zero_ary_relation_holds_one_empty_tuple() {
+        let mut rel = Relation::new(0);
+        assert!(!rel.contains(&[]));
+        assert!(rel.insert(&[]));
+        assert!(!rel.insert(&[]));
+        assert!(rel.contains(&[]));
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.iter().collect::<Vec<_>>(), vec![&[] as &[ElemId]]);
+    }
+
+    #[test]
+    fn distinct_key_count_matches_index_key_count() {
+        let (s, _) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let rel = s.relation(e);
+        // One-shot counts (no index built yet): 3 sources, 6 edges.
+        assert_eq!(rel.distinct_key_count(&[0]), 3);
+        assert_eq!(rel.distinct_key_count(&[1]), 3);
+        assert_eq!(rel.distinct_key_count(&[0, 1]), 6);
+        // Once an index exists, the exact key_count is served.
+        let idx = rel.index_on(&[0]);
+        assert_eq!(rel.distinct_key_count(&[0]), idx.key_count());
+    }
+
+    #[test]
+    fn dedup_survives_table_growth() {
+        // Enough tuples to force several RowTable growths; every duplicate
+        // insert must still be detected after rehashing.
+        let mut rel = Relation::new(2);
+        for i in 0..5_000u32 {
+            assert!(rel.insert(&[ElemId(i), ElemId(i.wrapping_mul(31) % 997)]));
+        }
+        assert_eq!(rel.len(), 5_000);
+        for i in 0..5_000u32 {
+            assert!(!rel.insert(&[ElemId(i), ElemId(i.wrapping_mul(31) % 997)]));
+            assert!(rel.contains(&[ElemId(i), ElemId(i.wrapping_mul(31) % 997)]));
+        }
+        assert_eq!(rel.len(), 5_000);
     }
 
     #[test]

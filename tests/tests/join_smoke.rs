@@ -5,7 +5,9 @@
 //! scan on delta-bound literals — after round 0, every store- or EDB-side
 //! literal of a delta pass is an index probe.
 
-use mdtw_datalog::{eval_seminaive, eval_seminaive_scan, parse_program};
+use mdtw_datalog::{
+    eval_seminaive, eval_seminaive_scan, eval_seminaive_with_cache, parse_program, PlanCache,
+};
 use mdtw_structure::{Domain, ElemId, Signature, Structure};
 use std::sync::Arc;
 
@@ -94,4 +96,59 @@ fn no_full_scans_on_delta_bound_literals_at_chain_1000() {
         "delta-bound literals must probe indexes, not scan relations"
     );
     assert!(stats.index_probes > 0);
+}
+
+/// Repeated evaluations of the same program must reuse compiled plans:
+/// the second `eval_seminaive` call on an identical program/structure
+/// shape reports a plan-cache hit (this is what makes per-candidate
+/// re-evaluation loops cheap).
+#[test]
+fn repeated_evaluations_hit_the_plan_cache() {
+    let s = chain(120);
+    let p = parse_program(EVEN_PAIRS, &s).unwrap();
+    // Isolated cache: hit/miss accounting independent of other tests
+    // sharing the process-wide cache.
+    let cache = PlanCache::new();
+    let (first_store, first) = eval_seminaive_with_cache(&p, &s, &cache);
+    assert_eq!(first.plan_cache_hits, 0, "first evaluation must plan");
+    let mut hits = 0;
+    for _ in 0..3 {
+        let (store, stats) = eval_seminaive_with_cache(&p, &s, &cache);
+        assert_eq!(store.fact_count(), first_store.fact_count());
+        assert_eq!(stats.facts, first.facts);
+        assert_eq!(stats.firings, first.firings);
+        hits += stats.plan_cache_hits;
+    }
+    assert!(hits > 0, "repeated evaluations must reuse compiled plans");
+    assert_eq!(hits, 3, "every re-evaluation hits");
+
+    // The global-cache path (plain `eval_seminaive`) reports hits too.
+    let (_, warm) = eval_seminaive(&p, &s);
+    let (_, again) = eval_seminaive(&p, &s);
+    let _ = warm;
+    assert!(again.plan_cache_hits > 0);
+}
+
+/// The derive path interns: every firing with an intensional head either
+/// creates a new fact or resolves to an already-interned tuple, and the
+/// accounting must add up exactly. Nonlinear transitive closure derives
+/// `path(x, z)` once per intermediate vertex, so duplicates are plentiful.
+#[test]
+fn interning_accounts_for_every_firing() {
+    let s = chain(40);
+    let p = parse_program(
+        "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), path(Y, Z).",
+        &s,
+    )
+    .unwrap();
+    let (_, stats) = eval_seminaive(&p, &s);
+    assert_eq!(
+        stats.interned_hits + stats.facts,
+        stats.firings,
+        "each firing is a new fact or an interned duplicate"
+    );
+    assert!(
+        stats.interned_hits > 0,
+        "re-derivations through different midpoints are interned"
+    );
 }
