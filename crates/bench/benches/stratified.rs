@@ -1,0 +1,55 @@
+//! The stratified evaluation pipeline against its semipositive core.
+//!
+//! `stratified/negation_chain` runs the 3-stratum reach/unreach/settled
+//! workload through `eval_stratified` (stratify, rewrite, extend the
+//! structure, three semi-naive passes). `stratified/positive_core` runs
+//! just the semipositive reachability sub-program through the plain
+//! semi-naive engine, so the gap between the two series is the cost of
+//! the stratification machinery — per-stratum planning, materialization
+//! into the extended structure, and the negative checks themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdtw_bench::stratified_workload;
+use mdtw_datalog::{eval_seminaive, eval_stratified, parse_program};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_stratified(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stratified/negation_chain");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [200usize, 400, 800] {
+        let (s, p) = stratified_workload(n);
+        group.bench_with_input(BenchmarkId::new("stratified", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    eval_stratified(&p, &s)
+                        .expect("stratifiable")
+                        .0
+                        .fact_count(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("stratified/positive_core");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    for n in [200usize, 400, 800] {
+        let (s, _) = stratified_workload(n);
+        let core = parse_program("reach(X) :- first(X).\nreach(Y) :- reach(X), e(X, Y).", &s)
+            .expect("semipositive core parses");
+        group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
+            b.iter(|| black_box(eval_seminaive(&core, &s).0.fact_count()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stratified);
+criterion_main!(benches);

@@ -149,9 +149,9 @@ pub fn render_table1_json(rows: &[Table1Row]) -> String {
 /// trajectory of the semi-naive engine is recorded across PRs.
 #[derive(Debug, Clone)]
 pub struct JoinBenchRow {
-    /// Workload name (`linear_tc` or `reach_linearity`).
+    /// Workload name (`linear_tc`, `reach_linearity` or `stratified_reach`).
     pub workload: String,
-    /// Engine name (`indexed` or `scan`).
+    /// Engine name (`indexed`, `scan` or `stratified`).
     pub engine: String,
     /// Structure size (chain length).
     pub n: usize,
@@ -199,6 +199,32 @@ fn reach_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog::Program
     let p = mdtw_datalog::parse_program(
         "reach(X) :- first(X).\nreach(Y) :- reach(X), next(X, Y).\n\
          inner(X) :- reach(X), next(X, Y), !first(X).",
+        &s,
+    )
+    .unwrap();
+    (s, p)
+}
+
+/// The stratified workload: reachability from a mid-chain source, its
+/// complement through negation, and a third stratum negating the
+/// complement — a 3-stratum negation chain with Θ(n) facts per stratum.
+pub fn stratified_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog::Program) {
+    use mdtw_structure::ElemId;
+    let mut s = chain_structure_for_bench(n, &[("e", 2), ("node", 1), ("first", 1)]);
+    let e = s.signature().lookup("e").unwrap();
+    let node = s.signature().lookup("node").unwrap();
+    let first = s.signature().lookup("first").unwrap();
+    for i in 0..n {
+        s.insert(node, &[ElemId(i as u32)]);
+    }
+    for i in 0..n - 1 {
+        s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+    }
+    s.insert(first, &[ElemId(n as u32 / 2)]);
+    let p = mdtw_datalog::parse_program(
+        "reach(X) :- first(X).\nreach(Y) :- reach(X), e(X, Y).\n\
+         unreach(X) :- node(X), !reach(X).\n\
+         settled(X) :- node(X), !unreach(X), !first(X).",
         &s,
     )
     .unwrap();
@@ -263,6 +289,12 @@ pub fn join_report(sizes: &[usize], scan_cap: usize) -> Vec<JoinBenchRow> {
             let (store, stats) = mdtw_datalog::eval_seminaive(&p, &s);
             (store.fact_count(), stats)
         });
+
+        let (s, p) = stratified_workload(n);
+        measure("stratified_reach", "stratified", n, &mut rows, &mut || {
+            let (store, stats) = mdtw_datalog::eval_stratified(&p, &s).expect("stratifiable");
+            (store.fact_count(), stats)
+        });
     }
     rows
 }
@@ -296,7 +328,7 @@ pub fn render_join_record_json(label: &str, rows: &[JoinBenchRow]) -> String {
              \"facts\": {}, \"ns_per_eval\": {:.0}, \"ns_per_fact\": {:.1}, \
              \"firings\": {}, \"index_probes\": {}, \"full_scans\": {}, \
              \"tuples_considered\": {}, \"interned_hits\": {}, \
-             \"plan_cache_hits\": {}}}",
+             \"plan_cache_hits\": {}, \"negative_checks\": {}, \"strata\": {}}}",
             r.workload,
             r.engine,
             r.n,
@@ -309,6 +341,8 @@ pub fn render_join_record_json(label: &str, rows: &[JoinBenchRow]) -> String {
             r.stats.tuples_considered,
             r.stats.interned_hits,
             r.stats.plan_cache_hits,
+            r.stats.negative_checks,
+            r.stats.strata,
         ));
     }
     out.push_str("\n  ]}");
@@ -348,8 +382,9 @@ mod tests {
     #[test]
     fn join_report_smoke_and_json_shape() {
         let rows = join_report(&[40], 40);
-        // indexed + scan on linear_tc, indexed on reach_linearity.
-        assert_eq!(rows.len(), 3);
+        // indexed + scan on linear_tc, indexed on reach_linearity,
+        // stratified on stratified_reach.
+        assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.facts > 0);
             assert!(r.ns_per_fact > 0.0);
@@ -360,14 +395,25 @@ mod tests {
             .iter()
             .filter(|r| r.engine == "indexed")
             .all(|r| r.stats.plan_cache_hits == 1));
+        // The stratified workload really crosses three strata and checks
+        // its negations (and hits the plan cache once per stratum).
+        let strat = rows
+            .iter()
+            .find(|r| r.engine == "stratified")
+            .expect("stratified row");
+        assert_eq!(strat.stats.strata, 3);
+        assert!(strat.stats.negative_checks > 0);
+        assert_eq!(strat.stats.plan_cache_hits, 3);
         let json = render_join_record_json("test", &rows);
         assert!(json.starts_with("{\"label\": \"test\""));
         // Hostile labels are escaped, not interpolated raw.
         let hostile = render_join_record_json("a\"b\\c\n", &rows);
         assert!(hostile.starts_with("{\"label\": \"a\\\"b\\\\c\\u000a\""));
         assert!(json.ends_with("]}"));
-        assert_eq!(json.matches("\"workload\"").count(), 3);
+        assert_eq!(json.matches("\"workload\"").count(), 4);
         assert!(json.contains("\"plan_cache_hits\": 1"));
+        assert!(json.contains("\"negative_checks\""));
+        assert!(json.contains("\"strata\": 3"));
     }
 
     #[test]

@@ -2,10 +2,13 @@
 //!
 //! Programs are function-free Horn clauses. Predicates are either
 //! *extensional* (interpreted by the input structure's relations) or
-//! *intensional* (defined by rule heads). The engine is *semipositive*:
-//! negation may appear only in front of extensional atoms — exactly the
-//! shape produced by the MSO-to-datalog construction of Theorem 4.5, whose
-//! rules carry negated EDB atoms `¬Rᵢ(…)` in their bodies.
+//! *intensional* (defined by rule heads). Negation may appear in front of
+//! any body atom; the core fixpoint engines require the *semipositive*
+//! shape — negation only on extensional atoms, exactly what the
+//! MSO-to-datalog construction of Theorem 4.5 produces (`¬Rᵢ(…)` body
+//! atoms) — while programs negating intensional atoms evaluate through
+//! the [`stratify`](crate::stratify) pipeline, which reduces them to a
+//! bottom-up sequence of semipositive strata.
 
 use mdtw_structure::fx::FxHashMap;
 use mdtw_structure::{ElemId, PredId, Structure};
@@ -159,7 +162,15 @@ impl Program {
         self.idb_names.len()
     }
 
-    /// Checks the program is *semipositive*: negation only on EDB atoms.
+    /// Checks the program is *semipositive*: negation only on EDB atoms
+    /// (plus the per-rule head and safety checks).
+    ///
+    /// This is the invariant the semipositive engines require of their
+    /// whole input and the *stratum-local* invariant of the stratified
+    /// pipeline: every sub-program
+    /// [`eval_stratified`](crate::stratify::eval_stratified) hands to the
+    /// semi-naive engine — a stratum with lower strata rewritten to
+    /// materialized extensional predicates — satisfies it.
     pub fn check_semipositive(&self) -> Result<(), String> {
         for (i, rule) in self.rules.iter().enumerate() {
             for lit in &rule.body {

@@ -6,7 +6,12 @@
 //! candidate, per structure). A [`PlanCache`] memoizes the compiled
 //! [`RulePlans`] so repeated evaluations skip planning (and, more
 //! importantly, skip re-deriving the cardinality statistics that feed the
-//! planner's tie-breaks).
+//! planner's tie-breaks). The stratified pipeline
+//! ([`eval_stratified`](crate::stratify::eval_stratified)) plans each
+//! stratum's rewritten sub-program against the structure extended with
+//! the lower strata's materialized relations, so its cache keys — and
+//! their cardinality shapes — incorporate those extensions like any other
+//! relation.
 //!
 //! # Keying and invalidation
 //!
@@ -144,14 +149,21 @@ pub fn global_plan_cache() -> &'static PlanCache {
 /// [`eval_seminaive`](crate::eval::eval_seminaive) uses
 /// [`global_plan_cache`]). [`EvalStats::plan_cache_hits`] reports whether
 /// planning was skipped.
+///
+/// # Panics
+/// Panics if the program is not semipositive (negated intensional atoms
+/// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
+/// otherwise ill-formed.
 pub fn eval_seminaive_with_cache(
     program: &Program,
     structure: &Structure,
     cache: &PlanCache,
 ) -> (IdbStore, EvalStats) {
+    crate::eval::assert_semipositive(program);
     let (plans, hit) = cache.plans(program, structure);
     let stats = EvalStats {
         plan_cache_hits: usize::from(hit),
+        strata: 1,
         ..EvalStats::default()
     };
     run_seminaive(program, structure, &plans, stats)

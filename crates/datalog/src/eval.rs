@@ -98,9 +98,13 @@ impl IdbStore {
         self.rels.iter().map(Relation::len).sum()
     }
 
-    /// The relation of `pred` (with its secondary-index layer).
+    /// The relation of `pred` (with its secondary-index layer), e.g. to
+    /// iterate derived tuples without the sorted copy of
+    /// [`IdbStore::tuples`]. The stratified evaluator reads lower strata
+    /// out of the store through this accessor when materializing them as
+    /// extensional relations.
     #[inline]
-    fn rel(&self, pred: IdbId) -> &Relation {
+    pub fn relation(&self, pred: IdbId) -> &Relation {
         &self.rels[pred.index()]
     }
 
@@ -114,9 +118,11 @@ impl IdbStore {
         Self::new(program)
     }
 
-    /// Direct insertion (used when decoding a ground model).
-    pub(crate) fn insert_raw(&mut self, pred: IdbId, args: Box<[ElemId]>) {
-        self.rels[pred.index()].insert(&args);
+    /// Direct insertion (used when decoding a ground model and when
+    /// folding stratum outputs into the final store) — takes a borrowed
+    /// tuple so bulk copies stay allocation-free.
+    pub(crate) fn insert_raw(&mut self, pred: IdbId, args: &[ElemId]) {
+        self.rels[pred.index()].insert(args);
     }
 }
 
@@ -148,14 +154,42 @@ pub struct EvalStats {
     pub interned_hits: usize,
     /// 1 if this evaluation reused compiled rule plans from a
     /// [`PlanCache`](crate::cache::PlanCache), 0 if it had to plan.
-    /// Indexed engine only.
+    /// Indexed engine only (the stratified pipeline reports one potential
+    /// hit per stratum).
     pub plan_cache_hits: usize,
+    /// Number of negative-literal membership checks performed, counted by
+    /// all engines (a short-circuited conjunction counts only the checks
+    /// it actually ran).
+    pub negative_checks: usize,
+    /// Number of evaluation strata: 1 for the single-pass engines, the
+    /// stratification's stratum count for
+    /// [`eval_stratified`](crate::stratify::eval_stratified).
+    pub strata: usize,
+}
+
+/// The semipositive engines' input contract, checked loudly at entry.
+/// The parser accepts any *stratified* program, so a negated intensional
+/// literal could reach these engines; without this check it would
+/// surface as a confusing `unreachable!` deep inside the join loop.
+pub(crate) fn assert_semipositive(program: &Program) {
+    if let Err(msg) = program.check_semipositive() {
+        panic!("semipositive engine: {msg}; stratified programs evaluate with eval_stratified");
+    }
 }
 
 /// Naive evaluation: apply all rules until nothing changes.
+///
+/// # Panics
+/// Panics if the program is not semipositive (negated intensional atoms
+/// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
+/// otherwise ill-formed.
 pub fn eval_naive(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
+    assert_semipositive(program);
     let mut store = IdbStore::new(program);
-    let mut stats = EvalStats::default();
+    let mut stats = EvalStats {
+        strata: 1,
+        ..EvalStats::default()
+    };
     loop {
         stats.rounds += 1;
         let mut new_facts: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
@@ -291,10 +325,17 @@ struct PlanCtx<'a> {
 /// [`EvalStats::plan_cache_hits`]. Use
 /// [`eval_seminaive_with_cache`](crate::cache::eval_seminaive_with_cache)
 /// to control the cache explicitly.
+///
+/// # Panics
+/// Panics if the program is not semipositive (negated intensional atoms
+/// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
+/// otherwise ill-formed.
 pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
+    assert_semipositive(program);
     let (plans, hit) = crate::cache::global_plan_cache().plans(program, structure);
     let stats = EvalStats {
         plan_cache_hits: usize::from(hit),
+        strata: 1,
         ..EvalStats::default()
     };
     run_seminaive(program, structure, &plans, stats)
@@ -379,6 +420,7 @@ fn apply_plan(
 ) {
     let mut bindings: Vec<Option<ElemId>> = vec![None; ctx.rule.var_count as usize];
     for &ni in &ctx.plan.ground_negatives {
+        stats.negative_checks += 1;
         if negative_holds(ctx, ni, &bindings, scratch) {
             return;
         }
@@ -399,7 +441,9 @@ fn negative_holds(
     instantiate_into(atom, bindings, scratch);
     match atom.pred {
         PredRef::Edb(p) => ctx.structure.holds(p, scratch),
-        PredRef::Idb(_) => unreachable!("semipositive program"),
+        PredRef::Idb(_) => unreachable!(
+            "negated intensional literal in the semipositive engine; use eval_stratified"
+        ),
     }
 }
 
@@ -428,7 +472,7 @@ fn resolve_steps<'a>(ctx: &PlanCtx<'a>) -> Vec<StepExec<'a>> {
             let (rel, exclude): (&Relation, Option<&Relation>) = match lit.atom.pred {
                 PredRef::Edb(p) => (ctx.structure.relation(p), None),
                 PredRef::Idb(id) => match ctx.delta {
-                    None => (ctx.store.rel(id), None),
+                    None => (ctx.store.relation(id), None),
                     Some((dpos, ds)) => {
                         use std::cmp::Ordering;
                         match step.literal.cmp(&dpos) {
@@ -442,8 +486,8 @@ fn resolve_steps<'a>(ctx: &PlanCtx<'a>) -> Vec<StepExec<'a>> {
                             // updated store: an instantiation with several
                             // delta atoms fires exactly once, in the pass
                             // of its first delta position.
-                            Ordering::Less => (ctx.store.rel(id), Some(ds.rel(id))),
-                            Ordering::Greater => (ctx.store.rel(id), None),
+                            Ordering::Less => (ctx.store.relation(id), Some(ds.rel(id))),
+                            Ordering::Greater => (ctx.store.relation(id), None),
                         }
                     }
                 },
@@ -496,10 +540,10 @@ fn descend_plan(
         stats.tuples_considered += 1;
         let mut touched: Vec<Var> = Vec::new();
         if unify(&lit.atom, tuple, bindings, &mut touched) {
-            let negatives_ok = step
-                .negatives_after
-                .iter()
-                .all(|&ni| !negative_holds(ctx, ni, bindings, scratch));
+            let negatives_ok = step.negatives_after.iter().all(|&ni| {
+                stats.negative_checks += 1;
+                !negative_holds(ctx, ni, bindings, scratch)
+            });
             if negatives_ok {
                 descend_plan(ctx, execs, step_idx + 1, bindings, stats, out, scratch);
             }
@@ -561,9 +605,18 @@ fn descend_plan(
 /// several delta tuples fires once per delta pass, inflating
 /// [`EvalStats::firings`]; [`eval_seminaive`] fixes this with the proper
 /// rule split.
+///
+/// # Panics
+/// Panics if the program is not semipositive (negated intensional atoms
+/// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
+/// otherwise ill-formed.
 pub fn eval_seminaive_scan(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
+    assert_semipositive(program);
     let mut store = IdbStore::new(program);
-    let mut stats = EvalStats::default();
+    let mut stats = EvalStats {
+        strata: 1,
+        ..EvalStats::default()
+    };
 
     // Round 0: all rules, unconstrained.
     stats.rounds += 1;
@@ -697,11 +750,14 @@ fn descend(
         // their variables are bound) and emit.
         for &ni in negatives {
             let lit = &rule.body[ni];
+            stats.negative_checks += 1;
             let args =
                 instantiate(&lit.atom, bindings).expect("safe rule: negative literal fully bound");
             let holds = match lit.atom.pred {
                 PredRef::Edb(p) => structure.holds(p, &args),
-                PredRef::Idb(_) => unreachable!("semipositive program"),
+                PredRef::Idb(_) => unreachable!(
+                    "negated intensional literal in the semipositive engine; use eval_stratified"
+                ),
             };
             if holds {
                 return;
@@ -965,6 +1021,17 @@ mod tests {
         let skip = p.idb("skip").unwrap();
         assert!(store.holds(skip, &[ElemId(0), ElemId(2)]));
         assert!(!store.holds(skip, &[ElemId(0), ElemId(1)]));
+    }
+
+    /// The parser accepts stratified programs, so the semipositive
+    /// engines must reject a negated intensional atom at entry with a
+    /// pointer to `eval_stratified`, not an `unreachable!` mid-join.
+    #[test]
+    #[should_panic(expected = "eval_stratified")]
+    fn semipositive_engine_rejects_stratified_programs_loudly() {
+        let s = chain(3);
+        let p = parse_program("q(X) :- e(X, Y), !r(X). r(X) :- e(X, X).", &s).unwrap();
+        let _ = eval_seminaive(&p, &s);
     }
 
     #[test]

@@ -474,7 +474,7 @@ pub fn eval_quasi_guarded(
     let mut store = IdbStore::new_for(program);
     for ((pred, args), id) in &grounding.atom_ids {
         if model[*id as usize] {
-            store.insert_raw(crate::ast::IdbId(*pred), args.clone());
+            store.insert_raw(crate::ast::IdbId(*pred), args);
         }
     }
     Ok((store, grounding.stats))

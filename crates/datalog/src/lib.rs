@@ -4,9 +4,13 @@
 //! Structures with Bounded Treewidth* reproduction (Gottlob, Pichler &
 //! Wei, PODS 2007).
 //!
-//! The engine evaluates *semipositive* datalog (negation only on
-//! extensional atoms — the fragment produced by the paper's MSO-to-datalog
-//! construction) over the finite structures of [`mdtw_structure`]:
+//! The engine evaluates **stratified** datalog — negation over derived
+//! predicates, as long as no predicate depends on its own negation — over
+//! the finite structures of [`mdtw_structure`]. The core fixpoint engines
+//! are *semipositive* (negation only on extensional atoms — the fragment
+//! produced by the paper's MSO-to-datalog construction); the
+//! [`stratify`](mod@crate::stratify) pipeline reduces stratified programs
+//! to a bottom-up sequence of semipositive ones:
 //!
 //! * [`ast`] / [`parser`] — programs as data or text;
 //! * [`eval`] — naive and semi-naive least-fixpoint evaluation (the
@@ -27,6 +31,14 @@
 //!   compiled rule plans memoized by program identity and structure
 //!   cardinality shape, so workloads that re-evaluate the same program
 //!   (enumeration solvers, per-candidate pipelines) skip planning;
+//! * [`stratify`](mod@crate::stratify) — stratified negation: the
+//!   predicate dependency graph (positive/negative edges), Tarjan SCC
+//!   condensation, stratum assignment with a precise
+//!   [`StratificationError`] when a negative edge closes a recursive
+//!   cycle, and [`eval_stratified`] — bottom-up multi-stratum evaluation
+//!   that materializes each stratum into the arena-backed relation layer
+//!   so higher strata read it as EDB, reusing the indexed join loop and
+//!   the plan cache unchanged;
 //! * [`ground`](mod@crate::ground) — **quasi-guarded** datalog (Definition 4.3): guard
 //!   analysis with declared functional dependencies, grounding in
 //!   `O(|P|·|𝒜|)`, and the linear-time evaluation of Theorem 4.4;
@@ -43,6 +55,7 @@ pub mod ground;
 pub mod horn;
 pub mod parser;
 pub mod plan;
+pub mod stratify;
 
 pub use ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term, Var};
 pub use cache::{eval_seminaive_with_cache, global_plan_cache, PlanCache};
@@ -53,4 +66,7 @@ pub use parser::{parse_program, ParseError};
 pub use plan::{
     plan_program, plan_program_with, plan_rule, plan_rule_with, Access, CardEstimator, JoinPlan,
     JoinStep, NoEstimates, RulePlans, StructureStats,
+};
+pub use stratify::{
+    eval_stratified, eval_stratified_with_cache, stratify, Stratification, StratificationError,
 };

@@ -10,11 +10,20 @@
 //!
 //! Conventions: identifiers starting with an upper-case letter (or `_`)
 //! are variables; everything else is a constant or predicate name.
-//! Negation is written `!atom` or `not atom`; comments run from `%` or
-//! `#` to end of line. Predicates named in the input structure's signature
-//! are extensional; all others are intensional.
+//! Negation is written `!atom`, `¬atom` or `not atom`; comments run from
+//! `%` or `#` to end of line. Predicates named in the input structure's
+//! signature are extensional; all others are intensional.
+//!
+//! Negation may be applied to intensional atoms as long as the program is
+//! *stratified* (no predicate depends on its own negation); the parser
+//! runs [`stratify`](crate::stratify::stratify) and rejects programs with
+//! a negative dependency cycle. Stratified programs evaluate with
+//! [`eval_stratified`](crate::stratify::eval_stratified); programs whose
+//! negation touches only extensional atoms remain valid inputs for the
+//! semipositive engines.
 
 use crate::ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term, Var};
+use crate::stratify::stratify;
 use mdtw_structure::fx::FxHashMap;
 use mdtw_structure::Structure;
 use std::fmt;
@@ -45,6 +54,13 @@ pub fn parse_program(source: &str, structure: &Structure) -> Result<Program, Par
     let statements = split_statements(source)?;
     for (line, text) in &statements {
         let (head_txt, _) = split_rule(text);
+        let (negated, head_txt) = strip_negation(head_txt);
+        if negated {
+            return Err(ParseError {
+                line: *line,
+                message: format!("negated head atom `{}`", head_txt.trim()),
+            });
+        }
         let head = parse_atom(head_txt.trim(), *line)?;
         if structure.signature().lookup(&head.pred).is_some() {
             return Err(ParseError {
@@ -61,12 +77,43 @@ pub fn parse_program(source: &str, structure: &Structure) -> Result<Program, Par
     }
     for (line, text) in &statements {
         let rule = parse_rule(text, *line, structure, &mut program)?;
+        if !rule.is_safe() {
+            return Err(ParseError {
+                line: *line,
+                message: "unsafe rule: every head variable and negated-literal variable \
+                          must occur in a positive body literal"
+                    .into(),
+            });
+        }
         program.rules.push(rule);
     }
-    program
-        .check_semipositive()
-        .map_err(|message| ParseError { line: 0, message })?;
+    // Stratifiability is the program-level well-formedness condition (a
+    // semipositive program is the single-stratum special case).
+    stratify(&program).map_err(|e| ParseError {
+        line: 0,
+        message: e.to_string(),
+    })?;
     Ok(program)
+}
+
+/// Strips one leading negation marker (`!`, `¬`, or the `not` keyword
+/// followed by whitespace) off a literal; returns whether one was present
+/// and the remaining atom text. `not` only counts as the keyword when
+/// separated from the atom, so predicates named `not…` stay parseable.
+fn strip_negation(text: &str) -> (bool, &str) {
+    let text = text.trim_start();
+    if let Some(rest) = text.strip_prefix('!') {
+        return (true, rest.trim_start());
+    }
+    if let Some(rest) = text.strip_prefix('¬') {
+        return (true, rest.trim_start());
+    }
+    if let Some(rest) = text.strip_prefix("not") {
+        if rest.starts_with(char::is_whitespace) {
+            return (true, rest.trim_start());
+        }
+    }
+    (false, text)
 }
 
 /// Splits source into `.`-terminated statements with their line numbers,
@@ -268,14 +315,9 @@ fn parse_rule(
                     message: "empty body literal".into(),
                 });
             }
-            let (positive, atom_txt) = if let Some(stripped) = lit_txt.strip_prefix('!') {
-                (false, stripped.trim())
-            } else if let Some(stripped) = lit_txt.strip_prefix("not ") {
-                (false, stripped.trim())
-            } else {
-                (true, lit_txt)
-            };
-            let raw = parse_atom(atom_txt, line)?;
+            let (negated, atom_txt) = strip_negation(lit_txt);
+            let positive = !negated;
+            let raw = parse_atom(atom_txt.trim(), line)?;
             let atom = resolve_atom(&raw, program, &mut resolve_term)?;
             body.push(Literal { atom, positive });
         }
@@ -384,9 +426,62 @@ mod tests {
     }
 
     #[test]
-    fn rejects_negated_idb() {
+    fn accepts_stratified_negated_idb() {
         let s = tiny_structure();
-        let err = parse_program("q(X) :- e(X, Y), !r(X). r(X) :- e(X, X).", &s).unwrap_err();
-        assert!(err.message.contains("negated intensional"));
+        let p = parse_program("q(X) :- e(X, Y), !r(X). r(X) :- e(X, X).", &s).unwrap();
+        assert_eq!(p.rules.len(), 2);
+        assert!(!p.rules[0].body[1].positive);
+        assert!(matches!(
+            p.rules[0].body[1].atom.pred,
+            PredRef::Idb(IdbId(1))
+        ));
+        // Still not semipositive — the stratum-local invariant fails on
+        // the whole program.
+        assert!(p.check_semipositive().is_err());
+    }
+
+    #[test]
+    fn rejects_negative_dependency_cycle() {
+        let s = tiny_structure();
+        let err = parse_program("p(X) :- e(X, Y), !q(X). q(X) :- e(X, Y), !p(X).", &s).unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.message.contains("recursive component"), "{err}");
+        assert!(err.message.contains('p') && err.message.contains('q'));
+    }
+
+    #[test]
+    fn three_negation_spellings_parse_identically() {
+        let s = tiny_structure();
+        let base = "r(X) :- e(X, X). q(X) :- e(X, Y), {}r(X).";
+        let programs: Vec<_> = ["!", "! ", "\u{ac}", "\u{ac} ", "not "]
+            .iter()
+            .map(|neg| parse_program(&base.replace("{}", neg), &s).unwrap())
+            .collect();
+        for p in &programs {
+            assert_eq!(p.rules.len(), 2);
+            assert_eq!(p.rules[1].body.len(), 2);
+            assert!(!p.rules[1].body[1].positive);
+            assert_eq!(p.rules[1].body[1].atom, programs[0].rules[1].body[1].atom);
+        }
+    }
+
+    #[test]
+    fn not_prefix_without_space_is_a_predicate_name() {
+        let s = tiny_structure();
+        // `notable` and `not_yet` are ordinary (positive) predicates.
+        let p = parse_program("notable(X) :- e(X, Y). q(X) :- notable(X).", &s).unwrap();
+        assert!(p.idb("notable").is_some());
+        assert!(p.rules[1].body[0].positive);
+    }
+
+    #[test]
+    fn rejects_negated_head_atom_with_span() {
+        let s = tiny_structure();
+        for neg in ["!", "\u{ac}", "not "] {
+            let src = format!("q(X) :- e(X, Y).\n{neg}r(X) :- e(X, X).");
+            let err = parse_program(&src, &s).unwrap_err();
+            assert_eq!(err.line, 2, "spelling {neg:?}");
+            assert!(err.message.contains("negated head"), "{err}");
+        }
     }
 }

@@ -26,6 +26,11 @@
 //! the front of the join order (the delta is the smallest relation in the
 //! round) and the evaluator reads it from the per-predicate delta store.
 //!
+//! The stratified pipeline plans each stratum after rewriting
+//! lower-stratum predicates to materialized extensional relations, so
+//! those literals — including the negated ones — arrive here as ordinary
+//! EDB atoms with real [`StructureStats`] cardinalities behind them.
+//!
 //! [`Relation::len`]: mdtw_structure::Relation::len
 //! [`PosIndex::key_count`]: mdtw_structure::PosIndex::key_count
 

@@ -1,0 +1,865 @@
+//! Stratified negation: predicate dependency analysis and the
+//! multi-stratum evaluation pipeline.
+//!
+//! The core engines of [`eval`](crate::eval) are *semipositive* — negation
+//! may only be applied to extensional atoms. This module lifts that
+//! restriction to full **stratified datalog**:
+//!
+//! 1. [`stratify`] builds the predicate dependency graph of a program
+//!    (one node per intensional predicate, a positive or negative edge
+//!    `b → h` for every body occurrence of `b` in a rule for `h`),
+//!    condenses it with Tarjan's strongly-connected-components algorithm,
+//!    and assigns every predicate the maximum number of negative edges on
+//!    any dependency path leading to it. A negative edge *inside* an SCC
+//!    means the program has no stratified semantics; the resulting
+//!    [`StratificationError`] names the offending predicate cycle.
+//!    Safety (range restriction) and head checks run here too, so a
+//!    [`Stratification`] certifies the program is evaluable.
+//! 2. [`eval_stratified`] evaluates the strata bottom-up. Each stratum is
+//!    turned into a semipositive sub-program by rewriting references to
+//!    lower-stratum predicates into *extensional* predicates of an
+//!    extended structure ([`Structure::extended`]) holding the lower
+//!    strata's materialized relations. [`Program::check_semipositive`] is
+//!    exactly the stratum-local invariant this rewrite establishes.
+//!
+//! Because lower strata are materialized into the arena-backed
+//! [`Relation`](mdtw_structure::Relation) layer, higher strata treat them
+//! like any other EDB relation: positive occurrences are probed through
+//! the cached [`PosIndex`](mdtw_structure::PosIndex) access paths (and
+//! now carry real cardinality estimates for the planner), negated
+//! occurrences go through the existing constant-time negative-literal
+//! membership checks, and compiled plans flow through the
+//! [`PlanCache`](crate::cache::PlanCache) — whose cardinality-shape key
+//! covers the materialized extensions, since they are ordinary signature
+//! relations of the structure each stratum is planned against. The inner
+//! join loop of [`eval`](crate::eval) is reused without modification.
+
+use crate::ast::{IdbId, PredRef, Program};
+use crate::cache::{global_plan_cache, PlanCache};
+use crate::eval::{run_seminaive, EvalStats, IdbStore};
+use mdtw_structure::{PredId, Structure};
+use std::fmt;
+
+/// Why a program has no stratified semantics (or is not evaluable at
+/// all). Produced by [`stratify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StratificationError {
+    /// A negative edge lands inside a strongly connected component of the
+    /// predicate dependency graph: some rule for `head` negates `negated`,
+    /// but `negated` (transitively) depends on `head` again, so no stratum
+    /// assignment can place `negated` strictly below `head`.
+    NegativeCycle {
+        /// The rule (index into [`Program::rules`]) carrying the negation.
+        rule: usize,
+        /// The predicate being negated.
+        negated: String,
+        /// The dependency cycle, as predicate names: starts at the head of
+        /// the offending rule, follows dependency edges to the negated
+        /// predicate, which closes the cycle back to the head.
+        cycle: Vec<String>,
+    },
+    /// A rule head is an extensional predicate.
+    EdbHead {
+        /// The offending rule index.
+        rule: usize,
+    },
+    /// A rule is not range-restricted: a head variable or a variable of a
+    /// negative literal occurs in no positive body literal.
+    UnsafeRule {
+        /// The offending rule index.
+        rule: usize,
+    },
+}
+
+impl fmt::Display for StratificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StratificationError::NegativeCycle {
+                rule,
+                negated,
+                cycle,
+            } => {
+                write!(
+                    f,
+                    "rule {rule}: negation of `{negated}` inside a recursive component \
+                     (cycle: {} \u{ac}\u{2192} {})",
+                    cycle.join(" \u{2192} "),
+                    cycle.first().map(String::as_str).unwrap_or("?"),
+                )
+            }
+            StratificationError::EdbHead { rule } => {
+                write!(f, "rule {rule}: extensional predicate in head")
+            }
+            StratificationError::UnsafeRule { rule } => {
+                write!(
+                    f,
+                    "rule {rule}: unsafe rule (every head variable and negated-literal \
+                     variable must occur in a positive body literal)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StratificationError {}
+
+/// A valid stratum assignment for a program: a certificate that evaluating
+/// the strata bottom-up computes the stratified (perfect) model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stratification {
+    /// Stratum of each intensional predicate (index = [`IdbId`]).
+    pred_stratum: Vec<usize>,
+    /// Rule indices per stratum, in source order within a stratum.
+    strata: Vec<Vec<usize>>,
+}
+
+impl Stratification {
+    /// Number of strata (1 for any semipositive program; 0 only for a
+    /// program without intensional predicates).
+    pub fn stratum_count(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// The stratum of an intensional predicate.
+    pub fn stratum_of(&self, pred: IdbId) -> usize {
+        self.pred_stratum[pred.index()]
+    }
+
+    /// Rule indices (into [`Program::rules`]) per stratum, bottom-up.
+    pub fn strata(&self) -> &[Vec<usize>] {
+        &self.strata
+    }
+}
+
+/// One dependency edge `from → to`: predicate `from` occurs in the body of
+/// rule `rule`, whose head is `to`.
+struct DepEdge {
+    from: IdbId,
+    to: IdbId,
+    negative: bool,
+    rule: usize,
+}
+
+/// Computes a stratification of `program`, running the per-rule safety and
+/// head checks on the way. See the [module docs](self) for the algorithm.
+pub fn stratify(program: &Program) -> Result<Stratification, StratificationError> {
+    let n = program.idb_count();
+
+    // Per-rule checks first: an unstratifiable dependency graph over
+    // ill-formed rules would report the wrong error.
+    for (rule_idx, rule) in program.rules.iter().enumerate() {
+        if matches!(rule.head.pred, PredRef::Edb(_)) {
+            return Err(StratificationError::EdbHead { rule: rule_idx });
+        }
+        if !rule.is_safe() {
+            return Err(StratificationError::UnsafeRule { rule: rule_idx });
+        }
+    }
+
+    // Dependency graph: edge body-predicate → head-predicate.
+    let mut edges: Vec<DepEdge> = Vec::new();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (rule_idx, rule) in program.rules.iter().enumerate() {
+        let PredRef::Idb(head) = rule.head.pred else {
+            unreachable!("EDB heads rejected above");
+        };
+        for lit in &rule.body {
+            if let PredRef::Idb(body) = lit.atom.pred {
+                adj[body.index()].push(edges.len());
+                edges.push(DepEdge {
+                    from: body,
+                    to: head,
+                    negative: !lit.positive,
+                    rule: rule_idx,
+                });
+            }
+        }
+    }
+
+    let (scc_of, scc_count) = tarjan_sccs(n, &edges, &adj);
+
+    // A negative edge inside an SCC defeats stratification.
+    for edge in &edges {
+        if edge.negative && scc_of[edge.from.index()] == scc_of[edge.to.index()] {
+            return Err(negative_cycle_error(program, &edges, &adj, &scc_of, edge));
+        }
+    }
+
+    // Stratum of an SCC: the maximum number of negative edges on any
+    // dependency path into it. Tarjan numbers SCCs in reverse topological
+    // order of the condensation (an edge's target component always has the
+    // smaller id), so walking ids downward visits sources before targets.
+    let mut scc_out: Vec<Vec<(usize, bool)>> = vec![Vec::new(); scc_count];
+    for edge in &edges {
+        let (from_scc, to_scc) = (scc_of[edge.from.index()], scc_of[edge.to.index()]);
+        if from_scc != to_scc {
+            scc_out[from_scc].push((to_scc, edge.negative));
+        }
+    }
+    let mut scc_stratum = vec![0usize; scc_count];
+    for scc in (0..scc_count).rev() {
+        for &(to_scc, negative) in &scc_out[scc] {
+            let lifted = scc_stratum[scc] + usize::from(negative);
+            scc_stratum[to_scc] = scc_stratum[to_scc].max(lifted);
+        }
+    }
+
+    let pred_stratum: Vec<usize> = (0..n).map(|p| scc_stratum[scc_of[p]]).collect();
+    let stratum_count = pred_stratum.iter().map(|&s| s + 1).max().unwrap_or(0);
+    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); stratum_count];
+    for (rule_idx, rule) in program.rules.iter().enumerate() {
+        let PredRef::Idb(head) = rule.head.pred else {
+            unreachable!("EDB heads rejected above");
+        };
+        strata[pred_stratum[head.index()]].push(rule_idx);
+    }
+
+    Ok(Stratification {
+        pred_stratum,
+        strata,
+    })
+}
+
+/// Builds the [`StratificationError::NegativeCycle`] for a negative edge
+/// `bad` inside an SCC: recovers an explicit predicate cycle by BFS from
+/// the edge's head back to its (negated) body predicate, inside the SCC.
+fn negative_cycle_error(
+    program: &Program,
+    edges: &[DepEdge],
+    adj: &[Vec<usize>],
+    scc_of: &[usize],
+    bad: &DepEdge,
+) -> StratificationError {
+    let scc = scc_of[bad.from.index()];
+    let name = |p: IdbId| program.idb_names[p.index()].clone();
+
+    // BFS from the head of the bad edge to its body predicate, restricted
+    // to the SCC (both endpoints are in it, so a path exists).
+    let mut prev: Vec<Option<IdbId>> = vec![None; program.idb_count()];
+    let mut queue = std::collections::VecDeque::from([bad.to]);
+    let mut seen = vec![false; program.idb_count()];
+    seen[bad.to.index()] = true;
+    while let Some(v) = queue.pop_front() {
+        if v == bad.from {
+            break;
+        }
+        for &ei in &adj[v.index()] {
+            let w = edges[ei].to;
+            if scc_of[w.index()] == scc && !seen[w.index()] {
+                seen[w.index()] = true;
+                prev[w.index()] = Some(v);
+                queue.push_back(w);
+            }
+        }
+    }
+
+    // Path head → … → body (self-negation yields the one-element cycle).
+    let mut cycle = vec![name(bad.from)];
+    let mut cur = bad.from;
+    while cur != bad.to {
+        cur = prev[cur.index()].expect("SCC members are mutually reachable");
+        cycle.push(name(cur));
+    }
+    cycle.reverse();
+
+    StratificationError::NegativeCycle {
+        rule: bad.rule,
+        negated: name(bad.from),
+        cycle,
+    }
+}
+
+/// Iterative Tarjan over the predicate dependency graph. Returns the SCC
+/// id of every node and the SCC count; ids are assigned in completion
+/// order, so for any cross-component edge the *target* component has the
+/// smaller id (reverse topological numbering of the condensation).
+fn tarjan_sccs(n: usize, edges: &[DepEdge], adj: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut scc_of = vec![usize::MAX; n];
+    let mut scc_count = 0usize;
+    let mut next_index = 0u32;
+    // Explicit DFS frames `(node, next out-edge slot)` — predicate counts
+    // are program-sized, so recursion depth must not be.
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        index[start as usize] = next_index;
+        low[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+        frames.push((start, 0));
+
+        while let Some(&mut (v, ref mut slot)) = frames.last_mut() {
+            let vi = v as usize;
+            if let Some(&ei) = adj[vi].get(*slot) {
+                *slot += 1;
+                let w = edges[ei].to.0;
+                let wi = w as usize;
+                if index[wi] == UNVISITED {
+                    index[wi] = next_index;
+                    low[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    low[vi] = low[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    let pi = parent as usize;
+                    low[pi] = low[pi].min(low[vi]);
+                }
+                if low[vi] == index[vi] {
+                    loop {
+                        let w = stack.pop().expect("root still on stack");
+                        on_stack[w as usize] = false;
+                        scc_of[w as usize] = scc_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc_count += 1;
+                }
+            }
+        }
+    }
+    (scc_of, scc_count)
+}
+
+/// Evaluates a stratified program bottom-up over the process-wide
+/// [`PlanCache`]; see [`eval_stratified_with_cache`].
+pub fn eval_stratified(
+    program: &Program,
+    structure: &Structure,
+) -> Result<(IdbStore, EvalStats), StratificationError> {
+    eval_stratified_with_cache(program, structure, global_plan_cache())
+}
+
+/// Evaluates a stratified program bottom-up with an explicit plan cache.
+///
+/// Stratum 0 is semipositive as-is. For every higher stratum, references
+/// to lower-stratum predicates are rewritten to extensional predicates of
+/// an extended structure holding the lower strata's materialized
+/// relations, the rewritten sub-program is checked semipositive (the
+/// stratum-local invariant) and handed to the indexed semi-naive engine.
+/// On a semipositive input (a single stratum) this is exactly
+/// [`eval_seminaive_with_cache`](crate::cache::eval_seminaive_with_cache):
+/// same plans, same store, same statistics.
+///
+/// The returned [`EvalStats`] accumulates the per-stratum counters
+/// (`rounds` is the total across strata, `plan_cache_hits` counts per
+/// stratum) and reports the stratum count in [`EvalStats::strata`].
+pub fn eval_stratified_with_cache(
+    program: &Program,
+    structure: &Structure,
+    cache: &PlanCache,
+) -> Result<(IdbStore, EvalStats), StratificationError> {
+    let strat = stratify(program)?;
+    if strat.stratum_count() <= 1 {
+        // Semipositive fast path: no rewriting, no structure extension.
+        let (store, mut stats) = crate::cache::eval_seminaive_with_cache(program, structure, cache);
+        stats.strata = strat.stratum_count();
+        return Ok((store, stats));
+    }
+
+    // Which predicates higher strata actually read: only those are
+    // materialized into the extended structure.
+    let mut needed = vec![false; program.idb_count()];
+    for (rule_idx, rule) in program.rules.iter().enumerate() {
+        let rule_stratum = rule_stratum(&strat, program, rule_idx);
+        for lit in &rule.body {
+            if let PredRef::Idb(id) = lit.atom.pred {
+                if strat.stratum_of(id) < rule_stratum {
+                    needed[id.index()] = true;
+                }
+            }
+        }
+    }
+
+    // Extend the structure with one fresh extensional predicate per
+    // needed intensional predicate (names uniquified against the
+    // signature — IDB names can collide with EDB names in hand-built
+    // programs).
+    let mut ext_pairs: Vec<(String, usize)> = Vec::new();
+    let mut owners: Vec<IdbId> = Vec::new();
+    for (i, need) in needed.iter().enumerate() {
+        if *need {
+            let mut name = program.idb_names[i].clone();
+            while structure.signature().lookup(&name).is_some()
+                || ext_pairs.iter().any(|(n, _)| n == &name)
+            {
+                name.push('\'');
+            }
+            ext_pairs.push((name, program.idb_arities[i]));
+            owners.push(IdbId(i as u32));
+        }
+    }
+    let (mut ext_structure, ext_ids) = structure.extended(ext_pairs);
+    let mut ext_pred: Vec<Option<PredId>> = vec![None; program.idb_count()];
+    for (owner, id) in owners.iter().zip(&ext_ids) {
+        ext_pred[owner.index()] = Some(*id);
+    }
+
+    let mut final_store = IdbStore::new_for(program);
+    let mut total = EvalStats {
+        strata: strat.stratum_count(),
+        ..EvalStats::default()
+    };
+
+    // One sub-program shell reused across strata: the IDB tables (which
+    // fix the predicate id space) are cloned once, only the rule vector
+    // changes per stratum.
+    let mut sub = Program {
+        rules: Vec::new(),
+        idb_names: program.idb_names.clone(),
+        idb_arities: program.idb_arities.clone(),
+        idb_by_name: program.idb_by_name.clone(),
+    };
+
+    for (k, stratum_rules) in strat.strata().iter().enumerate() {
+        if !stratum_rules.is_empty() {
+            // The stratum's semipositive sub-program: this stratum's rules
+            // with lower-stratum references rewritten to the materialized
+            // extensional predicates.
+            sub.rules = stratum_rules
+                .iter()
+                .map(|&ri| {
+                    let mut rule = program.rules[ri].clone();
+                    for lit in &mut rule.body {
+                        if let PredRef::Idb(id) = lit.atom.pred {
+                            if strat.stratum_of(id) < k {
+                                let p = ext_pred[id.index()]
+                                    .expect("cross-stratum reads are materialized");
+                                lit.atom.pred = PredRef::Edb(p);
+                            }
+                        }
+                    }
+                    rule
+                })
+                .collect();
+            debug_assert!(
+                sub.check_semipositive().is_ok(),
+                "stratum rewrite must produce a semipositive sub-program"
+            );
+
+            let (plans, hit) = cache.plans(&sub, &ext_structure);
+            let stats = EvalStats {
+                plan_cache_hits: usize::from(hit),
+                ..EvalStats::default()
+            };
+            let (sub_store, stats) = run_seminaive(&sub, &ext_structure, &plans, stats);
+            accumulate(&mut total, &stats);
+
+            // Materialize this stratum's output: into the final store, and
+            // into the extended structure for the strata above.
+            for pred in (0..program.idb_count() as u32).map(IdbId) {
+                if strat.stratum_of(pred) != k {
+                    continue;
+                }
+                for tuple in sub_store.relation(pred).iter() {
+                    final_store.insert_raw(pred, tuple);
+                    if let Some(p) = ext_pred[pred.index()] {
+                        ext_structure.insert(p, tuple);
+                    }
+                }
+            }
+        }
+    }
+
+    Ok((final_store, total))
+}
+
+/// The stratum a rule evaluates in: the stratum of its head predicate.
+fn rule_stratum(strat: &Stratification, program: &Program, rule: usize) -> usize {
+    match program.rules[rule].head.pred {
+        PredRef::Idb(id) => strat.stratum_of(id),
+        PredRef::Edb(_) => unreachable!("stratify rejects EDB heads"),
+    }
+}
+
+/// Folds one stratum's counters into the pipeline total (`strata` is set
+/// once by the caller, everything else is additive).
+fn accumulate(total: &mut EvalStats, part: &EvalStats) {
+    total.firings += part.firings;
+    total.facts += part.facts;
+    total.rounds += part.rounds;
+    total.index_probes += part.index_probes;
+    total.full_scans += part.full_scans;
+    total.tuples_considered += part.tuples_considered;
+    total.interned_hits += part.interned_hits;
+    total.plan_cache_hits += part.plan_cache_hits;
+    total.negative_checks += part.negative_checks;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Atom, Literal, Rule, Term, Var};
+    use crate::eval::eval_seminaive;
+    use crate::parser::parse_program;
+    use mdtw_structure::{Domain, ElemId, Signature};
+    use std::sync::Arc;
+
+    fn chain(n: usize) -> Structure {
+        let sig = Arc::new(Signature::from_pairs([("e", 2), ("node", 1), ("first", 1)]));
+        let dom = Domain::anonymous(n);
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        let node = s.signature().lookup("node").unwrap();
+        let first = s.signature().lookup("first").unwrap();
+        for i in 0..n {
+            s.insert(node, &[ElemId(i as u32)]);
+        }
+        for i in 0..n - 1 {
+            s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+        }
+        s.insert(first, &[ElemId(0)]);
+        s
+    }
+
+    const UNREACH: &str = "reach(X) :- first(X).\n\
+                           reach(Y) :- reach(X), e(X, Y).\n\
+                           unreach(X) :- node(X), !reach(X).";
+
+    #[test]
+    fn semipositive_program_is_single_stratum() {
+        let s = chain(4);
+        let p = parse_program(
+            "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).",
+            &s,
+        )
+        .unwrap();
+        let strat = stratify(&p).unwrap();
+        assert_eq!(strat.stratum_count(), 1);
+        assert_eq!(strat.stratum_of(p.idb("path").unwrap()), 0);
+        assert_eq!(strat.strata(), &[vec![0, 1]]);
+    }
+
+    #[test]
+    fn complement_reachability_gets_two_strata() {
+        let s = chain(5);
+        let p = parse_program(UNREACH, &s).unwrap();
+        let strat = stratify(&p).unwrap();
+        assert_eq!(strat.stratum_count(), 2);
+        assert_eq!(strat.stratum_of(p.idb("reach").unwrap()), 0);
+        assert_eq!(strat.stratum_of(p.idb("unreach").unwrap()), 1);
+        assert_eq!(strat.strata(), &[vec![0, 1], vec![2]]);
+    }
+
+    #[test]
+    fn stratified_complement_reachability_on_disconnected_chain() {
+        // Two chain components; `first` marks only element 0, so the
+        // second component is unreachable.
+        let sig = Arc::new(Signature::from_pairs([("e", 2), ("node", 1), ("first", 1)]));
+        let dom = Domain::anonymous(6);
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        let node = s.signature().lookup("node").unwrap();
+        let first = s.signature().lookup("first").unwrap();
+        for i in 0..6 {
+            s.insert(node, &[ElemId(i)]);
+        }
+        for i in [0u32, 1, 3, 4] {
+            s.insert(e, &[ElemId(i), ElemId(i + 1)]);
+        }
+        s.insert(first, &[ElemId(0)]);
+
+        let p = parse_program(UNREACH, &s).unwrap();
+        let (store, stats) = eval_stratified(&p, &s).unwrap();
+        let unreach = p.idb("unreach").unwrap();
+        assert_eq!(store.unary(unreach), vec![ElemId(3), ElemId(4), ElemId(5)]);
+        assert_eq!(stats.strata, 2);
+        assert_eq!(stats.negative_checks, 6, "one check per node");
+        assert_eq!(stats.facts, store.fact_count());
+    }
+
+    #[test]
+    fn negation_chain_three_strata() {
+        let s = chain(5);
+        let p = parse_program(
+            &format!("{UNREACH}\nsettled(X) :- node(X), !unreach(X), !first(X)."),
+            &s,
+        )
+        .unwrap();
+        let strat = stratify(&p).unwrap();
+        assert_eq!(strat.stratum_count(), 3);
+        let (store, stats) = eval_stratified(&p, &s).unwrap();
+        assert_eq!(stats.strata, 3);
+        // Whole chain reachable from 0 → unreach empty → settled is
+        // everything but the first node.
+        let settled = p.idb("settled").unwrap();
+        assert_eq!(
+            store.unary(settled),
+            (1u32..5).map(ElemId).collect::<Vec<_>>()
+        );
+        assert!(store.unary(p.idb("unreach").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn semipositive_matches_eval_seminaive_exactly() {
+        let s = chain(7);
+        let p = parse_program(
+            "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).\n\
+             skip(X, Y) :- path(X, Y), !e(X, Y).",
+            &s,
+        )
+        .unwrap();
+        let (semi, semi_stats) = eval_seminaive(&p, &s);
+        let (strat, strat_stats) = eval_stratified(&p, &s).unwrap();
+        for idb in 0..p.idb_count() {
+            let id = IdbId(idb as u32);
+            assert_eq!(semi.tuples(id), strat.tuples(id));
+        }
+        assert_eq!(semi_stats.facts, strat_stats.facts);
+        assert_eq!(semi_stats.rounds, strat_stats.rounds);
+        assert_eq!(semi_stats.firings, strat_stats.firings);
+        assert_eq!(strat_stats.strata, 1);
+    }
+
+    /// Hand-built (the parser rejects it earlier): `p :- node, !q` and
+    /// `q :- node, !p` — mutual negative recursion.
+    #[test]
+    fn mutual_negation_reports_the_cycle() {
+        let s = chain(3);
+        let node = s.signature().lookup("node").unwrap();
+        let mut p = Program::default();
+        let qp = p.intern_idb("p", 1).unwrap();
+        let qq = p.intern_idb("q", 1).unwrap();
+        let mk = |head: IdbId, neg: IdbId| Rule {
+            head: Atom {
+                pred: PredRef::Idb(head),
+                terms: vec![Term::Var(Var(0))],
+            },
+            body: vec![
+                Literal {
+                    atom: Atom {
+                        pred: PredRef::Edb(node),
+                        terms: vec![Term::Var(Var(0))],
+                    },
+                    positive: true,
+                },
+                Literal {
+                    atom: Atom {
+                        pred: PredRef::Idb(neg),
+                        terms: vec![Term::Var(Var(0))],
+                    },
+                    positive: false,
+                },
+            ],
+            var_count: 1,
+            var_names: vec!["X".into()],
+        };
+        p.rules.push(mk(qp, qq));
+        p.rules.push(mk(qq, qp));
+
+        let err = stratify(&p).unwrap_err();
+        match &err {
+            StratificationError::NegativeCycle { negated, cycle, .. } => {
+                assert!(negated == "p" || negated == "q");
+                assert_eq!(cycle.len(), 2);
+                assert!(cycle.contains(&"p".to_string()));
+                assert!(cycle.contains(&"q".to_string()));
+            }
+            other => panic!("expected NegativeCycle, got {other:?}"),
+        }
+        let rendered = err.to_string();
+        assert!(rendered.contains('p') && rendered.contains('q'));
+        assert!(eval_stratified(&p, &chain(3)).is_err());
+    }
+
+    /// `win(X) :- e(X, Y), !win(Y)` — negation through the predicate's own
+    /// SCC (a self-loop), the classic unstratifiable game program.
+    #[test]
+    fn self_negation_is_a_one_predicate_cycle() {
+        let s = chain(3);
+        let e = s.signature().lookup("e").unwrap();
+        let mut p = Program::default();
+        let win = p.intern_idb("win", 1).unwrap();
+        p.rules.push(Rule {
+            head: Atom {
+                pred: PredRef::Idb(win),
+                terms: vec![Term::Var(Var(0))],
+            },
+            body: vec![
+                Literal {
+                    atom: Atom {
+                        pred: PredRef::Edb(e),
+                        terms: vec![Term::Var(Var(0)), Term::Var(Var(1))],
+                    },
+                    positive: true,
+                },
+                Literal {
+                    atom: Atom {
+                        pred: PredRef::Idb(win),
+                        terms: vec![Term::Var(Var(1))],
+                    },
+                    positive: false,
+                },
+            ],
+            var_count: 2,
+            var_names: vec!["X".into(), "Y".into()],
+        });
+        let err = stratify(&p).unwrap_err();
+        assert_eq!(
+            err,
+            StratificationError::NegativeCycle {
+                rule: 0,
+                negated: "win".into(),
+                cycle: vec!["win".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn positive_recursion_through_negation_level_is_fine() {
+        // unreach is negated, and a higher stratum recurses positively on
+        // itself over unreach facts — stratified, three SCCs, two strata.
+        let s = chain(6);
+        let p = parse_program(
+            &format!(
+                "{UNREACH}\nisland(X, Y) :- unreach(X), unreach(Y).\n\
+                      island(X, Z) :- island(X, Y), island(Y, Z)."
+            ),
+            &s,
+        )
+        .unwrap();
+        let strat = stratify(&p).unwrap();
+        assert_eq!(strat.stratum_count(), 2);
+        assert_eq!(strat.stratum_of(p.idb("island").unwrap()), 1);
+        let (store, _) = eval_stratified(&p, &s).unwrap();
+        // Fully reachable chain: no unreach facts, no islands.
+        assert_eq!(store.unary(p.idb("unreach").unwrap()), vec![]);
+        assert!(store.tuples(p.idb("island").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn unsafe_and_edb_head_rules_are_reported() {
+        let s = chain(3);
+        let e = s.signature().lookup("e").unwrap();
+        let mut p = Program::default();
+        let q = p.intern_idb("q", 1).unwrap();
+        // q(X) :- q(Y).  — X unbound.
+        p.rules.push(Rule {
+            head: Atom {
+                pred: PredRef::Idb(q),
+                terms: vec![Term::Var(Var(0))],
+            },
+            body: vec![Literal {
+                atom: Atom {
+                    pred: PredRef::Idb(q),
+                    terms: vec![Term::Var(Var(1))],
+                },
+                positive: true,
+            }],
+            var_count: 2,
+            var_names: vec!["X".into(), "Y".into()],
+        });
+        assert_eq!(
+            stratify(&p).unwrap_err(),
+            StratificationError::UnsafeRule { rule: 0 }
+        );
+
+        let mut p2 = Program::default();
+        p2.rules.push(Rule {
+            head: Atom {
+                pred: PredRef::Edb(e),
+                terms: vec![Term::Var(Var(0)), Term::Var(Var(0))],
+            },
+            body: vec![Literal {
+                atom: Atom {
+                    pred: PredRef::Edb(e),
+                    terms: vec![Term::Var(Var(0)), Term::Var(Var(0))],
+                },
+                positive: true,
+            }],
+            var_count: 1,
+            var_names: vec!["X".into()],
+        });
+        assert_eq!(
+            stratify(&p2).unwrap_err(),
+            StratificationError::EdbHead { rule: 0 }
+        );
+    }
+
+    #[test]
+    fn idb_name_clash_with_edb_is_uniquified() {
+        // Hand-built program whose IDB predicate is named like the EDB
+        // relation `node`: materialization must not collide.
+        let s = chain(4);
+        let e = s.signature().lookup("e").unwrap();
+        let node_edb = s.signature().lookup("node").unwrap();
+        let mut p = Program::default();
+        let node_idb = p.intern_idb("node", 1).unwrap();
+        let lone = p.intern_idb("lone", 1).unwrap();
+        // node(X) :- e(X, Y).          (IDB `node`: elements with out-edges)
+        p.rules.push(Rule {
+            head: Atom {
+                pred: PredRef::Idb(node_idb),
+                terms: vec![Term::Var(Var(0))],
+            },
+            body: vec![Literal {
+                atom: Atom {
+                    pred: PredRef::Edb(e),
+                    terms: vec![Term::Var(Var(0)), Term::Var(Var(1))],
+                },
+                positive: true,
+            }],
+            var_count: 2,
+            var_names: vec!["X".into(), "Y".into()],
+        });
+        // lone(X) :- node_edb(X), !node_idb(X).
+        p.rules.push(Rule {
+            head: Atom {
+                pred: PredRef::Idb(lone),
+                terms: vec![Term::Var(Var(0))],
+            },
+            body: vec![
+                Literal {
+                    atom: Atom {
+                        pred: PredRef::Edb(node_edb),
+                        terms: vec![Term::Var(Var(0))],
+                    },
+                    positive: true,
+                },
+                Literal {
+                    atom: Atom {
+                        pred: PredRef::Idb(node_idb),
+                        terms: vec![Term::Var(Var(0))],
+                    },
+                    positive: false,
+                },
+            ],
+            var_count: 1,
+            var_names: vec!["X".into()],
+        });
+        let (store, stats) = eval_stratified(&p, &s).unwrap();
+        assert_eq!(stats.strata, 2);
+        // Elements 0..3 have out-edges; only the last element is lone.
+        assert_eq!(store.unary(lone), vec![ElemId(3)]);
+    }
+
+    #[test]
+    fn stratified_hits_plan_cache_per_stratum() {
+        let s = chain(8);
+        let p = parse_program(UNREACH, &s).unwrap();
+        let cache = PlanCache::new();
+        let (_, first) = eval_stratified_with_cache(&p, &s, &cache).unwrap();
+        assert_eq!(first.plan_cache_hits, 0);
+        let (_, second) = eval_stratified_with_cache(&p, &s, &cache).unwrap();
+        assert_eq!(
+            second.plan_cache_hits, 2,
+            "both strata reuse their compiled plans"
+        );
+        assert_eq!(first.facts, second.facts);
+    }
+}

@@ -122,14 +122,33 @@ impl Signature {
     /// assume the node kind (permutation / replacement / branch) is known,
     /// which plain `child1`/`bag` atoms cannot discriminate.
     pub fn extend_td(&self, width: usize) -> Signature {
+        self.extend_with([
+            ("root".to_owned(), 1),
+            ("leaf".to_owned(), 1),
+            ("child1".to_owned(), 2),
+            ("child2".to_owned(), 2),
+            ("bag".to_owned(), width + 2),
+            ("branch".to_owned(), 1),
+            ("same".to_owned(), 2),
+        ])
+    }
+
+    /// Returns a new signature extending `self` with the given
+    /// `(name, arity)` pairs (existing predicates keep their ids). Used by
+    /// the τ_td encoding and by the stratified datalog evaluator, which
+    /// materializes lower strata as fresh extensional predicates.
+    ///
+    /// # Panics
+    /// Panics if a name is already declared (signatures are sets).
+    pub fn extend_with<I, S>(&self, pairs: I) -> Signature
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: Into<String>,
+    {
         let mut sig = self.clone();
-        sig.declare("root", 1);
-        sig.declare("leaf", 1);
-        sig.declare("child1", 2);
-        sig.declare("child2", 2);
-        sig.declare("bag", width + 2);
-        sig.declare("branch", 1);
-        sig.declare("same", 2);
+        for (name, arity) in pairs {
+            sig.declare(name, arity);
+        }
         sig
     }
 }
@@ -166,6 +185,17 @@ mod tests {
         assert_eq!(sig.name(PredId(0)), "fd");
         assert_eq!(sig.name(PredId(3)), "rh");
         assert_eq!(sig.preds().count(), 4);
+    }
+
+    #[test]
+    fn extend_with_appends_fresh_predicates() {
+        let sig = Signature::from_pairs([("e", 2)]);
+        let ext = sig.extend_with([("reach", 1), ("pair", 2)]);
+        assert_eq!(ext.len(), 3);
+        assert_eq!(ext.lookup("e"), sig.lookup("e"));
+        assert_eq!(ext.arity(ext.lookup("reach").unwrap()), 1);
+        assert_eq!(ext.arity(ext.lookup("pair").unwrap()), 2);
+        assert_eq!(sig.len(), 1);
     }
 
     #[test]

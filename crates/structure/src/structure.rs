@@ -573,6 +573,42 @@ impl Structure {
         format!("{}({})", self.sig.name(atom.pred), args.join(","))
     }
 
+    /// A structure over `self`'s signature extended with the fresh
+    /// predicates in `extra`: the domain is shared, existing relations are
+    /// cloned (cached secondary indexes included, so probes stay warm),
+    /// and the new relations start empty. Returns the extended structure
+    /// and the ids of the new predicates, in `extra` order.
+    ///
+    /// This is the materialization substrate of the stratified datalog
+    /// evaluator: each stratum's derived relations are inserted into the
+    /// extension so higher strata read them as ordinary extensional
+    /// relations.
+    ///
+    /// # Panics
+    /// Panics if a name in `extra` collides with an existing predicate.
+    pub fn extended<I, S>(&self, extra: I) -> (Structure, Vec<PredId>)
+    where
+        I: IntoIterator<Item = (S, usize)>,
+        S: Into<String>,
+    {
+        let sig = self.sig.extend_with(extra);
+        // `declare` appends, so the fresh predicates are exactly the ids
+        // past the base signature's length.
+        let ids: Vec<PredId> = (self.sig.len()..sig.len())
+            .map(|i| PredId(i as u32))
+            .collect();
+        let mut relations = self.relations.clone();
+        relations.extend(ids.iter().map(|&id| Relation::new(sig.arity(id))));
+        (
+            Structure {
+                sig: Arc::new(sig),
+                domain: self.domain.clone(),
+                relations,
+            },
+            ids,
+        )
+    }
+
     /// The substructure of `self` induced by the element set `keep`
     /// (Definition 3.2): the domain is restricted to `keep` and a tuple
     /// survives iff all its arguments lie in `keep`.
@@ -767,6 +803,29 @@ mod tests {
         assert_eq!(owned.domain().len(), 2);
         assert_eq!(owned.atom_count(), 2);
         assert!(owned.holds(e, &[map[&v[0]], map[&v[1]]]));
+    }
+
+    #[test]
+    fn extended_structure_shares_tuples_and_adds_empty_relations() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let _ = s.relation(e).index_on(&[0]); // warm an index pre-extension
+        let (mut ext, ids) = s.extended([("reach", 1)]);
+        let reach = ids[0];
+        assert_eq!(ext.signature().len(), 2);
+        assert_eq!(ext.signature().name(reach), "reach");
+        // Existing tuples (and their indexes) survive the extension.
+        assert!(ext.holds(e, &[v[0], v[1]]));
+        assert_eq!(ext.atom_count(), 6);
+        let idx = ext.relation(e).index_on(&[0]);
+        assert_eq!(ext.relation(e).rows_matching(&idx, &[v[0]]).len(), 2);
+        // The new relation starts empty and accepts inserts.
+        assert!(ext.relation(reach).is_empty());
+        assert!(ext.insert(reach, &[v[2]]));
+        assert!(ext.holds(reach, &[v[2]]));
+        // The original structure is untouched.
+        assert_eq!(s.signature().len(), 1);
+        assert_eq!(s.atom_count(), 6);
     }
 
     #[test]

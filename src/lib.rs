@@ -35,7 +35,10 @@ pub mod prelude {
         enumerate_primes, is_prime_fpt, is_prime_fpt_with_td, prime_attributes_fpt,
         PrimalityContext, ThreeColSolver,
     };
-    pub use mdtw_datalog::{eval_seminaive, eval_seminaive_with_cache, parse_program, PlanCache};
+    pub use mdtw_datalog::{
+        eval_seminaive, eval_seminaive_with_cache, eval_stratified, parse_program, stratify,
+        PlanCache, Stratification, StratificationError,
+    };
     pub use mdtw_decomp::{decompose, Heuristic, NiceOptions, NiceTd, TreeDecomposition, TupleTd};
     pub use mdtw_graph::{encode_graph, Graph};
     pub use mdtw_schema::{encode_schema, Schema};
