@@ -6,7 +6,7 @@
 //! linearly in `|𝒜|`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mdtw_datalog::{eval_quasi_guarded, eval_seminaive, parse_program, FdCatalog, Program};
+use mdtw_datalog::{parse_program, EvalOptions, Evaluator, FdCatalog, Program};
 use mdtw_structure::{Domain, ElemId, Signature, Structure};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -48,8 +48,10 @@ fn bench_quasi_guarded(c: &mut Criterion) {
     for n in [1_000usize, 2_000, 4_000, 8_000] {
         let s = chain(n);
         let (p, cat) = program(&s);
+        let mut session =
+            Evaluator::with_options(p, EvalOptions::new().fd_catalog(cat)).expect("quasi-guarded");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(eval_quasi_guarded(&p, &s, &cat).unwrap().0.fact_count()))
+            b.iter(|| black_box(session.evaluate(&s).unwrap().store.fact_count()))
         });
     }
     group.finish();
@@ -66,8 +68,9 @@ fn bench_seminaive(c: &mut Criterion) {
     for n in [1_000usize, 2_000, 4_000, 8_000] {
         let s = chain(n);
         let (p, _) = program(&s);
+        let mut session = Evaluator::new(p).expect("semipositive");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(eval_seminaive(&p, &s).0.fact_count()))
+            b.iter(|| black_box(session.evaluate(&s).unwrap().store.fact_count()))
         });
     }
     group.finish();

@@ -1,15 +1,16 @@
 //! Scan vs. indexed joins: the ablation behind the indexed join engine.
 //!
 //! The same semi-naive fixpoint is computed by the pre-index engine
-//! (`eval_seminaive_scan`: nested-loop joins, full relation scans on every
-//! body literal, one shared delta set) and the indexed engine
-//! (`eval_seminaive`: greedy join plans probing argument-position hash
-//! indexes, per-predicate delta relations, textbook rule split). On the
+//! (`Engine::SemiNaiveScan`: nested-loop joins, full relation scans on
+//! every body literal, one shared delta set) and the indexed engine
+//! (`Engine::SemiNaiveIndexed`: greedy join plans probing
+//! argument-position hash indexes, per-predicate delta relations,
+//! textbook rule split). On the
 //! transitive-closure chain the scan engine is superlinear in the chain
 //! length per round while the indexed engine touches only matching tuples.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mdtw_datalog::{eval_seminaive, eval_seminaive_scan, parse_program, Program};
+use mdtw_datalog::{parse_program, Engine, EvalOptions, Evaluator, Program};
 use mdtw_structure::{Domain, ElemId, Signature, Structure};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -51,11 +52,15 @@ fn bench_linear_tc(c: &mut Criterion) {
     for n in [200usize, 400, 800] {
         let s = chain(n);
         let p = tc_linear(&s);
+        let mut scan =
+            Evaluator::with_options(p.clone(), EvalOptions::new().engine(Engine::SemiNaiveScan))
+                .expect("semipositive");
+        let mut indexed = Evaluator::new(p).expect("semipositive");
         group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
-            b.iter(|| black_box(eval_seminaive_scan(&p, &s).0.fact_count()))
+            b.iter(|| black_box(scan.evaluate(&s).unwrap().store.fact_count()))
         });
         group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
-            b.iter(|| black_box(eval_seminaive(&p, &s).0.fact_count()))
+            b.iter(|| black_box(indexed.evaluate(&s).unwrap().store.fact_count()))
         });
     }
     group.finish();
@@ -70,11 +75,15 @@ fn bench_nonlinear_tc(c: &mut Criterion) {
     for n in [100usize, 200] {
         let s = chain(n);
         let p = tc_nonlinear(&s);
+        let mut scan =
+            Evaluator::with_options(p.clone(), EvalOptions::new().engine(Engine::SemiNaiveScan))
+                .expect("semipositive");
+        let mut indexed = Evaluator::new(p).expect("semipositive");
         group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
-            b.iter(|| black_box(eval_seminaive_scan(&p, &s).0.fact_count()))
+            b.iter(|| black_box(scan.evaluate(&s).unwrap().store.fact_count()))
         });
         group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
-            b.iter(|| black_box(eval_seminaive(&p, &s).0.fact_count()))
+            b.iter(|| black_box(indexed.evaluate(&s).unwrap().store.fact_count()))
         });
     }
     group.finish();

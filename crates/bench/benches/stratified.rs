@@ -1,8 +1,10 @@
 //! The stratified evaluation pipeline against its semipositive core.
 //!
 //! `stratified/negation_chain` runs the 3-stratum reach/unreach/settled
-//! workload through `eval_stratified` (stratify, rewrite, extend the
-//! structure, three semi-naive passes). `stratified/positive_core` runs
+//! workload through a stratified `Evaluator` session (stratified once at
+//! construction; each evaluation rewrites, extends the structure
+//! copy-on-write and runs three semi-naive passes).
+//! `stratified/positive_core` runs
 //! just the semipositive reachability sub-program through the plain
 //! semi-naive engine, so the gap between the two series is the cost of
 //! the stratification machinery — per-stratum planning, materialization
@@ -10,7 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mdtw_bench::stratified_workload;
-use mdtw_datalog::{eval_seminaive, eval_stratified, parse_program};
+use mdtw_datalog::{parse_program, Evaluator};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -22,12 +24,14 @@ fn bench_stratified(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     for n in [200usize, 400, 800] {
         let (s, p) = stratified_workload(n);
+        let mut session = Evaluator::new(p).expect("stratifiable");
         group.bench_with_input(BenchmarkId::new("stratified", n), &n, |b, _| {
             b.iter(|| {
                 black_box(
-                    eval_stratified(&p, &s)
+                    session
+                        .evaluate(&s)
                         .expect("stratifiable")
-                        .0
+                        .store
                         .fact_count(),
                 )
             })
@@ -44,8 +48,9 @@ fn bench_stratified(c: &mut Criterion) {
         let (s, _) = stratified_workload(n);
         let core = parse_program("reach(X) :- first(X).\nreach(Y) :- reach(X), e(X, Y).", &s)
             .expect("semipositive core parses");
+        let mut session = Evaluator::new(core).expect("semipositive");
         group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
-            b.iter(|| black_box(eval_seminaive(&core, &s).0.fact_count()))
+            b.iter(|| black_box(session.evaluate(&s).unwrap().store.fact_count()))
         });
     }
     group.finish();

@@ -149,9 +149,11 @@ pub fn render_table1_json(rows: &[Table1Row]) -> String {
 /// trajectory of the semi-naive engine is recorded across PRs.
 #[derive(Debug, Clone)]
 pub struct JoinBenchRow {
-    /// Workload name (`linear_tc`, `reach_linearity` or `stratified_reach`).
+    /// Workload name (`linear_tc`, `reach_linearity`, `stratified_reach`
+    /// or `per_candidate`).
     pub workload: String,
-    /// Engine name (`indexed`, `scan` or `stratified`).
+    /// Engine name (`indexed`, `scan`, `stratified`, `session` or
+    /// `per_call`).
     pub engine: String,
     /// Structure size (chain length).
     pub n: usize,
@@ -245,17 +247,71 @@ fn time_eval(mut eval: impl FnMut() -> usize) -> f64 {
     start.elapsed().as_nanos() as f64 / f64::from(iters)
 }
 
-/// Measures the join/linearity workloads at the given chain sizes.
+/// Candidate count of the `per_candidate` workload.
+pub const PER_CANDIDATE_K: usize = 8;
+
+/// The per-candidate workload: `PER_CANDIDATE_K` copies of the 3-stratum
+/// reachability chain, each with its `first` source at a different
+/// position — the shape of the §5 solvers, which evaluate one program
+/// against many candidate structures. Returns the candidate structures
+/// and the (shared) program.
+pub fn per_candidate_workload(n: usize) -> (Vec<mdtw_structure::Structure>, mdtw_datalog::Program) {
+    use mdtw_structure::ElemId;
+    let mut structures = Vec::with_capacity(PER_CANDIDATE_K);
+    let mut program = None;
+    for k in 0..PER_CANDIDATE_K {
+        let mut s = chain_structure_for_bench(n, &[("e", 2), ("node", 1), ("first", 1)]);
+        let e = s.signature().lookup("e").unwrap();
+        let node = s.signature().lookup("node").unwrap();
+        let first = s.signature().lookup("first").unwrap();
+        for i in 0..n {
+            s.insert(node, &[ElemId(i as u32)]);
+        }
+        for i in 0..n - 1 {
+            s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+        }
+        s.insert(first, &[ElemId((k * n / PER_CANDIDATE_K) as u32)]);
+        if program.is_none() {
+            program = Some(
+                mdtw_datalog::parse_program(
+                    "reach(X) :- first(X).\nreach(Y) :- reach(X), e(X, Y).\n\
+                     unreach(X) :- node(X), !reach(X).\n\
+                     settled(X) :- node(X), !unreach(X), !first(X).",
+                    &s,
+                )
+                .unwrap(),
+            );
+        }
+        structures.push(s);
+    }
+    (structures, program.expect("at least one candidate"))
+}
+
+/// Field-wise sum of two stat sets for multi-candidate rows: the additive
+/// counters via [`mdtw_datalog::EvalStats::merge_counters`], `strata` kept
+/// as the per-evaluation stratum count rather than summed.
+fn add_stats(total: &mut mdtw_datalog::EvalStats, part: &mdtw_datalog::EvalStats) {
+    total.merge_counters(part);
+    total.strata = part.strata;
+}
+
+/// Measures the join/linearity workloads at the given chain sizes, each
+/// through a reused [`Evaluator`](mdtw_datalog::Evaluator) session.
 ///
 /// The indexed engine runs at every size; the scan baseline only at sizes
 /// ≤ `scan_cap` (it is superlinear and would dominate the wall-clock).
+/// The `per_candidate` workload contrasts one session reused across
+/// [`PER_CANDIDATE_K`] candidate structures (`session`) with a fresh
+/// session per candidate (`per_call`) — the setup cost the session API
+/// amortizes.
 pub fn join_report(sizes: &[usize], scan_cap: usize) -> Vec<JoinBenchRow> {
+    use mdtw_datalog::{Engine, EvalOptions, EvalStats, Evaluator};
     let mut rows = Vec::new();
     let measure = |workload: &str,
                    engine: &str,
                    n: usize,
                    rows: &mut Vec<JoinBenchRow>,
-                   eval: &mut dyn FnMut() -> (usize, mdtw_datalog::EvalStats)| {
+                   eval: &mut dyn FnMut() -> (usize, EvalStats)| {
         // Stats come from a *second* evaluation so the recorded counters
         // reflect steady state (e.g. `plan_cache_hits` = 1 once warm).
         let (facts, _) = eval();
@@ -273,27 +329,57 @@ pub fn join_report(sizes: &[usize], scan_cap: usize) -> Vec<JoinBenchRow> {
     };
     for &n in sizes {
         let (s, p) = linear_tc_workload(n);
+        let scan_program = (n <= scan_cap).then(|| p.clone());
+        let mut session = Evaluator::new(p).expect("semipositive");
         measure("linear_tc", "indexed", n, &mut rows, &mut || {
-            let (store, stats) = mdtw_datalog::eval_seminaive(&p, &s);
-            (store.fact_count(), stats)
+            let r = session.evaluate(&s).expect("semipositive");
+            (r.store.fact_count(), r.stats)
         });
-        if n <= scan_cap {
+        if let Some(p) = scan_program {
+            let mut session =
+                Evaluator::with_options(p, EvalOptions::new().engine(Engine::SemiNaiveScan))
+                    .expect("semipositive");
             measure("linear_tc", "scan", n, &mut rows, &mut || {
-                let (store, stats) = mdtw_datalog::eval_seminaive_scan(&p, &s);
-                (store.fact_count(), stats)
+                let r = session.evaluate(&s).expect("semipositive");
+                (r.store.fact_count(), r.stats)
             });
         }
 
         let (s, p) = reach_workload(n);
+        let mut session = Evaluator::new(p).expect("semipositive");
         measure("reach_linearity", "indexed", n, &mut rows, &mut || {
-            let (store, stats) = mdtw_datalog::eval_seminaive(&p, &s);
-            (store.fact_count(), stats)
+            let r = session.evaluate(&s).expect("semipositive");
+            (r.store.fact_count(), r.stats)
         });
 
         let (s, p) = stratified_workload(n);
+        let mut session = Evaluator::new(p).expect("stratifiable");
         measure("stratified_reach", "stratified", n, &mut rows, &mut || {
-            let (store, stats) = mdtw_datalog::eval_stratified(&p, &s).expect("stratifiable");
-            (store.fact_count(), stats)
+            let r = session.evaluate(&s).expect("stratifiable");
+            (r.store.fact_count(), r.stats)
+        });
+
+        // Per-candidate ablation: one evaluation = all K candidates.
+        let (candidates, p) = per_candidate_workload(n);
+        measure("per_candidate", "session", n, &mut rows, &mut || {
+            let mut session = Evaluator::new(p.clone()).expect("stratifiable");
+            let (mut facts, mut total) = (0usize, EvalStats::default());
+            for s in &candidates {
+                let r = session.evaluate(s).expect("stratifiable");
+                facts += r.store.fact_count();
+                add_stats(&mut total, &r.stats);
+            }
+            (facts, total)
+        });
+        measure("per_candidate", "per_call", n, &mut rows, &mut || {
+            let (mut facts, mut total) = (0usize, EvalStats::default());
+            for s in &candidates {
+                let mut session = Evaluator::new(p.clone()).expect("stratifiable");
+                let r = session.evaluate(s).expect("stratifiable");
+                facts += r.store.fact_count();
+                add_stats(&mut total, &r.stats);
+            }
+            (facts, total)
         });
     }
     rows
@@ -383,20 +469,21 @@ mod tests {
     fn join_report_smoke_and_json_shape() {
         let rows = join_report(&[40], 40);
         // indexed + scan on linear_tc, indexed on reach_linearity,
-        // stratified on stratified_reach.
-        assert_eq!(rows.len(), 4);
+        // stratified on stratified_reach, session + per_call on
+        // per_candidate.
+        assert_eq!(rows.len(), 6);
         for r in &rows {
             assert!(r.facts > 0);
             assert!(r.ns_per_fact > 0.0);
         }
-        // Steady-state stats: the indexed rows ran against a warm plan
-        // cache.
+        // Steady-state stats: the indexed rows ran against their session's
+        // warm plan cache.
         assert!(rows
             .iter()
             .filter(|r| r.engine == "indexed")
             .all(|r| r.stats.plan_cache_hits == 1));
         // The stratified workload really crosses three strata and checks
-        // its negations (and hits the plan cache once per stratum).
+        // its negations (and hits the session cache once per stratum).
         let strat = rows
             .iter()
             .find(|r| r.engine == "stratified")
@@ -404,13 +491,33 @@ mod tests {
         assert_eq!(strat.stats.strata, 3);
         assert!(strat.stats.negative_checks > 0);
         assert_eq!(strat.stats.plan_cache_hits, 3);
+        // Per-candidate: the reused session hits its cache from the
+        // second candidate on — always for stratum 0 (the base structures
+        // share a cardinality shape), and for higher strata whenever the
+        // materialized lower-stratum sizes land in the same power-of-two
+        // bucket. A fresh session per candidate never hits.
+        let session = rows
+            .iter()
+            .find(|r| r.engine == "session")
+            .expect("session row");
+        assert!(
+            session.stats.plan_cache_hits >= PER_CANDIDATE_K - 1,
+            "warm candidates must reuse at least the stratum-0 plans, got {} hits",
+            session.stats.plan_cache_hits
+        );
+        let per_call = rows
+            .iter()
+            .find(|r| r.engine == "per_call")
+            .expect("per_call row");
+        assert_eq!(per_call.stats.plan_cache_hits, 0);
+        assert_eq!(session.facts, per_call.facts, "same fixpoints either way");
         let json = render_join_record_json("test", &rows);
         assert!(json.starts_with("{\"label\": \"test\""));
         // Hostile labels are escaped, not interpolated raw.
         let hostile = render_join_record_json("a\"b\\c\n", &rows);
         assert!(hostile.starts_with("{\"label\": \"a\\\"b\\\\c\\u000a\""));
         assert!(json.ends_with("]}"));
-        assert_eq!(json.matches("\"workload\"").count(), 4);
+        assert_eq!(json.matches("\"workload\"").count(), 6);
         assert!(json.contains("\"plan_cache_hits\": 1"));
         assert!(json.contains("\"negative_checks\""));
         assert!(json.contains("\"strata\": 3"));

@@ -7,7 +7,7 @@
 //! shape — negation only on extensional atoms, exactly what the
 //! MSO-to-datalog construction of Theorem 4.5 produces (`¬Rᵢ(…)` body
 //! atoms) — while programs negating intensional atoms evaluate through
-//! the [`stratify`](crate::stratify) pipeline, which reduces them to a
+//! the [`stratify`](mod@crate::stratify) pipeline, which reduces them to a
 //! bottom-up sequence of semipositive strata.
 
 use mdtw_structure::fx::FxHashMap;
@@ -167,10 +167,10 @@ impl Program {
     ///
     /// This is the invariant the semipositive engines require of their
     /// whole input and the *stratum-local* invariant of the stratified
-    /// pipeline: every sub-program
-    /// [`eval_stratified`](crate::stratify::eval_stratified) hands to the
-    /// semi-naive engine — a stratum with lower strata rewritten to
-    /// materialized extensional predicates — satisfies it.
+    /// pipeline: every sub-program the multi-stratum evaluator (see
+    /// [`stratify`](mod@crate::stratify)) hands to the semi-naive
+    /// engine — a stratum with lower strata rewritten to materialized
+    /// extensional predicates — satisfies it.
     pub fn check_semipositive(&self) -> Result<(), String> {
         for (i, rule) in self.rules.iter().enumerate() {
             for lit in &rule.body {

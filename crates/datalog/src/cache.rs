@@ -137,11 +137,30 @@ impl PlanCache {
     }
 }
 
-/// The process-wide cache used by
-/// [`eval_seminaive`](crate::eval::eval_seminaive).
+/// The process-wide cache used by the deprecated one-shot
+/// [`eval_seminaive`](crate::eval::eval_seminaive) wrapper. Prefer an
+/// [`Evaluator`](crate::evaluator::Evaluator) session, which owns its
+/// cache.
 pub fn global_plan_cache() -> &'static PlanCache {
     static CACHE: OnceLock<PlanCache> = OnceLock::new();
     CACHE.get_or_init(PlanCache::new)
+}
+
+/// Resolves the compiled plans of `program` for `structure`: through
+/// `cache` when one is supplied (reporting whether it hit), or by
+/// planning fresh when caching is disabled.
+pub(crate) fn plans_for(
+    program: &Program,
+    structure: &Structure,
+    cache: Option<&PlanCache>,
+) -> (Arc<Vec<RulePlans>>, bool) {
+    match cache {
+        Some(cache) => cache.plans(program, structure),
+        None => (
+            Arc::new(plan_program_with(program, &StructureStats::new(structure))),
+            false,
+        ),
+    }
 }
 
 /// Semi-naive evaluation with an explicit plan cache (the library-level
@@ -154,6 +173,11 @@ pub fn global_plan_cache() -> &'static PlanCache {
 /// Panics if the program is not semipositive (negated intensional atoms
 /// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
 /// otherwise ill-formed.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `Evaluator` session, which owns its `PlanCache` \
+            (`Evaluator::new(program)?.evaluate(&structure)`)"
+)]
 pub fn eval_seminaive_with_cache(
     program: &Program,
     structure: &Structure,
@@ -188,6 +212,7 @@ fn cardinality_shape(structure: &Structure) -> u64 {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests of the deprecated one-shot wrappers themselves
 mod tests {
     use super::*;
     use crate::parser::parse_program;

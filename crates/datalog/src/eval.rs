@@ -167,6 +167,25 @@ pub struct EvalStats {
     pub strata: usize,
 }
 
+impl EvalStats {
+    /// Adds `part`'s additive work counters into `self` — the one place
+    /// the field list is enumerated, used by the stratified pipeline's
+    /// per-stratum totals and by multi-evaluation reports. `strata` is
+    /// deliberately **not** summed: it describes an evaluation's shape,
+    /// not accumulated work, so callers set it themselves.
+    pub fn merge_counters(&mut self, part: &EvalStats) {
+        self.firings += part.firings;
+        self.facts += part.facts;
+        self.rounds += part.rounds;
+        self.index_probes += part.index_probes;
+        self.full_scans += part.full_scans;
+        self.tuples_considered += part.tuples_considered;
+        self.interned_hits += part.interned_hits;
+        self.plan_cache_hits += part.plan_cache_hits;
+        self.negative_checks += part.negative_checks;
+    }
+}
+
 /// The semipositive engines' input contract, checked loudly at entry.
 /// The parser accepts any *stratified* program, so a negated intensional
 /// literal could reach these engines; without this check it would
@@ -183,8 +202,20 @@ pub(crate) fn assert_semipositive(program: &Program) {
 /// Panics if the program is not semipositive (negated intensional atoms
 /// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
 /// otherwise ill-formed.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `Evaluator` session with `Engine::Naive` \
+            (`Evaluator::with_options(program, EvalOptions::new().engine(Engine::Naive))`)"
+)]
 pub fn eval_naive(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
     assert_semipositive(program);
+    naive_fixpoint(program, structure)
+}
+
+/// The naive engine proper (shared by the deprecated [`eval_naive`]
+/// wrapper and [`Engine::Naive`](crate::evaluator::Engine::Naive)
+/// sessions). The caller guarantees semipositivity.
+pub(crate) fn naive_fixpoint(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
     let mut store = IdbStore::new(program);
     let mut stats = EvalStats {
         strata: 1,
@@ -231,6 +262,7 @@ pub fn eval_naive(program: &Program, structure: &Structure) -> (IdbStore, EvalSt
 /// the same index layer as the store, so delta atoms with bound arguments
 /// are probed rather than scanned. Recycled across rounds ([`Self::clear`])
 /// so round turnover reallocates nothing.
+#[derive(Debug)]
 struct DeltaStore {
     rels: Vec<Relation>,
     count: usize,
@@ -272,6 +304,7 @@ impl DeltaStore {
 /// become visible in round *i+1*). Arena-backed like everything else, so
 /// the derive path stages tuples without boxing them; recycled across
 /// rounds.
+#[derive(Debug)]
 struct FreshStore {
     rels: Vec<Relation>,
 }
@@ -320,16 +353,18 @@ struct PlanCtx<'a> {
 ///
 /// Compiled plans are memoized in the process-wide
 /// [`PlanCache`](crate::cache::PlanCache): repeated evaluations of the
-/// same program (the enumeration solvers re-evaluate per candidate) skip
-/// planning entirely and report it in
-/// [`EvalStats::plan_cache_hits`]. Use
-/// [`eval_seminaive_with_cache`](crate::cache::eval_seminaive_with_cache)
-/// to control the cache explicitly.
+/// same program skip planning entirely and report it in
+/// [`EvalStats::plan_cache_hits`].
 ///
 /// # Panics
 /// Panics if the program is not semipositive (negated intensional atoms
 /// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
 /// otherwise ill-formed.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `Evaluator` session (`Evaluator::new(program)?.evaluate(&structure)`) \
+            so repeated evaluations reuse one analysis, plan cache and scratch buffers"
+)]
 pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
     assert_semipositive(program);
     let (plans, hit) = crate::cache::global_plan_cache().plans(program, structure);
@@ -341,19 +376,75 @@ pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, Ev
     run_seminaive(program, structure, &plans, stats)
 }
 
-/// The semi-naive round loop, parameterized by pre-compiled plans.
+/// The recycled working set of the semi-naive round loop: the ping-ponged
+/// per-predicate delta relations, the per-round staging relations, and
+/// the probe-key/head scratch buffer. One instance per
+/// [`Evaluator`](crate::evaluator::Evaluator) session, reused across
+/// evaluations (and across the strata of one stratified evaluation —
+/// every stratum sub-program shares the session program's predicate
+/// table, so the shapes always match), so round turnover and session
+/// reuse reallocate nothing beyond amortized arena growth.
+#[derive(Debug)]
+pub(crate) struct SeminaiveScratch {
+    delta: DeltaStore,
+    next: DeltaStore,
+    fresh: FreshStore,
+    key: Vec<ElemId>,
+}
+
+impl SeminaiveScratch {
+    /// A scratch set shaped for `program`'s intensional predicates.
+    pub(crate) fn new(program: &Program) -> Self {
+        Self {
+            delta: DeltaStore::new(program),
+            next: DeltaStore::new(program),
+            fresh: FreshStore::new(program),
+            key: Vec::new(),
+        }
+    }
+
+    /// Empties every buffer (arena capacity is retained) so a new
+    /// evaluation starts from a clean slate.
+    fn reset(&mut self) {
+        self.delta.clear();
+        self.next.clear();
+        self.fresh.clear();
+        self.key.clear();
+    }
+}
+
+/// The semi-naive round loop, parameterized by pre-compiled plans, with a
+/// one-shot scratch set.
 pub(crate) fn run_seminaive(
     program: &Program,
     structure: &Structure,
     plans: &[RulePlans],
-    mut stats: EvalStats,
+    stats: EvalStats,
 ) -> (IdbStore, EvalStats) {
+    let mut scratch = SeminaiveScratch::new(program);
+    run_seminaive_scratch(program, structure, plans, stats, &mut scratch)
+}
+
+/// The semi-naive round loop over caller-owned (session-recycled) scratch
+/// buffers.
+pub(crate) fn run_seminaive_scratch(
+    program: &Program,
+    structure: &Structure,
+    plans: &[RulePlans],
+    mut stats: EvalStats,
+    scratch: &mut SeminaiveScratch,
+) -> (IdbStore, EvalStats) {
+    scratch.reset();
+    let SeminaiveScratch {
+        delta,
+        next,
+        fresh,
+        key,
+    } = scratch;
     let mut store = IdbStore::new(program);
-    let mut scratch: Vec<ElemId> = Vec::new();
 
     // Round 0: all rules, unconstrained.
     stats.rounds += 1;
-    let mut fresh = FreshStore::new(program);
     for (rule, rp) in program.rules.iter().zip(plans) {
         let ctx = PlanCtx {
             rule,
@@ -362,14 +453,12 @@ pub(crate) fn run_seminaive(
             structure,
             store: &store,
         };
-        apply_plan(&ctx, &mut stats, &mut fresh, &mut scratch);
+        apply_plan(&ctx, &mut stats, fresh, key);
     }
     // Two delta stores ping-pong across rounds: `delta` is read by the
     // round while `next` collects the survivors, then they swap and the
     // stale one is cleared (arena capacity is retained).
-    let mut delta = DeltaStore::new(program);
-    let mut next = DeltaStore::new(program);
-    merge_round(&mut store, &mut delta, &mut fresh, &mut stats);
+    merge_round(&mut store, delta, fresh, &mut stats);
 
     while delta.count > 0 {
         stats.rounds += 1;
@@ -378,16 +467,16 @@ pub(crate) fn run_seminaive(
                 let ctx = PlanCtx {
                     rule,
                     plan,
-                    delta: Some((*dpos, &delta)),
+                    delta: Some((*dpos, &*delta)),
                     structure,
                     store: &store,
                 };
-                apply_plan(&ctx, &mut stats, &mut fresh, &mut scratch);
+                apply_plan(&ctx, &mut stats, fresh, key);
             }
         }
         next.clear();
-        merge_round(&mut store, &mut next, &mut fresh, &mut stats);
-        std::mem::swap(&mut delta, &mut next);
+        merge_round(&mut store, next, fresh, &mut stats);
+        std::mem::swap(delta, next);
     }
     (store, stats)
 }
@@ -610,8 +699,21 @@ fn descend_plan(
 /// Panics if the program is not semipositive (negated intensional atoms
 /// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
 /// otherwise ill-formed.
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `Evaluator` session with `Engine::SemiNaiveScan` \
+            (`Evaluator::with_options(program, EvalOptions::new().engine(Engine::SemiNaiveScan))`)"
+)]
 pub fn eval_seminaive_scan(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
     assert_semipositive(program);
+    scan_fixpoint(program, structure)
+}
+
+/// The scan engine proper (shared by the deprecated
+/// [`eval_seminaive_scan`] wrapper and
+/// [`Engine::SemiNaiveScan`](crate::evaluator::Engine::SemiNaiveScan)
+/// sessions). The caller guarantees semipositivity.
+pub(crate) fn scan_fixpoint(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
     let mut store = IdbStore::new(program);
     let mut stats = EvalStats {
         strata: 1,
@@ -894,6 +996,7 @@ fn instantiate(atom: &Atom, bindings: &[Option<ElemId>]) -> Option<Box<[ElemId]>
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests of the deprecated one-shot wrappers themselves
 mod tests {
     use super::*;
     use crate::parser::parse_program;

@@ -1,0 +1,623 @@
+//! The [`Evaluator`] session API: analyze a program once, evaluate it
+//! many times.
+//!
+//! Every workload built on this engine — the §5 per-candidate solvers,
+//! the Theorem 4.5 compilation (one program, many τ_td structures), the
+//! property-test oracles, the benches — is a *repeated-evaluation*
+//! workload. The historical free-function entry points (`eval_naive`,
+//! `eval_seminaive`, `eval_stratified`, `eval_quasi_guarded`, …)
+//! re-validated, re-stratified and re-planned on every call and threaded
+//! caching and statistics through ad-hoc parameters. An [`Evaluator`]
+//! does that analysis once at construction:
+//!
+//! * **parse-level validation** — safety (range restriction), head
+//!   checks, and stratification (the dependency graph + Tarjan SCC
+//!   pipeline of [`stratify`](crate::stratify::stratify())), so an
+//!   unevaluable program is rejected before any structure is seen;
+//! * **an owned [`PlanCache`]** — compiled join plans are memoized per
+//!   session (no process-global sharing unless you opt into the
+//!   deprecated wrappers), so the second [`evaluate`](Evaluator::evaluate)
+//!   of a per-candidate loop skips planning;
+//! * **recycled scratch buffers** — the semi-naive delta/staging
+//!   relations and probe-key buffers live in the session and are reused
+//!   across evaluations (and across the strata of one evaluation), so
+//!   steady-state evaluation allocates nothing beyond arena growth.
+//!
+//! [`Evaluator::evaluate`] auto-dispatches: a semipositive program runs
+//! the indexed semi-naive engine directly, a multi-stratum program runs
+//! the bottom-up stratified pipeline (whose
+//! [`Structure::extended`](mdtw_structure::Structure::extended)
+//! materialization is copy-on-write, so extension costs O(#materialized
+//! predicates)), and a session with an attached [`FdCatalog`] runs the
+//! linear-time quasi-guarded pipeline of Theorem 4.4. The oracle engines
+//! ([`Engine::Naive`], [`Engine::SemiNaiveScan`]) remain selectable for
+//! differential testing.
+//!
+//! ```
+//! use mdtw_datalog::{parse_program, Evaluator};
+//! use mdtw_structure::{Domain, ElemId, Signature, Structure};
+//! use std::sync::Arc;
+//!
+//! let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+//! let mut s = Structure::new(Arc::clone(&sig), Domain::anonymous(3));
+//! let e = sig.lookup("e").unwrap();
+//! s.insert(e, &[ElemId(0), ElemId(1)]);
+//! s.insert(e, &[ElemId(1), ElemId(2)]);
+//!
+//! let p = parse_program("path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).", &s).unwrap();
+//! let mut session = Evaluator::new(p).unwrap();
+//! let first = session.evaluate(&s).unwrap();
+//! assert!(first.store.holds_named("path", &[ElemId(0), ElemId(2)]));
+//! // The session reuses its analysis: the second evaluation hits the
+//! // owned plan cache instead of re-planning.
+//! let second = session.evaluate(&s).unwrap();
+//! assert_eq!(second.stats.plan_cache_hits, 1);
+//! ```
+
+use crate::ast::Program;
+use crate::cache::PlanCache;
+use crate::eval::{
+    assert_semipositive, naive_fixpoint, scan_fixpoint, EvalStats, IdbStore, SeminaiveScratch,
+};
+use crate::ground::{check_quasi_guarded, run_quasi_guarded, FdCatalog, QgError, QgStats};
+use crate::stratify::{run_stratified, stratify, Stratification, StratificationError};
+use mdtw_structure::Structure;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which fixpoint engine a session runs. The default (chosen by
+/// [`EvalOptions`] when no engine is forced) is [`Engine::SemiNaiveIndexed`],
+/// or [`Engine::QuasiGuarded`] when an [`FdCatalog`] is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// The executable definition of the minimal-model semantics: all
+    /// rules, every round, no indexes. Ground truth for differential
+    /// testing; semipositive programs only.
+    Naive,
+    /// The pre-index semi-naive engine (nested-loop joins, full relation
+    /// scans, one shared delta set). Kept as an oracle and scan baseline;
+    /// semipositive programs only.
+    SemiNaiveScan,
+    /// The production engine: per-rule join plans probing lazily built
+    /// secondary indexes, per-predicate delta relations, the textbook
+    /// rule split. Multi-stratum programs run the bottom-up stratified
+    /// pipeline over the same engine.
+    SemiNaiveIndexed,
+    /// The linear-time quasi-guarded pipeline of Theorem 4.4 (ground to
+    /// propositional Horn, solve with LTUR). Requires an attached
+    /// [`FdCatalog`]; semipositive programs only.
+    QuasiGuarded,
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Engine::Naive => "naive",
+            Engine::SemiNaiveScan => "seminaive-scan",
+            Engine::SemiNaiveIndexed => "seminaive-indexed",
+            Engine::QuasiGuarded => "quasi-guarded",
+        })
+    }
+}
+
+/// How much of [`EvalStats`] a session reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsDetail {
+    /// Every counter the engines maintain (the default).
+    #[default]
+    Full,
+    /// Only the outcome counters — `facts`, `rounds`, `strata`,
+    /// `plan_cache_hits`; the per-access work counters (`firings`,
+    /// `index_probes`, `full_scans`, `tuples_considered`,
+    /// `interned_hits`, `negative_checks`) are reported as zero. Useful
+    /// when results are serialized and the work counters would be noise.
+    Outcome,
+}
+
+/// Configuration for an [`Evaluator`] session, built fluently:
+///
+/// ```
+/// use mdtw_datalog::{Engine, EvalOptions, StatsDetail};
+/// let opts = EvalOptions::new()
+///     .engine(Engine::SemiNaiveScan)
+///     .cache(false)
+///     .stats_detail(StatsDetail::Outcome);
+/// # let _ = opts;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EvalOptions {
+    engine: Option<Engine>,
+    no_cache: bool,
+    stats_detail: StatsDetail,
+    fd_catalog: Option<FdCatalog>,
+}
+
+impl EvalOptions {
+    /// The defaults: engine auto-selected ([`Engine::SemiNaiveIndexed`],
+    /// or [`Engine::QuasiGuarded`] once [`fd_catalog`](Self::fd_catalog)
+    /// is attached), plan caching on, full statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forces a specific engine instead of the auto-selection.
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = Some(engine);
+        self
+    }
+
+    /// Enables or disables the session's plan cache. With caching off,
+    /// every evaluation re-plans against the structure's statistics (and
+    /// [`EvalStats::plan_cache_hits`] stays 0).
+    pub fn cache(mut self, on: bool) -> Self {
+        self.no_cache = !on;
+        self
+    }
+
+    /// Selects how much of [`EvalStats`] evaluations report.
+    pub fn stats_detail(mut self, detail: StatsDetail) -> Self {
+        self.stats_detail = detail;
+        self
+    }
+
+    /// Attaches a functional-dependency catalog. Unless another engine
+    /// was forced with [`engine`](Self::engine), this selects
+    /// [`Engine::QuasiGuarded`] — the Theorem 4.4 pipeline needs the
+    /// declared dependencies to resolve non-guard variables.
+    pub fn fd_catalog(mut self, catalog: FdCatalog) -> Self {
+        self.fd_catalog = Some(catalog);
+        self
+    }
+}
+
+/// Why an [`Evaluator`] could not be constructed or an evaluation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The program has no stratified semantics, or failed the per-rule
+    /// safety/head checks.
+    Stratification(StratificationError),
+    /// Quasi-guarded analysis or grounding failed (a rule has no
+    /// quasi-guard under the declared dependencies, or the data violates
+    /// a declared dependency).
+    QuasiGuarded(QgError),
+    /// A semipositive-only engine was selected for a program that needs
+    /// multi-stratum evaluation; use [`Engine::SemiNaiveIndexed`].
+    NeedsStratifiedEngine {
+        /// The selected semipositive-only engine.
+        engine: Engine,
+        /// The program's stratum count (≥ 2).
+        strata: usize,
+    },
+    /// [`Engine::QuasiGuarded`] was selected without attaching an
+    /// [`FdCatalog`] via [`EvalOptions::fd_catalog`].
+    MissingFdCatalog,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Stratification(e) => write!(f, "stratification: {e}"),
+            EvalError::QuasiGuarded(e) => write!(f, "quasi-guarded: {e}"),
+            EvalError::NeedsStratifiedEngine { engine, strata } => write!(
+                f,
+                "engine `{engine}` evaluates semipositive programs only, but the program \
+                 has {strata} strata; use Engine::SemiNaiveIndexed"
+            ),
+            EvalError::MissingFdCatalog => write!(
+                f,
+                "Engine::QuasiGuarded needs an FdCatalog (EvalOptions::fd_catalog)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<StratificationError> for EvalError {
+    fn from(e: StratificationError) -> Self {
+        EvalError::Stratification(e)
+    }
+}
+
+impl From<QgError> for EvalError {
+    fn from(e: QgError) -> Self {
+        EvalError::QuasiGuarded(e)
+    }
+}
+
+/// One evaluation's outcome: the least (stratified) model, the work
+/// counters, and the session's stratification certificate.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// The computed model, one indexed relation per intensional predicate.
+    pub store: IdbStore,
+    /// Work counters (subject to the session's [`StatsDetail`]).
+    pub stats: EvalStats,
+    /// The stratification the session computed at construction (1 stratum
+    /// for semipositive programs). Shared with the session — an `Arc`
+    /// bump per evaluation, not a copy, so per-candidate loops pay
+    /// nothing for it.
+    pub stratification: Arc<Stratification>,
+    /// Grounding statistics when the quasi-guarded engine ran, `None`
+    /// otherwise.
+    pub qg: Option<QgStats>,
+}
+
+/// A reusable evaluation session: one program, analyzed once, evaluated
+/// against any number of structures. See the [module docs](self) for the
+/// motivation and an example; construct with [`Evaluator::new`] (defaults)
+/// or [`Evaluator::with_options`].
+#[derive(Debug)]
+pub struct Evaluator {
+    program: Program,
+    engine: Engine,
+    cache_enabled: bool,
+    stats_detail: StatsDetail,
+    fd_catalog: Option<FdCatalog>,
+    stratification: Arc<Stratification>,
+    cache: PlanCache,
+    scratch: SeminaiveScratch,
+}
+
+impl Evaluator {
+    /// A session with default options: auto-selected engine, plan caching
+    /// on, full statistics. Validates and stratifies the program once.
+    pub fn new(program: Program) -> Result<Self, EvalError> {
+        Self::with_options(program, EvalOptions::new())
+    }
+
+    /// A session with explicit [`EvalOptions`]. All program-level
+    /// analysis happens here: safety and head checks, stratification,
+    /// engine resolution, and (for the quasi-guarded engine) the
+    /// structure-independent guard analysis — so every later
+    /// [`evaluate`](Self::evaluate) starts from a validated program.
+    pub fn with_options(program: Program, options: EvalOptions) -> Result<Self, EvalError> {
+        let stratification = Arc::new(stratify(&program)?);
+        let engine = options.engine.unwrap_or(if options.fd_catalog.is_some() {
+            Engine::QuasiGuarded
+        } else {
+            Engine::SemiNaiveIndexed
+        });
+        if engine != Engine::SemiNaiveIndexed && stratification.stratum_count() > 1 {
+            return Err(EvalError::NeedsStratifiedEngine {
+                engine,
+                strata: stratification.stratum_count(),
+            });
+        }
+        let fd_catalog = options.fd_catalog;
+        if engine == Engine::QuasiGuarded {
+            let catalog = fd_catalog.as_ref().ok_or(EvalError::MissingFdCatalog)?;
+            check_quasi_guarded(&program, catalog)?;
+        }
+        let scratch = SeminaiveScratch::new(&program);
+        Ok(Self {
+            program,
+            engine,
+            cache_enabled: !options.no_cache,
+            stats_detail: options.stats_detail,
+            fd_catalog,
+            stratification,
+            cache: PlanCache::new(),
+            scratch,
+        })
+    }
+
+    /// Evaluates the session's program over `structure`.
+    ///
+    /// Dispatch is automatic: semipositive programs run the selected
+    /// engine directly; multi-stratum programs run the bottom-up
+    /// stratified pipeline (only [`Engine::SemiNaiveIndexed`] supports
+    /// them — others are rejected at construction). Construction-time
+    /// analysis is reused, so the only per-call errors are data-dependent
+    /// quasi-guarded failures ([`QgError::FdViolated`]).
+    pub fn evaluate(&mut self, structure: &Structure) -> Result<EvalResult, EvalError> {
+        let (store, stats, qg) = match self.engine {
+            Engine::Naive => {
+                assert_semipositive(&self.program);
+                let (store, stats) = naive_fixpoint(&self.program, structure);
+                (store, stats, None)
+            }
+            Engine::SemiNaiveScan => {
+                assert_semipositive(&self.program);
+                let (store, stats) = scan_fixpoint(&self.program, structure);
+                (store, stats, None)
+            }
+            Engine::SemiNaiveIndexed => {
+                let cache = self.cache_enabled.then_some(&self.cache);
+                let (store, stats) = run_stratified(
+                    &self.program,
+                    &self.stratification,
+                    structure,
+                    cache,
+                    &mut self.scratch,
+                );
+                (store, stats, None)
+            }
+            Engine::QuasiGuarded => {
+                let catalog = self
+                    .fd_catalog
+                    .as_ref()
+                    .expect("QuasiGuarded sessions carry a catalog (checked at construction)");
+                let (store, qg) = run_quasi_guarded(&self.program, structure, catalog)?;
+                let stats = EvalStats {
+                    facts: store.fact_count(),
+                    rounds: 1,
+                    strata: 1,
+                    ..EvalStats::default()
+                };
+                (store, stats, Some(qg))
+            }
+        };
+        Ok(EvalResult {
+            store,
+            stats: self.filter_stats(stats),
+            stratification: Arc::clone(&self.stratification),
+            qg,
+        })
+    }
+
+    /// Applies the session's [`StatsDetail`] to raw engine counters.
+    fn filter_stats(&self, stats: EvalStats) -> EvalStats {
+        match self.stats_detail {
+            StatsDetail::Full => stats,
+            StatsDetail::Outcome => EvalStats {
+                facts: stats.facts,
+                rounds: stats.rounds,
+                strata: stats.strata,
+                plan_cache_hits: stats.plan_cache_hits,
+                ..EvalStats::default()
+            },
+        }
+    }
+
+    /// The session's program (the session owns it; call sites that need
+    /// predicate ids after construction look them up here).
+    #[inline]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The engine this session dispatches to.
+    #[inline]
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+
+    /// The stratification computed at construction.
+    #[inline]
+    pub fn stratification(&self) -> &Stratification {
+        &self.stratification
+    }
+
+    /// The session-owned plan cache (one entry per stratum sub-program
+    /// and structure cardinality shape; empty when caching is disabled).
+    #[inline]
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.cache
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use mdtw_structure::{Domain, ElemId, Signature};
+    use std::sync::Arc;
+
+    fn chain(n: usize) -> Structure {
+        let sig = Arc::new(Signature::from_pairs([("e", 2), ("node", 1), ("first", 1)]));
+        let dom = Domain::anonymous(n);
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        let node = s.signature().lookup("node").unwrap();
+        let first = s.signature().lookup("first").unwrap();
+        for i in 0..n {
+            s.insert(node, &[ElemId(i as u32)]);
+        }
+        for i in 0..n - 1 {
+            s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+        }
+        s.insert(first, &[ElemId(0)]);
+        s
+    }
+
+    const TC: &str = "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).";
+    const UNREACH: &str = "reach(X) :- first(X).\n\
+                           reach(Y) :- reach(X), e(X, Y).\n\
+                           unreach(X) :- node(X), !reach(X).";
+
+    #[test]
+    fn session_reuse_hits_owned_plan_cache() {
+        let s = chain(6);
+        let p = parse_program(TC, &s).unwrap();
+        let mut session = Evaluator::new(p).unwrap();
+        assert_eq!(session.engine(), Engine::SemiNaiveIndexed);
+        let first = session.evaluate(&s).unwrap();
+        assert_eq!(first.stats.plan_cache_hits, 0, "cold session must plan");
+        let second = session.evaluate(&s).unwrap();
+        assert_eq!(second.stats.plan_cache_hits, 1, "warm session reuses plans");
+        assert_eq!(first.stats.facts, second.stats.facts);
+        assert_eq!(session.plan_cache().len(), 1);
+        let path = session.program().idb("path").unwrap();
+        assert_eq!(first.store.tuples(path), second.store.tuples(path));
+    }
+
+    #[test]
+    fn cache_off_replans_every_time() {
+        let s = chain(6);
+        let p = parse_program(TC, &s).unwrap();
+        let mut session = Evaluator::with_options(p, EvalOptions::new().cache(false)).unwrap();
+        let first = session.evaluate(&s).unwrap();
+        let second = session.evaluate(&s).unwrap();
+        assert_eq!(first.stats.plan_cache_hits, 0);
+        assert_eq!(second.stats.plan_cache_hits, 0);
+        assert!(session.plan_cache().is_empty());
+        assert_eq!(first.stats.facts, second.stats.facts);
+    }
+
+    #[test]
+    fn multi_stratum_auto_dispatch() {
+        let s = chain(5);
+        let p = parse_program(UNREACH, &s).unwrap();
+        let mut session = Evaluator::new(p).unwrap();
+        assert_eq!(session.stratification().stratum_count(), 2);
+        let result = session.evaluate(&s).unwrap();
+        assert_eq!(result.stats.strata, 2);
+        assert_eq!(result.stratification.stratum_count(), 2);
+        let unreach = session.program().idb("unreach").unwrap();
+        assert!(
+            result.store.unary(unreach).is_empty(),
+            "chain fully reachable"
+        );
+        // Warm stratified session: one plan-cache hit per stratum.
+        let warm = session.evaluate(&s).unwrap();
+        assert_eq!(warm.stats.plan_cache_hits, 2);
+    }
+
+    #[test]
+    fn oracle_engines_reject_multi_stratum_at_construction() {
+        let s = chain(4);
+        let p = parse_program(UNREACH, &s).unwrap();
+        for engine in [Engine::Naive, Engine::SemiNaiveScan, Engine::QuasiGuarded] {
+            let mut opts = EvalOptions::new().engine(engine);
+            if engine == Engine::QuasiGuarded {
+                opts = opts.fd_catalog(FdCatalog::new());
+            }
+            let err = Evaluator::with_options(p.clone(), opts).unwrap_err();
+            assert_eq!(
+                err,
+                EvalError::NeedsStratifiedEngine { engine, strata: 2 },
+                "{engine}"
+            );
+            assert!(err.to_string().contains("strata"));
+        }
+    }
+
+    #[test]
+    fn oracle_engines_agree_with_indexed() {
+        let s = chain(7);
+        let p = parse_program(TC, &s).unwrap();
+        let indexed = Evaluator::new(p.clone()).unwrap().evaluate(&s).unwrap();
+        for engine in [Engine::Naive, Engine::SemiNaiveScan] {
+            let mut session =
+                Evaluator::with_options(p.clone(), EvalOptions::new().engine(engine)).unwrap();
+            let result = session.evaluate(&s).unwrap();
+            let path = session.program().idb("path").unwrap();
+            assert_eq!(
+                result.store.tuples(path),
+                indexed.store.tuples(path),
+                "{engine}"
+            );
+            assert_eq!(result.stats.facts, indexed.stats.facts, "{engine}");
+        }
+    }
+
+    #[test]
+    fn fd_catalog_selects_quasi_guarded_and_agrees() {
+        let s = chain(8);
+        let e = s.signature().lookup("e").unwrap();
+        let mut catalog = FdCatalog::new();
+        catalog.declare(e, vec![0], vec![1]);
+        catalog.declare(e, vec![1], vec![0]);
+        let p = parse_program("reach(X) :- first(X).\nreach(Y) :- reach(X), e(X, Y).", &s).unwrap();
+        let mut qg =
+            Evaluator::with_options(p.clone(), EvalOptions::new().fd_catalog(catalog)).unwrap();
+        assert_eq!(qg.engine(), Engine::QuasiGuarded);
+        let qg_result = qg.evaluate(&s).unwrap();
+        assert!(qg_result.qg.is_some(), "quasi-guarded runs report QgStats");
+        assert!(qg_result.qg.unwrap().ground_rules > 0);
+        let indexed = Evaluator::new(p).unwrap().evaluate(&s).unwrap();
+        let reach = qg.program().idb("reach").unwrap();
+        assert_eq!(qg_result.store.tuples(reach), indexed.store.tuples(reach));
+        assert_eq!(qg_result.stats.facts, indexed.stats.facts);
+    }
+
+    #[test]
+    fn quasi_guarded_without_catalog_is_rejected() {
+        let s = chain(3);
+        let p = parse_program(TC, &s).unwrap();
+        let err = Evaluator::with_options(p, EvalOptions::new().engine(Engine::QuasiGuarded))
+            .unwrap_err();
+        assert_eq!(err, EvalError::MissingFdCatalog);
+    }
+
+    #[test]
+    fn unguarded_program_rejected_at_construction() {
+        let s = chain(4);
+        let p = parse_program("pair(X, Y) :- first(X), first(Y).", &s).unwrap();
+        let err = Evaluator::with_options(p, EvalOptions::new().fd_catalog(FdCatalog::new()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::QuasiGuarded(QgError::NotQuasiGuarded { rule: 0 })
+        );
+    }
+
+    #[test]
+    fn unstratifiable_program_rejected_at_construction() {
+        // win(X) :- e(X, Y), !win(Y) — hand-built since the parser rejects
+        // it with its own spanned error.
+        use crate::ast::{Atom, Literal, PredRef, Rule, Term, Var};
+        let s = chain(3);
+        let e = s.signature().lookup("e").unwrap();
+        let mut p = Program::default();
+        let win = p.intern_idb("win", 1).unwrap();
+        p.rules.push(Rule {
+            head: Atom {
+                pred: PredRef::Idb(win),
+                terms: vec![Term::Var(Var(0))],
+            },
+            body: vec![
+                Literal {
+                    atom: Atom {
+                        pred: PredRef::Edb(e),
+                        terms: vec![Term::Var(Var(0)), Term::Var(Var(1))],
+                    },
+                    positive: true,
+                },
+                Literal {
+                    atom: Atom {
+                        pred: PredRef::Idb(win),
+                        terms: vec![Term::Var(Var(1))],
+                    },
+                    positive: false,
+                },
+            ],
+            var_count: 2,
+            var_names: vec!["X".into(), "Y".into()],
+        });
+        let err = Evaluator::new(p).unwrap_err();
+        assert!(matches!(
+            err,
+            EvalError::Stratification(StratificationError::NegativeCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn outcome_stats_detail_zeroes_work_counters() {
+        let s = chain(6);
+        let p = parse_program(TC, &s).unwrap();
+        let mut session =
+            Evaluator::with_options(p, EvalOptions::new().stats_detail(StatsDetail::Outcome))
+                .unwrap();
+        let result = session.evaluate(&s).unwrap();
+        assert!(result.stats.facts > 0);
+        assert!(result.stats.rounds > 0);
+        assert_eq!(result.stats.strata, 1);
+        assert_eq!(result.stats.firings, 0);
+        assert_eq!(result.stats.index_probes, 0);
+        assert_eq!(result.stats.tuples_considered, 0);
+    }
+
+    #[test]
+    fn one_session_many_structures() {
+        let p = parse_program(TC, &chain(4)).unwrap();
+        let mut session = Evaluator::new(p).unwrap();
+        for n in [4usize, 5, 6, 7] {
+            let s = chain(n);
+            let result = session.evaluate(&s).unwrap();
+            // Chain TC derives n·(n−1)/2 path facts.
+            assert_eq!(result.stats.facts, n * (n - 1) / 2, "n={n}");
+        }
+    }
+}

@@ -146,6 +146,13 @@ struct RulePlan {
 }
 
 /// Verifies that every rule of `program` is quasi-guarded under `catalog`
+/// (structure-independent, so an [`Evaluator`](crate::evaluator::Evaluator)
+/// session can validate once at construction).
+pub(crate) fn check_quasi_guarded(program: &Program, catalog: &FdCatalog) -> Result<(), QgError> {
+    analyze(program, catalog).map(|_| ())
+}
+
+/// Verifies that every rule of `program` is quasi-guarded under `catalog`
 /// and returns the per-rule plans.
 fn analyze(program: &Program, catalog: &FdCatalog) -> Result<Vec<RulePlan>, QgError> {
     let mut plans = Vec::with_capacity(program.rules.len());
@@ -464,7 +471,24 @@ fn emit_ground_rule(
 
 /// Full quasi-guarded evaluation: ground, run LTUR, decode into an
 /// [`IdbStore`]. Runs in `O(|P| · |𝒜|)` (Theorem 4.4).
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `Evaluator` session with an attached `FdCatalog` \
+            (`Evaluator::with_options(program, EvalOptions::new().fd_catalog(catalog))`)"
+)]
 pub fn eval_quasi_guarded(
+    program: &Program,
+    structure: &Structure,
+    catalog: &FdCatalog,
+) -> Result<(IdbStore, QgStats), QgError> {
+    run_quasi_guarded(program, structure, catalog)
+}
+
+/// The quasi-guarded pipeline proper (shared by the deprecated
+/// [`eval_quasi_guarded`] wrapper and
+/// [`Evaluator`](crate::evaluator::Evaluator) sessions with an attached
+/// [`FdCatalog`]).
+pub(crate) fn run_quasi_guarded(
     program: &Program,
     structure: &Structure,
     catalog: &FdCatalog,
@@ -481,6 +505,7 @@ pub fn eval_quasi_guarded(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests of the deprecated one-shot wrappers themselves
 mod tests {
     use super::*;
     use crate::eval::eval_seminaive;

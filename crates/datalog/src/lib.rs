@@ -10,7 +10,16 @@
 //! are *semipositive* (negation only on extensional atoms — the fragment
 //! produced by the paper's MSO-to-datalog construction); the
 //! [`stratify`](mod@crate::stratify) pipeline reduces stratified programs
-//! to a bottom-up sequence of semipositive ones:
+//! to a bottom-up sequence of semipositive ones.
+//!
+//! The front door is the [`Evaluator`] **session API**
+//! ([`evaluator`](mod@crate::evaluator)): construct it once per program —
+//! validation, stratification and dependency analysis happen at
+//! construction — and call [`Evaluator::evaluate`] per structure; the
+//! session owns its [`PlanCache`] and recycles the engine scratch
+//! buffers, which is what makes the paper's per-candidate and
+//! per-structure workloads cheap. The historical `eval_*` free functions
+//! survive as deprecated one-shot wrappers. Under the session layer:
 //!
 //! * [`ast`] / [`parser`] — programs as data or text;
 //! * [`eval`] — naive and semi-naive least-fixpoint evaluation (the
@@ -51,6 +60,7 @@
 pub mod ast;
 pub mod cache;
 pub mod eval;
+pub mod evaluator;
 pub mod ground;
 pub mod horn;
 pub mod parser;
@@ -58,15 +68,27 @@ pub mod plan;
 pub mod stratify;
 
 pub use ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term, Var};
-pub use cache::{eval_seminaive_with_cache, global_plan_cache, PlanCache};
-pub use eval::{eval_naive, eval_seminaive, eval_seminaive_scan, EvalStats, IdbStore};
-pub use ground::{eval_quasi_guarded, ground, FdCatalog, FuncDep, Grounding, QgError, QgStats};
+pub use cache::{global_plan_cache, PlanCache};
+pub use eval::{EvalStats, IdbStore};
+pub use evaluator::{Engine, EvalError, EvalOptions, EvalResult, Evaluator, StatsDetail};
+pub use ground::{ground, FdCatalog, FuncDep, Grounding, QgError, QgStats};
 pub use horn::{HornProgram, HornRule};
 pub use parser::{parse_program, ParseError};
 pub use plan::{
     plan_program, plan_program_with, plan_rule, plan_rule_with, Access, CardEstimator, JoinPlan,
     JoinStep, NoEstimates, RulePlans, StructureStats,
 };
-pub use stratify::{
-    eval_stratified, eval_stratified_with_cache, stratify, Stratification, StratificationError,
-};
+pub use stratify::{stratify, Stratification, StratificationError};
+
+// The seven historical one-shot entry points, kept importable from the
+// crate root so the legacy-oracle test suites (and downstream pins) keep
+// compiling. Each is a thin deprecated wrapper over one Evaluator-shaped
+// evaluation.
+#[allow(deprecated)]
+pub use cache::eval_seminaive_with_cache;
+#[allow(deprecated)]
+pub use eval::{eval_naive, eval_seminaive, eval_seminaive_scan};
+#[allow(deprecated)]
+pub use ground::eval_quasi_guarded;
+#[allow(deprecated)]
+pub use stratify::{eval_stratified, eval_stratified_with_cache};

@@ -16,9 +16,10 @@
 //!
 //! Negation may be applied to intensional atoms as long as the program is
 //! *stratified* (no predicate depends on its own negation); the parser
-//! runs [`stratify`](crate::stratify::stratify) and rejects programs with
-//! a negative dependency cycle. Stratified programs evaluate with
-//! [`eval_stratified`](crate::stratify::eval_stratified); programs whose
+//! runs [`stratify`](crate::stratify::stratify()) and rejects programs with
+//! a negative dependency cycle. Any parsed program evaluates through an
+//! [`Evaluator`](crate::evaluator::Evaluator) session, which dispatches
+//! multi-stratum programs to the stratified pipeline; programs whose
 //! negation touches only extensional atoms remain valid inputs for the
 //! semipositive engines.
 

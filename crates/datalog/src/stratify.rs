@@ -29,14 +29,14 @@
 //! now carry real cardinality estimates for the planner), negated
 //! occurrences go through the existing constant-time negative-literal
 //! membership checks, and compiled plans flow through the
-//! [`PlanCache`](crate::cache::PlanCache) — whose cardinality-shape key
+//! [`PlanCache`] — whose cardinality-shape key
 //! covers the materialized extensions, since they are ordinary signature
 //! relations of the structure each stratum is planned against. The inner
 //! join loop of [`eval`](crate::eval) is reused without modification.
 
 use crate::ast::{IdbId, PredRef, Program};
-use crate::cache::{global_plan_cache, PlanCache};
-use crate::eval::{run_seminaive, EvalStats, IdbStore};
+use crate::cache::{global_plan_cache, plans_for, PlanCache};
+use crate::eval::{run_seminaive_scratch, EvalStats, IdbStore, SeminaiveScratch};
 use mdtw_structure::{PredId, Structure};
 use std::fmt;
 
@@ -338,11 +338,25 @@ fn tarjan_sccs(n: usize, edges: &[DepEdge], adj: &[Vec<usize>]) -> (Vec<usize>, 
 
 /// Evaluates a stratified program bottom-up over the process-wide
 /// [`PlanCache`]; see [`eval_stratified_with_cache`].
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `Evaluator` session \
+            (`Evaluator::new(program)?.evaluate(&structure)`), which stratifies once \
+            and auto-dispatches semipositive vs. multi-stratum"
+)]
 pub fn eval_stratified(
     program: &Program,
     structure: &Structure,
 ) -> Result<(IdbStore, EvalStats), StratificationError> {
-    eval_stratified_with_cache(program, structure, global_plan_cache())
+    let strat = stratify(program)?;
+    let mut scratch = SeminaiveScratch::new(program);
+    Ok(run_stratified(
+        program,
+        &strat,
+        structure,
+        Some(global_plan_cache()),
+        &mut scratch,
+    ))
 }
 
 /// Evaluates a stratified program bottom-up with an explicit plan cache.
@@ -359,24 +373,57 @@ pub fn eval_stratified(
 /// The returned [`EvalStats`] accumulates the per-stratum counters
 /// (`rounds` is the total across strata, `plan_cache_hits` counts per
 /// stratum) and reports the stratum count in [`EvalStats::strata`].
+#[deprecated(
+    since = "0.2.0",
+    note = "construct an `Evaluator` session, which owns its `PlanCache` \
+            (`Evaluator::new(program)?.evaluate(&structure)`)"
+)]
 pub fn eval_stratified_with_cache(
     program: &Program,
     structure: &Structure,
     cache: &PlanCache,
 ) -> Result<(IdbStore, EvalStats), StratificationError> {
     let strat = stratify(program)?;
+    let mut scratch = SeminaiveScratch::new(program);
+    Ok(run_stratified(
+        program,
+        &strat,
+        structure,
+        Some(cache),
+        &mut scratch,
+    ))
+}
+
+/// The stratified pipeline proper, over a *precomputed* stratification
+/// and session-recycled scratch buffers — the shared engine behind the
+/// deprecated [`eval_stratified`]/[`eval_stratified_with_cache`] wrappers
+/// and [`Evaluator`](crate::evaluator::Evaluator) sessions (which
+/// stratify once at construction and reuse the certificate across
+/// evaluations). `cache` is `None` when plan caching is disabled.
+pub(crate) fn run_stratified(
+    program: &Program,
+    strat: &Stratification,
+    structure: &Structure,
+    cache: Option<&PlanCache>,
+    scratch: &mut SeminaiveScratch,
+) -> (IdbStore, EvalStats) {
     if strat.stratum_count() <= 1 {
         // Semipositive fast path: no rewriting, no structure extension.
-        let (store, mut stats) = crate::cache::eval_seminaive_with_cache(program, structure, cache);
-        stats.strata = strat.stratum_count();
-        return Ok((store, stats));
+        crate::eval::assert_semipositive(program);
+        let (plans, hit) = plans_for(program, structure, cache);
+        let stats = EvalStats {
+            plan_cache_hits: usize::from(hit),
+            strata: strat.stratum_count(),
+            ..EvalStats::default()
+        };
+        return run_seminaive_scratch(program, structure, &plans, stats, scratch);
     }
 
     // Which predicates higher strata actually read: only those are
     // materialized into the extended structure.
     let mut needed = vec![false; program.idb_count()];
     for (rule_idx, rule) in program.rules.iter().enumerate() {
-        let rule_stratum = rule_stratum(&strat, program, rule_idx);
+        let rule_stratum = rule_stratum(strat, program, rule_idx);
         for lit in &rule.body {
             if let PredRef::Idb(id) = lit.atom.pred {
                 if strat.stratum_of(id) < rule_stratum {
@@ -452,13 +499,14 @@ pub fn eval_stratified_with_cache(
                 "stratum rewrite must produce a semipositive sub-program"
             );
 
-            let (plans, hit) = cache.plans(&sub, &ext_structure);
+            let (plans, hit) = plans_for(&sub, &ext_structure, cache);
             let stats = EvalStats {
                 plan_cache_hits: usize::from(hit),
                 ..EvalStats::default()
             };
-            let (sub_store, stats) = run_seminaive(&sub, &ext_structure, &plans, stats);
-            accumulate(&mut total, &stats);
+            let (sub_store, stats) =
+                run_seminaive_scratch(&sub, &ext_structure, &plans, stats, scratch);
+            total.merge_counters(&stats);
 
             // Materialize this stratum's output: into the final store, and
             // into the extended structure for the strata above.
@@ -476,7 +524,7 @@ pub fn eval_stratified_with_cache(
         }
     }
 
-    Ok((final_store, total))
+    (final_store, total)
 }
 
 /// The stratum a rule evaluates in: the stratum of its head predicate.
@@ -487,21 +535,8 @@ fn rule_stratum(strat: &Stratification, program: &Program, rule: usize) -> usize
     }
 }
 
-/// Folds one stratum's counters into the pipeline total (`strata` is set
-/// once by the caller, everything else is additive).
-fn accumulate(total: &mut EvalStats, part: &EvalStats) {
-    total.firings += part.firings;
-    total.facts += part.facts;
-    total.rounds += part.rounds;
-    total.index_probes += part.index_probes;
-    total.full_scans += part.full_scans;
-    total.tuples_considered += part.tuples_considered;
-    total.interned_hits += part.interned_hits;
-    total.plan_cache_hits += part.plan_cache_hits;
-    total.negative_checks += part.negative_checks;
-}
-
 #[cfg(test)]
+#[allow(deprecated)] // unit tests of the deprecated one-shot wrappers themselves
 mod tests {
     use super::*;
     use crate::ast::{Atom, Literal, Rule, Term, Var};

@@ -101,8 +101,12 @@ impl std::error::Error for CompileError {}
 /// with distinguished unary predicate `phi`.
 #[derive(Debug)]
 pub struct CompiledQuery {
-    /// The program (evaluate with `mdtw_datalog::eval_quasi_guarded` over
-    /// an `encode_tuple_td` structure whose base signature matches).
+    /// The program. Evaluate it with an [`mdtw_datalog::Evaluator`]
+    /// session carrying the τ_td functional dependencies —
+    /// `Evaluator::with_options(program, EvalOptions::new()
+    /// .fd_catalog(FdCatalog::for_td_signature(&enc.structure)))` — over
+    /// `encode_tuple_td` structures whose base signature matches; one
+    /// session serves every decomposition encoding of the query.
     pub program: Program,
     /// The `phi` predicate.
     pub phi: IdbId,
@@ -984,7 +988,7 @@ mod tests {
     use super::*;
     use crate::eval::Budget;
     use crate::library::has_neighbor;
-    use mdtw_datalog::{eval_quasi_guarded, FdCatalog};
+    use mdtw_datalog::{EvalOptions, Evaluator, FdCatalog};
     use mdtw_decomp::{decompose, encode_tuple_td, Heuristic, TupleTd};
     use mdtw_graph::{encode_graph, Graph};
 
@@ -1028,14 +1032,25 @@ mod tests {
             Graph::from_edges(3, &[]),
             Graph::from_edges(6, &[(0, 1), (1, 2), (1, 3), (3, 4)]),
         ];
+        // One program, many τ_td structures: a single Evaluator session
+        // carries the compiled query across every encoding (the τ_td
+        // signature — and hence the FdCatalog's predicate ids — is the
+        // same for all of them).
+        let mut session: Option<Evaluator> = None;
         for (gi, g) in graphs.iter().enumerate() {
             let s = encode_graph(g);
             let td = decompose(&s, Heuristic::MinDegree);
             let tuple_td = TupleTd::from_td_with_width(&td, s.domain().len(), 1).unwrap();
             let enc = encode_tuple_td(&s, &tuple_td);
-            let catalog = FdCatalog::for_td_signature(&enc.structure);
-            let (store, _) =
-                eval_quasi_guarded(&q.program, &enc.structure, &catalog).expect("quasi-guarded");
+            let session = session.get_or_insert_with(|| {
+                let catalog = FdCatalog::for_td_signature(&enc.structure);
+                Evaluator::with_options(q.program.clone(), EvalOptions::new().fd_catalog(catalog))
+                    .expect("compiled program is quasi-guarded")
+            });
+            let store = session
+                .evaluate(&enc.structure)
+                .expect("quasi-guarded")
+                .store;
             for e in s.domain().elems() {
                 let expected = crate::eval::eval_unary(
                     &has_neighbor(),

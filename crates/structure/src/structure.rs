@@ -21,6 +21,15 @@
 //! insert remains a consistent view of the pre-insert relation (see
 //! [`Relation::index_on`]). [`Relation::clear`] is the one destructive
 //! operation; it drops all cached indexes.
+//!
+//! A [`Structure`] holds its relations behind `Arc`s shared
+//! copy-on-write: cloning or [extending](Structure::extended) a structure
+//! bumps one reference count per predicate, reads and duplicate inserts
+//! never un-share, and the first genuine write deep-copies only the
+//! written relation. This makes `Structure::extended` (the stratified
+//! evaluator's materialization substrate) linear in the number of *new*
+//! predicates — while a bare [`Relation`] (the evaluators' delta/staging
+//! stores) stays a plain value with no per-insert atomics.
 
 use crate::domain::{Domain, ElemId};
 use crate::fx::{FxHashMap, FxHasher};
@@ -122,8 +131,14 @@ impl RowTable {
     }
 
     fn clear(&mut self) {
-        self.slots.fill(Self::EMPTY);
-        self.len = 0;
+        // An empty table may still have a large retained capacity (e.g. a
+        // recycled delta relation after a round that filled it): skip the
+        // slot memset entirely so clearing an already-empty table is O(1)
+        // no matter its high-water mark.
+        if self.len > 0 {
+            self.slots.fill(Self::EMPTY);
+            self.len = 0;
+        }
     }
 }
 
@@ -225,7 +240,11 @@ impl PosIndex {
 ///
 /// Tuples live in a flat arena addressed by `u32` row ids (see the module
 /// docs); no per-tuple heap allocation happens on insert, membership
-/// tests, or index probes.
+/// tests, or index probes. A `Relation` is a plain value — the
+/// evaluators' delta/staging/IDB stores own theirs outright, so the hot
+/// derive path performs no atomic operations. Sharing happens one level
+/// up: a [`Structure`] holds `Arc<Relation>`s and copies a relation only
+/// on its first write ([`Structure::extended`], `Structure::clone`).
 #[derive(Debug, Default)]
 pub struct Relation {
     arity: usize,
@@ -239,7 +258,8 @@ pub struct Relation {
     /// Secondary indexes by key positions. Behind a lock so `index_on`
     /// can build and cache through `&self` (probes happen mid-join, where
     /// the relation is shared); `Arc` so probers hold the index without
-    /// holding the lock.
+    /// holding the lock — and so deep-cloning a relation copies only
+    /// `Arc` handles, deferring each index copy until it is touched.
     secondary: RwLock<FxHashMap<Box<[usize]>, Arc<PosIndex>>>,
 }
 
@@ -280,6 +300,16 @@ impl Relation {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.rows == 0
+    }
+
+    /// True if `self` and `other` are the *same* relation object — i.e.
+    /// two structures hand out the same `Arc`'d allocation because one is
+    /// a copy-on-write clone/extension of the other with no intervening
+    /// write to this predicate. This is the observable that pins
+    /// [`Structure::extended`] to O(#new predicates).
+    #[inline]
+    pub fn shares_storage(&self, other: &Relation) -> bool {
+        std::ptr::eq(self, other)
     }
 
     /// Inserts a tuple; returns `true` if it was new.
@@ -363,7 +393,8 @@ impl Relation {
     /// Removes all tuples and drops every cached secondary index (their
     /// row ids would dangle). Capacity is retained, so a cleared relation
     /// can be refilled without reallocating — the semi-naive evaluator
-    /// recycles its per-round delta relations this way.
+    /// recycles its per-round delta relations this way (and clearing an
+    /// already-empty relation is O(1) regardless of retained capacity).
     pub fn clear(&mut self) {
         self.rows = 0;
         self.arena.clear();
@@ -447,15 +478,14 @@ impl Relation {
         {
             return idx.key_count();
         }
+        let arena = &self.arena;
         let mut seen: crate::fx::FxHashSet<u64> = crate::fx::FxHashSet::default();
         for row in 0..self.rows {
             let base = row * self.arity;
             let packed = match positions {
-                [p] => u64::from(self.arena[base + p].0),
-                [p, q] => {
-                    (u64::from(self.arena[base + p].0) << 32) | u64::from(self.arena[base + q].0)
-                }
-                _ => hash_elems(positions.iter().map(|&p| self.arena[base + p])),
+                [p] => u64::from(arena[base + p].0),
+                [p, q] => (u64::from(arena[base + p].0) << 32) | u64::from(arena[base + q].0),
+                _ => hash_elems(positions.iter().map(|&p| arena[base + p])),
             };
             seen.insert(packed);
         }
@@ -477,19 +507,27 @@ impl Relation {
 /// A finite structure 𝒜 over a signature τ.
 ///
 /// The signature is shared (`Arc`) because derived structures — induced
-/// substructures, decomposition encodings — reuse it unchanged.
+/// substructures, decomposition encodings — reuse it unchanged. The
+/// relations are shared **copy-on-write**: `clone` and
+/// [`extended`](Structure::extended) bump one `Arc` per predicate, and a
+/// relation is deep-copied only on its first write through a sharing
+/// holder ([`Relation::shares_storage`] observes the sharing). Reads and
+/// duplicate inserts never un-share.
 #[derive(Debug, Clone)]
 pub struct Structure {
     sig: Arc<Signature>,
     domain: Domain,
-    relations: Vec<Relation>,
+    relations: Vec<Arc<Relation>>,
 }
 
 impl Structure {
     /// Creates a structure with the given signature and domain and all
     /// relations empty.
     pub fn new(sig: Arc<Signature>, domain: Domain) -> Self {
-        let relations = sig.preds().map(|p| Relation::new(sig.arity(p))).collect();
+        let relations = sig
+            .preds()
+            .map(|p| Arc::new(Relation::new(sig.arity(p))))
+            .collect();
         Self {
             sig,
             domain,
@@ -524,6 +562,10 @@ impl Structure {
 
     /// Inserts a ground tuple into `pred`'s relation; returns `true` if new.
     ///
+    /// On a relation still shared with a copy-on-write clone, a duplicate
+    /// insert is answered by a read-only membership probe, so only a
+    /// *genuinely new* tuple deep-copies the relation.
+    ///
     /// # Panics
     /// Panics on arity mismatch or if any argument is outside the domain.
     pub fn insert(&mut self, pred: PredId, tuple: &[ElemId]) -> bool {
@@ -533,7 +575,11 @@ impl Structure {
                 "tuple argument {e} outside the domain"
             );
         }
-        self.relations[pred.index()].insert(tuple)
+        let rel = &mut self.relations[pred.index()];
+        if Arc::get_mut(rel).is_none() && rel.contains(tuple) {
+            return false;
+        }
+        Arc::make_mut(rel).insert(tuple)
     }
 
     /// Membership test for a ground atom.
@@ -544,7 +590,7 @@ impl Structure {
 
     /// Total number of ground atoms (the size of the EDB `E(𝒜)`).
     pub fn atom_count(&self) -> usize {
-        self.relations.iter().map(Relation::len).sum()
+        self.relations.iter().map(|r| r.len()).sum()
     }
 
     /// A rough size measure `|𝒜|`: domain size plus total tuple cells.
@@ -574,15 +620,19 @@ impl Structure {
     }
 
     /// A structure over `self`'s signature extended with the fresh
-    /// predicates in `extra`: the domain is shared, existing relations are
-    /// cloned (cached secondary indexes included, so probes stay warm),
-    /// and the new relations start empty. Returns the extended structure
-    /// and the ids of the new predicates, in `extra` order.
+    /// predicates in `extra`: the domain is shared, existing relations
+    /// are shared **copy-on-write** (each an `Arc` bump — arena, dedup
+    /// table and warm secondary indexes included, so probes stay warm and
+    /// extension costs O(#new predicates), not O(|𝒜|)), and the new
+    /// relations start empty. Returns the extended structure and the ids
+    /// of the new predicates, in `extra` order.
     ///
     /// This is the materialization substrate of the stratified datalog
     /// evaluator: each stratum's derived relations are inserted into the
     /// extension so higher strata read them as ordinary extensional
-    /// relations.
+    /// relations — and since only the *fresh* relations are written, the
+    /// base relations are never deep-copied (pinned by
+    /// [`Relation::shares_storage`]).
     ///
     /// # Panics
     /// Panics if a name in `extra` collides with an existing predicate.
@@ -598,7 +648,7 @@ impl Structure {
             .map(|i| PredId(i as u32))
             .collect();
         let mut relations = self.relations.clone();
-        relations.extend(ids.iter().map(|&id| Relation::new(sig.arity(id))));
+        relations.extend(ids.iter().map(|&id| Arc::new(Relation::new(sig.arity(id)))));
         (
             Structure {
                 sig: Arc::new(sig),
@@ -1005,5 +1055,68 @@ mod tests {
         let (s, _) = triangle();
         let e = s.signature().lookup("e").unwrap();
         let _ = s.relation(e).index_on(&[2]);
+    }
+
+    #[test]
+    fn extended_structure_shares_base_relations_copy_on_write() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let _ = s.relation(e).index_on(&[0]); // warm an index pre-extension
+        let (mut ext, ids) = s.extended([("reach", 1)]);
+        // Extension must not deep-copy the untouched base relation.
+        assert!(ext.relation(e).shares_storage(s.relation(e)));
+        // Reads and index probes leave the sharing intact.
+        let idx = ext.relation(e).index_on(&[0]);
+        assert_eq!(ext.relation(e).rows_matching(&idx, &[v[0]]).len(), 2);
+        assert!(ext.holds(e, &[v[1], v[2]]));
+        assert!(ext.relation(e).shares_storage(s.relation(e)));
+        // Writing only the fresh relation keeps the base shared.
+        assert!(ext.insert(ids[0], &[v[2]]));
+        assert!(ext.relation(e).shares_storage(s.relation(e)));
+        // The first write to the base relation un-shares exactly it.
+        ext.insert(e, &[v[0], v[0]]);
+        assert!(!ext.relation(e).shares_storage(s.relation(e)));
+        assert!(ext.holds(e, &[v[0], v[0]]));
+        assert!(!s.holds(e, &[v[0], v[0]]), "original untouched");
+        assert_eq!(s.atom_count(), 6);
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_unshare() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let (mut ext, _) = s.extended([("reach", 1)]);
+        assert!(!ext.insert(e, &[v[0], v[1]]), "already present");
+        assert!(
+            ext.relation(e).shares_storage(s.relation(e)),
+            "a duplicate insert is a read and must not deep-copy"
+        );
+    }
+
+    #[test]
+    fn cloned_structure_shares_until_first_write() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let mut copy = s.clone();
+        assert!(copy.relation(e).shares_storage(s.relation(e)));
+        // The first genuine write un-shares; the original keeps its rows.
+        copy.insert(e, &[v[0], v[0]]);
+        assert!(!copy.relation(e).shares_storage(s.relation(e)));
+        assert!(copy.holds(e, &[v[0], v[0]]));
+        assert!(!s.holds(e, &[v[0], v[0]]));
+        assert_eq!(s.atom_count(), 6);
+        assert_eq!(copy.atom_count(), 7);
+    }
+
+    #[test]
+    fn indexes_built_through_either_holder_serve_shared_rows() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let (ext, _) = s.extended([("reach", 1)]);
+        // Build the index through the extension only: the shared core
+        // caches it, so the base structure's probes are warm too.
+        let idx = ext.relation(e).index_on(&[1]);
+        assert_eq!(s.relation(e).rows_matching(&idx, &[v[1]]).len(), 2);
+        assert!(ext.relation(e).shares_storage(s.relation(e)));
     }
 }

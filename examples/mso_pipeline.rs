@@ -9,7 +9,7 @@
 //! cargo run -p mdtw-examples --bin mso_pipeline
 //! ```
 
-use mdtw_datalog::{eval_quasi_guarded, FdCatalog};
+use mdtw_datalog::{EvalOptions, Evaluator, FdCatalog};
 use mdtw_decomp::{decompose, encode_tuple_td, Heuristic, NiceOptions, NiceTd, TupleTd};
 use mdtw_fta::{mona_style_3col, nfta_3col, DetBudget};
 use mdtw_graph::{encode_graph, partial_k_tree, Graph};
@@ -69,15 +69,25 @@ fn main() {
     let tuple_td = TupleTd::from_td_with_width(&td, structure.domain().len(), 1).unwrap();
     let enc = encode_tuple_td(&structure, &tuple_td);
     let catalog = FdCatalog::for_td_signature(&enc.structure);
-    let (store, stats) = eval_quasi_guarded(&compiled.program, &enc.structure, &catalog).unwrap();
+    // An attached FdCatalog makes the session dispatch to the linear-time
+    // quasi-guarded pipeline of Theorem 4.4.
+    let mut session = Evaluator::with_options(
+        compiled.program.clone(),
+        EvalOptions::new().fd_catalog(catalog),
+    )
+    .unwrap();
+    let result = session.evaluate(&enc.structure).unwrap();
     print!("compiled datalog (linear):  ");
     for v in structure.domain().elems() {
-        let holds = store.holds(compiled.phi, &[v]);
+        let holds = result.store.holds(compiled.phi, &[v]);
         print!("{}", if holds { '1' } else { '0' });
     }
+    let qg = result
+        .qg
+        .expect("quasi-guarded run reports grounding stats");
     println!(
         "   ({} ground rules, {} ground atoms)",
-        stats.ground_rules, stats.ground_atoms
+        qg.ground_rules, qg.ground_atoms
     );
 
     // --- 3. The MSO-to-FTA baseline on 3-Colorability. -------------------

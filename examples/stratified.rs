@@ -6,12 +6,12 @@
 //! ```
 //!
 //! Both programs negate *derived* predicates, which the semipositive
-//! engines reject: `mdtw_datalog::stratify` splits them into strata and
-//! `eval_stratified` evaluates the strata bottom-up, materializing each
+//! engines reject: an [`Evaluator`] session stratifies the program once
+//! at construction and evaluates the strata bottom-up, materializing each
 //! one into the indexed relation layer so the next stratum reads it as an
 //! ordinary extensional relation.
 
-use mdtw_datalog::{eval_stratified, parse_program, stratify, StratificationError};
+use mdtw_datalog::{parse_program, Evaluator, StratificationError};
 use mdtw_structure::{Domain, ElemId, Signature, Structure};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -57,16 +57,21 @@ fn main() {
         &s,
     )
     .expect("stratified program parses");
-    let strat = stratify(&p).expect("no negative cycle");
+    // The session stratifies (and validates) once, here at construction.
+    let mut session = Evaluator::new(p).expect("no negative cycle");
+    let p = session.program();
+    let strat = session.stratification();
     println!(
         "complement reachability: {} strata (reachable in {}, unreachable in {})",
         strat.stratum_count(),
         strat.stratum_of(p.idb("reachable").unwrap()),
         strat.stratum_of(p.idb("unreachable").unwrap()),
     );
-    let (store, stats) = eval_stratified(&p, &s).expect("stratifiable");
-    let reached = store.unary(p.idb("reachable").unwrap()).len();
-    let unreached = store.unary(p.idb("unreachable").unwrap()).len();
+    let (reachable, unreachable) = (p.idb("reachable").unwrap(), p.idb("unreachable").unwrap());
+    let result = session.evaluate(&s).expect("stratifiable");
+    let (store, stats) = (result.store, result.stats);
+    let reached = store.unary(reachable).len();
+    let unreached = store.unary(unreachable).len();
     println!(
         "  2000 nodes: {reached} reachable + {unreached} unreachable \
          ({} rounds, {} firings, {} negative checks)",
@@ -87,13 +92,14 @@ fn main() {
         &s,
     )
     .expect("stratified program parses");
-    let strat = stratify(&p).expect("no negative cycle");
+    let mut session = Evaluator::new(p).expect("no negative cycle");
     println!(
         "defended nodes: {} strata over {} rules",
-        strat.stratum_count(),
-        p.rules.len()
+        session.stratification().stratum_count(),
+        session.program().rules.len()
     );
-    let (store, stats) = eval_stratified(&p, &s).expect("stratifiable");
+    let result = session.evaluate(&s).expect("stratifiable");
+    let (p, store, stats) = (session.program(), result.store, result.stats);
     println!(
         "  1500 nodes: {} attacked, {} with unanswered attacks, {} defended \
          ({} strata, {} negative checks)",

@@ -11,7 +11,8 @@
 //! * [`schema`] — relational schemas, FDs and the τ = {fd, att, lh, rh}
 //!   encoding (§2.1–2.2);
 //! * [`decomp`] — tree decompositions and their normal forms (§2.2, §5);
-//! * [`datalog`] — the semipositive / quasi-guarded datalog engine (§2.4, §4);
+//! * [`datalog`] — the stratified / quasi-guarded datalog engine (§2.4, §4),
+//!   fronted by the [`Evaluator`](mdtw_datalog::Evaluator) session API;
 //! * [`mso`] — MSO formulas, types, and the Theorem 4.5 compilation (§3–4);
 //! * [`fta`] — the classical MSO-to-tree-automata baseline;
 //! * [`core`] — the §5 solvers: 3-Colorability (Figure 5), PRIMALITY
@@ -30,14 +31,19 @@ pub use mdtw_schema as schema;
 pub use mdtw_structure as structure;
 
 /// The most common end-to-end entry points, re-exported flat.
+///
+/// Datalog evaluation goes through the [`Evaluator`](mdtw_datalog::Evaluator)
+/// session API — construct once per program, evaluate per structure. The
+/// deprecated one-shot `eval_*` free functions are intentionally *not*
+/// re-exported here; they remain reachable via [`crate::datalog`].
 pub mod prelude {
     pub use mdtw_core::{
         enumerate_primes, is_prime_fpt, is_prime_fpt_with_td, prime_attributes_fpt,
         PrimalityContext, ThreeColSolver,
     };
     pub use mdtw_datalog::{
-        eval_seminaive, eval_seminaive_with_cache, eval_stratified, parse_program, stratify,
-        PlanCache, Stratification, StratificationError,
+        parse_program, stratify, Engine, EvalOptions, EvalResult, Evaluator, PlanCache,
+        Stratification, StratificationError,
     };
     pub use mdtw_decomp::{decompose, Heuristic, NiceOptions, NiceTd, TreeDecomposition, TupleTd};
     pub use mdtw_graph::{encode_graph, Graph};

@@ -1,0 +1,100 @@
+//! Regression pins for the copy-on-write relation layer behind
+//! [`Structure::extended`] — the stratified evaluator's materialization
+//! substrate. Extension must **not** deep-copy untouched base relations:
+//! the arena, dedup table and warm indexes stay shared (pointer-identical
+//! `Arc`s) until a relation's first genuine write, so extending costs
+//! O(#new predicates) instead of O(|𝒜|) per multi-stratum evaluation.
+
+use mdtw_datalog::{parse_program, Evaluator};
+use mdtw_structure::{Domain, ElemId, Signature, Structure};
+use std::sync::Arc;
+
+fn chain(n: usize) -> Structure {
+    let sig = Arc::new(Signature::from_pairs([("e", 2), ("node", 1), ("first", 1)]));
+    let dom = Domain::anonymous(n);
+    let mut s = Structure::new(sig, dom);
+    let e = s.signature().lookup("e").unwrap();
+    let node = s.signature().lookup("node").unwrap();
+    let first = s.signature().lookup("first").unwrap();
+    for i in 0..n {
+        s.insert(node, &[ElemId(i as u32)]);
+    }
+    for i in 0..n - 1 {
+        s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+    }
+    s.insert(first, &[ElemId(0)]);
+    s
+}
+
+/// `Structure::extended` shares every base relation by pointer identity;
+/// only a write un-shares, and only the written relation.
+#[test]
+fn extended_does_not_deep_copy_untouched_base_relations() {
+    let s = chain(500);
+    let e = s.signature().lookup("e").unwrap();
+    let node = s.signature().lookup("node").unwrap();
+    let first = s.signature().lookup("first").unwrap();
+    // Warm an index so sharing provably includes the index cache.
+    let idx = s.relation(e).index_on(&[0]);
+    assert_eq!(s.relation(e).rows_matching(&idx, &[ElemId(3)]).len(), 1);
+
+    let (mut ext, ids) = s.extended([("reach'", 1), ("unreach'", 1)]);
+    for p in [e, node, first] {
+        assert!(
+            ext.relation(p).shares_storage(s.relation(p)),
+            "extension must share base relation {p} copy-on-write"
+        );
+    }
+    // Materializing into the fresh relations (what the stratified
+    // pipeline does) leaves every base relation shared.
+    for i in 0..500u32 {
+        ext.insert(ids[0], &[ElemId(i)]);
+    }
+    for p in [e, node, first] {
+        assert!(
+            ext.relation(p).shares_storage(s.relation(p)),
+            "writes to fresh relations must not un-share base relation {p}"
+        );
+    }
+    // Probing a shared relation through the extension keeps it shared.
+    let idx = ext.relation(e).index_on(&[0]);
+    assert_eq!(ext.relation(e).rows_matching(&idx, &[ElemId(7)]).len(), 1);
+    assert!(ext.relation(e).shares_storage(s.relation(e)));
+    // Only a genuine write to a base relation un-shares — and only it.
+    ext.insert(e, &[ElemId(499), ElemId(0)]);
+    assert!(!ext.relation(e).shares_storage(s.relation(e)));
+    assert!(ext.relation(node).shares_storage(s.relation(node)));
+    assert!(!s.holds(e, &[ElemId(499), ElemId(0)]), "original untouched");
+}
+
+/// End-to-end: a multi-stratum evaluation (which extends the structure
+/// internally per call) leaves the input structure byte-for-byte intact
+/// and keeps working across session reuse — the structure is extended
+/// copy-on-write on every evaluation, never mutated.
+#[test]
+fn stratified_sessions_extend_without_touching_the_input() {
+    let s = chain(200);
+    let p = parse_program(
+        "reach(X) :- first(X).\nreach(Y) :- reach(X), e(X, Y).\n\
+         unreach(X) :- node(X), !reach(X).\n\
+         settled(X) :- node(X), !unreach(X), !first(X).",
+        &s,
+    )
+    .unwrap();
+    let e = s.signature().lookup("e").unwrap();
+    let atoms_before = s.atom_count();
+    let sig_len_before = s.signature().len();
+
+    let mut session = Evaluator::new(p).unwrap();
+    let first = session.evaluate(&s).unwrap();
+    assert_eq!(first.stats.strata, 3);
+    let second = session.evaluate(&s).unwrap();
+    assert_eq!(second.stats.plan_cache_hits, 3, "one hit per stratum");
+    assert_eq!(first.store.fact_count(), second.store.fact_count());
+
+    // The input structure is untouched: same signature, same atoms, and
+    // the materialized strata never leaked into it.
+    assert_eq!(s.signature().len(), sig_len_before);
+    assert_eq!(s.atom_count(), atoms_before);
+    assert_eq!(s.relation(e).len(), 199);
+}

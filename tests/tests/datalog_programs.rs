@@ -3,7 +3,7 @@
 //! same-generation, negation — each checked against hand-computed
 //! results and across evaluation strategies.
 
-use mdtw_datalog::{eval_naive, eval_seminaive, parse_program};
+use mdtw_datalog::{parse_program, Engine, EvalOptions, Evaluator};
 use mdtw_structure::{Domain, ElemId, Signature, Structure};
 use std::sync::Arc;
 
@@ -30,7 +30,9 @@ fn same_generation() {
                    sg(X, X) :- parent(Y, X).\n\
                    sg(X, Y) :- parent(Xp, X), parent(Yp, Y), sg(Xp, Yp).";
     let p = parse_program(program, &s).unwrap();
-    let (store, _) = eval_seminaive(&p, &s);
+    let mut session = Evaluator::new(p).unwrap();
+    let store = session.evaluate(&s).unwrap().store;
+    let p = session.program();
     let sg = p.idb("sg").unwrap();
     let carol = s.domain().lookup("carol").unwrap();
     let dave = s.domain().lookup("dave").unwrap();
@@ -56,7 +58,9 @@ fn mutual_recursion_even_odd() {
                    odd(Y) :- even(X), succ(X, Y).\n\
                    even(Y) :- odd(X), succ(X, Y).";
     let p = parse_program(program, &s).unwrap();
-    let (store, _) = eval_seminaive(&p, &s);
+    let mut session = Evaluator::new(p).unwrap();
+    let store = session.evaluate(&s).unwrap().store;
+    let p = session.program();
     let even = p.idb("even").unwrap();
     let odd = p.idb("odd").unwrap();
     assert_eq!(store.unary(even), vec![ElemId(0), ElemId(2), ElemId(4)]);
@@ -83,10 +87,14 @@ fn nonlinear_transitive_closure() {
         &s,
     )
     .unwrap();
-    let (a, _) = eval_seminaive(&linear, &s);
-    let (b, _) = eval_seminaive(&nonlinear, &s);
     let pa = linear.idb("path").unwrap();
     let pb = nonlinear.idb("path").unwrap();
+    let a = Evaluator::new(linear).unwrap().evaluate(&s).unwrap().store;
+    let b = Evaluator::new(nonlinear)
+        .unwrap()
+        .evaluate(&s)
+        .unwrap()
+        .store;
     assert_eq!(a.tuples(pa), b.tuples(pb));
     assert_eq!(a.tuples(pa).len(), 7 + 6 + 5 + 4 + 3 + 2 + 1);
 }
@@ -113,7 +121,9 @@ fn semipositive_negation_complement() {
         &s,
     )
     .unwrap();
-    let (store, _) = eval_seminaive(&p, &s);
+    let mut session = Evaluator::new(p).unwrap();
+    let store = session.evaluate(&s).unwrap().store;
+    let p = session.program();
     let reach = p.idb("reach").unwrap();
     assert_eq!(store.unary(reach), vec![ElemId(0), ElemId(1), ElemId(2)]);
     let dead = p.idb("dead").unwrap();
@@ -133,8 +143,16 @@ fn naive_and_seminaive_agree_on_corpus() {
     ];
     for (i, src) in programs.iter().enumerate() {
         let p = parse_program(src, &s).unwrap();
-        let (a, _) = eval_naive(&p, &s);
-        let (b, _) = eval_seminaive(&p, &s);
+        let a = Evaluator::with_options(p.clone(), EvalOptions::new().engine(Engine::Naive))
+            .unwrap()
+            .evaluate(&s)
+            .unwrap()
+            .store;
+        let b = Evaluator::new(p.clone())
+            .unwrap()
+            .evaluate(&s)
+            .unwrap()
+            .store;
         for idb in 0..p.idb_count() {
             let id = mdtw_datalog::IdbId(idb as u32);
             assert_eq!(a.tuples(id), b.tuples(id), "program {i}, idb {idb}");

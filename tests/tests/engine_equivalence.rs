@@ -3,10 +3,17 @@
 //! and the indexed semi-naive engine — compute identical least fixpoints
 //! and identical distinct-fact counts on randomly generated semipositive
 //! programs over randomly generated structures.
+//!
+//! This is the **legacy-oracle suite**: it deliberately keeps calling the
+//! deprecated `eval_*` one-shot wrappers so the `Evaluator` session API
+//! can be pinned bit-identical to them — every [`Engine`] variant of a
+//! *reused* session (cache cold and warm) must agree with the
+//! corresponding free function on the same random matrix.
+#![allow(deprecated)]
 
 use mdtw_datalog::{
-    eval_naive, eval_seminaive, eval_seminaive_scan, Atom, IdbId, Literal, PredRef, Program, Rule,
-    Term, Var,
+    eval_naive, eval_seminaive, eval_seminaive_scan, Atom, Engine, EvalOptions, Evaluator, IdbId,
+    Literal, PredRef, Program, Rule, Term, Var,
 };
 use mdtw_structure::{Domain, ElemId, PredId, Signature, Structure};
 use proptest::collection::vec;
@@ -246,5 +253,114 @@ proptest! {
         prop_assert_eq!(naive_stats.facts, indexed_stats.facts);
         // The rule split may only save work, never add it.
         prop_assert!(indexed_stats.firings <= scan_stats.firings);
+    }
+
+    /// The same random program/structure matrix through every semipositive
+    /// `Engine` variant of ONE reused `Evaluator` each — cache cold
+    /// (first call) *and* warm (second call) — asserting bit-identical
+    /// `IdbStore`s against the corresponding legacy free function, and
+    /// pinning that a reused indexed session's second evaluation reports
+    /// `plan_cache_hits > 0`. (`Engine::QuasiGuarded` needs declared
+    /// functional dependencies the random matrix does not have; its
+    /// deterministic equivalence pin is `quasi_guarded_session_matches`
+    /// below.)
+    #[test]
+    fn evaluator_sessions_bit_identical_to_free_functions(
+        n in 2usize..6,
+        edges in vec((0u8..8, 0u8..8), 0..10),
+        marks in vec(0u8..8, 0..4),
+        raw_rules in vec(
+            (
+                0u8..4,
+                (0u8..8, 0u8..8),
+                vec((0u8..8, 0u8..8, 0u8..8), 1..4),
+                (0u8..6, 0u8..8, 0u8..8),
+            ),
+            1..5,
+        ),
+    ) {
+        let s = build_structure(n, &edges, &marks);
+        let p = build_program(&raw_rules, &s);
+        type FreeFn = fn(&Program, &Structure) -> (mdtw_datalog::IdbStore, mdtw_datalog::EvalStats);
+        let legacy: [(Engine, FreeFn); 3] = [
+            (Engine::Naive, eval_naive),
+            (Engine::SemiNaiveScan, eval_seminaive_scan),
+            (Engine::SemiNaiveIndexed, eval_seminaive),
+        ];
+        for (engine, free_fn) in legacy {
+            let (free_store, free_stats) = free_fn(&p, &s);
+            let mut session =
+                Evaluator::with_options(p.clone(), EvalOptions::new().engine(engine)).unwrap();
+            let cold = session.evaluate(&s).unwrap();
+            let warm = session.evaluate(&s).unwrap();
+            for idb in 0..p.idb_count() {
+                let id = IdbId(idb as u32);
+                prop_assert_eq!(
+                    free_store.tuples(id), cold.store.tuples(id),
+                    "{} cold vs free fn, idb {}", engine, idb
+                );
+                prop_assert_eq!(
+                    free_store.tuples(id), warm.store.tuples(id),
+                    "{} warm vs free fn, idb {}", engine, idb
+                );
+            }
+            prop_assert_eq!(free_stats.facts, cold.stats.facts, "{}", engine);
+            prop_assert_eq!(free_stats.facts, warm.stats.facts, "{}", engine);
+            prop_assert_eq!(free_stats.firings, cold.stats.firings, "{}", engine);
+            prop_assert_eq!(free_stats.firings, warm.stats.firings, "{}", engine);
+            if engine == Engine::SemiNaiveIndexed {
+                prop_assert_eq!(cold.stats.plan_cache_hits, 0, "session cache starts cold");
+                prop_assert!(
+                    warm.stats.plan_cache_hits > 0,
+                    "reused session must reuse compiled plans"
+                );
+            }
+        }
+    }
+}
+
+/// Deterministic `Engine::QuasiGuarded` leg of the session-vs-free-function
+/// matrix: the random generator cannot produce quasi-guarded programs (it
+/// declares no functional dependencies), so the equivalence is pinned on
+/// the chain-reachability workload of Theorem 4.4, cache cold and warm.
+#[test]
+fn quasi_guarded_session_matches_free_function() {
+    use mdtw_datalog::{eval_quasi_guarded, parse_program, FdCatalog};
+
+    let sig = Arc::new(Signature::from_pairs([("next", 2), ("first", 1)]));
+    let n = 40usize;
+    let dom = Domain::anonymous(n);
+    let mut s = Structure::new(sig, dom);
+    let next = s.signature().lookup("next").unwrap();
+    let first = s.signature().lookup("first").unwrap();
+    s.insert(first, &[ElemId(0)]);
+    for i in 0..n - 1 {
+        s.insert(next, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+    }
+    let p = parse_program(
+        "reach(X) :- first(X).\nreach(Y) :- reach(X), next(X, Y).\n\
+         inner(X) :- reach(X), next(X, Y), !first(X).",
+        &s,
+    )
+    .unwrap();
+    let mut catalog = FdCatalog::new();
+    catalog.declare(next, vec![0], vec![1]);
+    catalog.declare(next, vec![1], vec![0]);
+
+    let (free_store, free_qg) = eval_quasi_guarded(&p, &s, &catalog).unwrap();
+    let mut session =
+        Evaluator::with_options(p.clone(), EvalOptions::new().fd_catalog(catalog)).unwrap();
+    assert_eq!(session.engine(), Engine::QuasiGuarded);
+    let cold = session.evaluate(&s).unwrap();
+    let warm = session.evaluate(&s).unwrap();
+    for name in ["reach", "inner"] {
+        let id = p.idb(name).unwrap();
+        assert_eq!(free_store.tuples(id), cold.store.tuples(id), "{name} cold");
+        assert_eq!(free_store.tuples(id), warm.store.tuples(id), "{name} warm");
+    }
+    for r in [&cold, &warm] {
+        let qg = r.qg.expect("quasi-guarded sessions report QgStats");
+        assert_eq!(qg.ground_rules, free_qg.ground_rules);
+        assert_eq!(qg.ground_atoms, free_qg.ground_atoms);
     }
 }

@@ -5,11 +5,17 @@
 //! scan on delta-bound literals — after round 0, every store- or EDB-side
 //! literal of a delta pass is an index probe.
 
-use mdtw_datalog::{
-    eval_seminaive, eval_seminaive_scan, eval_seminaive_with_cache, parse_program, PlanCache,
-};
+use mdtw_datalog::{parse_program, Engine, EvalOptions, EvalStats, Evaluator, IdbStore, Program};
 use mdtw_structure::{Domain, ElemId, Signature, Structure};
 use std::sync::Arc;
+
+/// One-shot evaluation through a fresh session with the given engine.
+fn run(p: &Program, s: &Structure, engine: Engine) -> (IdbStore, EvalStats) {
+    let mut session = Evaluator::with_options(p.clone(), EvalOptions::new().engine(engine))
+        .expect("semipositive workload");
+    let r = session.evaluate(s).expect("semipositive workload");
+    (r.store, r.stats)
+}
 
 fn chain(n: usize) -> Structure {
     let sig = Arc::new(Signature::from_pairs([("e", 2)]));
@@ -35,8 +41,8 @@ const EVEN_PAIRS: &str = "even(x0).\n\
 fn indexed_engine_beats_scan_firings_on_200_chain() {
     let s = chain(200);
     let p = parse_program(EVEN_PAIRS, &s).unwrap();
-    let (indexed_store, indexed) = eval_seminaive(&p, &s);
-    let (scan_store, scan) = eval_seminaive_scan(&p, &s);
+    let (indexed_store, indexed) = run(&p, &s, Engine::SemiNaiveIndexed);
+    let (scan_store, scan) = run(&p, &s, Engine::SemiNaiveScan);
 
     let epair = p.idb("epair").unwrap();
     assert_eq!(indexed_store.tuples(epair).len(), 100 * 100);
@@ -54,8 +60,8 @@ fn indexed_engine_beats_scan_firings_on_200_chain() {
 fn firings_strictly_decrease_at_chain_1000() {
     let s = chain(1000);
     let p = parse_program(EVEN_PAIRS, &s).unwrap();
-    let (indexed_store, indexed) = eval_seminaive(&p, &s);
-    let (scan_store, scan) = eval_seminaive_scan(&p, &s);
+    let (indexed_store, indexed) = run(&p, &s, Engine::SemiNaiveIndexed);
+    let (scan_store, scan) = run(&p, &s, Engine::SemiNaiveScan);
     assert_eq!(indexed_store.fact_count(), scan_store.fact_count());
     assert_eq!(indexed.facts, scan.facts);
     assert!(indexed.firings < scan.firings);
@@ -69,8 +75,8 @@ fn nonlinear_tc_firings_strictly_decrease() {
         &s,
     )
     .unwrap();
-    let (indexed_store, indexed) = eval_seminaive(&p, &s);
-    let (scan_store, scan) = eval_seminaive_scan(&p, &s);
+    let (indexed_store, indexed) = run(&p, &s, Engine::SemiNaiveIndexed);
+    let (scan_store, scan) = run(&p, &s, Engine::SemiNaiveScan);
     let path = p.idb("path").unwrap();
     assert_eq!(indexed_store.tuples(path).len(), 59 * 60 / 2);
     assert_eq!(indexed_store.tuples(path), scan_store.tuples(path));
@@ -86,7 +92,7 @@ fn no_full_scans_on_delta_bound_literals_at_chain_1000() {
         &s,
     )
     .unwrap();
-    let (store, stats) = eval_seminaive(&p, &s);
+    let (store, stats) = run(&p, &s, Engine::SemiNaiveIndexed);
     assert_eq!(store.fact_count(), 999 * 1000 / 2);
     // The only unindexed enumerations are the two unconstrained round-0
     // scans (one per rule's first body literal); every literal of every
@@ -98,35 +104,35 @@ fn no_full_scans_on_delta_bound_literals_at_chain_1000() {
     assert!(stats.index_probes > 0);
 }
 
-/// Repeated evaluations of the same program must reuse compiled plans:
-/// the second `eval_seminaive` call on an identical program/structure
+/// Repeated evaluations through one session must reuse compiled plans:
+/// every `evaluate` after the first on an identical program/structure
 /// shape reports a plan-cache hit (this is what makes per-candidate
 /// re-evaluation loops cheap).
 #[test]
-fn repeated_evaluations_hit_the_plan_cache() {
+fn repeated_evaluations_hit_the_session_plan_cache() {
     let s = chain(120);
     let p = parse_program(EVEN_PAIRS, &s).unwrap();
-    // Isolated cache: hit/miss accounting independent of other tests
-    // sharing the process-wide cache.
-    let cache = PlanCache::new();
-    let (first_store, first) = eval_seminaive_with_cache(&p, &s, &cache);
-    assert_eq!(first.plan_cache_hits, 0, "first evaluation must plan");
+    // The session owns its cache: hit/miss accounting is independent of
+    // anything else in the process.
+    let mut session = Evaluator::new(p).unwrap();
+    let first = session.evaluate(&s).unwrap();
+    assert_eq!(first.stats.plan_cache_hits, 0, "first evaluation must plan");
     let mut hits = 0;
     for _ in 0..3 {
-        let (store, stats) = eval_seminaive_with_cache(&p, &s, &cache);
-        assert_eq!(store.fact_count(), first_store.fact_count());
-        assert_eq!(stats.facts, first.facts);
-        assert_eq!(stats.firings, first.firings);
-        hits += stats.plan_cache_hits;
+        let r = session.evaluate(&s).unwrap();
+        assert_eq!(r.store.fact_count(), first.store.fact_count());
+        assert_eq!(r.stats.facts, first.stats.facts);
+        assert_eq!(r.stats.firings, first.stats.firings);
+        hits += r.stats.plan_cache_hits;
     }
     assert!(hits > 0, "repeated evaluations must reuse compiled plans");
     assert_eq!(hits, 3, "every re-evaluation hits");
+    assert_eq!(session.plan_cache().len(), 1);
 
-    // The global-cache path (plain `eval_seminaive`) reports hits too.
-    let (_, warm) = eval_seminaive(&p, &s);
-    let (_, again) = eval_seminaive(&p, &s);
-    let _ = warm;
-    assert!(again.plan_cache_hits > 0);
+    // A fresh session starts cold — per-session isolation.
+    let p = parse_program(EVEN_PAIRS, &s).unwrap();
+    let cold = Evaluator::new(p).unwrap().evaluate(&s).unwrap();
+    assert_eq!(cold.stats.plan_cache_hits, 0);
 }
 
 /// The derive path interns: every firing with an intensional head either
@@ -141,7 +147,7 @@ fn interning_accounts_for_every_firing() {
         &s,
     )
     .unwrap();
-    let (_, stats) = eval_seminaive(&p, &s);
+    let (_, stats) = run(&p, &s, Engine::SemiNaiveIndexed);
     assert_eq!(
         stats.interned_hits + stats.facts,
         stats.firings,

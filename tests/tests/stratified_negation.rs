@@ -1,17 +1,18 @@
 //! Stratified negation, cross-validated three ways:
 //!
-//! * a property test that `eval_stratified` agrees with `eval_seminaive`
-//!   bit-for-bit on random *semipositive* programs (the single-stratum
-//!   special case — acceptance criterion of the stratification PR);
-//! * a property test that `eval_stratified` agrees with an independent
-//!   brute-force per-stratum oracle on random *stratified* programs whose
-//!   rules negate derived predicates;
+//! * a property test that a default `Evaluator` session on random
+//!   *semipositive* programs takes the single-stratum fast path, matches
+//!   the naive ground truth, and is bit-identical when the session is
+//!   reused (warm plan cache);
+//! * a property test that the stratified session agrees with an
+//!   independent brute-force per-stratum oracle on random *stratified*
+//!   programs whose rules negate derived predicates;
 //! * pinned multi-stratum fixtures (3 strata, negation chains) with exact
 //!   expected models, checked against the same oracle.
 
 use mdtw_datalog::{
-    eval_seminaive, eval_stratified, parse_program, stratify, Atom, IdbId, Literal, PredRef,
-    Program, Rule, StratificationError, Term, Var,
+    parse_program, stratify, Atom, Engine, EvalError, EvalOptions, Evaluator, IdbId, Literal,
+    PredRef, Program, Rule, StratificationError, Term, Var,
 };
 use mdtw_structure::{Domain, ElemId, PredId, Signature, Structure};
 use proptest::collection::vec;
@@ -119,7 +120,11 @@ fn oracle(program: &Program, s: &Structure) -> Vec<Vec<Vec<ElemId>>> {
 
 fn assert_store_matches_oracle(program: &Program, s: &Structure) {
     let expected = oracle(program, s);
-    let (store, stats) = eval_stratified(program, s).unwrap();
+    let result = Evaluator::new(program.clone())
+        .unwrap()
+        .evaluate(s)
+        .unwrap();
+    let (store, stats) = (result.store, result.stats);
     let mut total = 0;
     for (idb, expected_tuples) in expected.iter().enumerate() {
         let id = IdbId(idb as u32);
@@ -156,13 +161,15 @@ fn three_stratum_negation_chain_pinned() {
         &s,
     )
     .unwrap();
-    let strat = stratify(&p).unwrap();
+    let mut session = Evaluator::new(p.clone()).unwrap();
+    let strat = session.stratification();
     assert_eq!(strat.stratum_count(), 3);
     assert_eq!(strat.stratum_of(p.idb("reach").unwrap()), 0);
     assert_eq!(strat.stratum_of(p.idb("dark").unwrap()), 1);
     assert_eq!(strat.stratum_of(p.idb("calm").unwrap()), 2);
 
-    let (store, stats) = eval_stratified(&p, &s).unwrap();
+    let result = session.evaluate(&s).unwrap();
+    let (store, stats) = (result.store, result.stats);
     assert_eq!(stats.strata, 3);
     // reach = {0,1,2,3}; dark = sources not reached = {4}; calm = marked,
     // not dark, no self-loop = {0,3}.
@@ -189,7 +196,8 @@ fn defended_nodes_fixture_matches_oracle() {
         &s,
     )
     .unwrap();
-    let (store, stats) = eval_stratified(&p, &s).unwrap();
+    let result = Evaluator::new(p.clone()).unwrap().evaluate(&s).unwrap();
+    let (store, stats) = (result.store, result.stats);
     assert_eq!(stats.strata, 3);
     // attacked = {1,2,3}; unanswered = {1} (only 0 is an unattacked
     // attacker); defended = everything else = {0,2,3,4}.
@@ -252,13 +260,13 @@ fn negation_in_scc_fails_with_named_cycle() {
         var_count: 2,
         var_names: vec!["X".into(), "Y".into()],
     });
-    let err = eval_stratified(&p, &s).unwrap_err();
+    let err = Evaluator::new(p).unwrap_err();
     match &err {
-        StratificationError::NegativeCycle {
+        EvalError::Stratification(StratificationError::NegativeCycle {
             rule,
             negated,
             cycle,
-        } => {
+        }) => {
             assert_eq!(*rule, 0);
             assert_eq!(negated, "win");
             assert_eq!(cycle, &vec!["win".to_string()]);
@@ -274,7 +282,7 @@ fn negation_in_scc_fails_with_named_cycle() {
 }
 
 // ---------------------------------------------------------------------------
-// Random semipositive programs: eval_stratified ≡ eval_seminaive
+// Random semipositive programs: the session fast path ≡ ground truth
 // ---------------------------------------------------------------------------
 
 /// Raw material for one body literal: `(kind, arg, arg)`.
@@ -472,7 +480,7 @@ fn build_stratified_program(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
     #[test]
-    fn stratified_equals_seminaive_on_semipositive_programs(
+    fn session_fast_path_on_semipositive_programs(
         n in 2usize..6,
         edges in vec((0u8..8, 0u8..8), 0..10),
         marks in vec(0u8..8, 0..4),
@@ -488,20 +496,33 @@ proptest! {
     ) {
         let s = build_structure(n, &edges, &marks);
         let p = build_semipositive_program(&raw_rules, &s);
-        let (semi, semi_stats) = eval_seminaive(&p, &s);
-        let (strat, strat_stats) = eval_stratified(&p, &s).unwrap();
+        // A default session on a semipositive program takes the
+        // single-stratum fast path (no rewriting, no extension).
+        let mut session = Evaluator::new(p.clone()).unwrap();
+        let cold = session.evaluate(&s).unwrap();
+        prop_assert_eq!(cold.stats.strata, 1);
+        prop_assert_eq!(cold.stats.plan_cache_hits, 0);
+        // Warm session reuse is bit-identical, modulo the cache hit.
+        let warm = session.evaluate(&s).unwrap();
+        prop_assert_eq!(warm.stats.plan_cache_hits, 1);
         for idb in 0..p.idb_count() {
             let id = IdbId(idb as u32);
-            prop_assert_eq!(semi.tuples(id), strat.tuples(id), "idb {}", idb);
+            prop_assert_eq!(cold.store.tuples(id), warm.store.tuples(id), "idb {}", idb);
         }
-        // Bit-identical run: same store contents and identical work
-        // counters — the single-stratum pipeline IS the plain engine.
-        prop_assert_eq!(semi.fact_count(), strat.fact_count());
-        prop_assert_eq!(semi_stats.facts, strat_stats.facts);
-        prop_assert_eq!(semi_stats.firings, strat_stats.firings);
-        prop_assert_eq!(semi_stats.rounds, strat_stats.rounds);
-        prop_assert_eq!(semi_stats.negative_checks, strat_stats.negative_checks);
-        prop_assert_eq!(strat_stats.strata, 1);
+        prop_assert_eq!(cold.stats.facts, warm.stats.facts);
+        prop_assert_eq!(cold.stats.firings, warm.stats.firings);
+        prop_assert_eq!(cold.stats.rounds, warm.stats.rounds);
+        prop_assert_eq!(cold.stats.negative_checks, warm.stats.negative_checks);
+        // And the fixpoint matches the naive ground truth.
+        let naive = Evaluator::with_options(p.clone(), EvalOptions::new().engine(Engine::Naive))
+            .unwrap()
+            .evaluate(&s)
+            .unwrap();
+        for idb in 0..p.idb_count() {
+            let id = IdbId(idb as u32);
+            prop_assert_eq!(naive.store.tuples(id), cold.store.tuples(id), "idb {}", idb);
+        }
+        prop_assert_eq!(naive.stats.facts, cold.stats.facts);
     }
 
     #[test]
@@ -530,7 +551,8 @@ proptest! {
         let s = build_structure(n, &edges, &marks);
         let p = build_stratified_program(&raw_rules, &upper_rules, &s);
         let expected = oracle(&p, &s);
-        let (store, stats) = eval_stratified(&p, &s).unwrap();
+        let result = Evaluator::new(p.clone()).unwrap().evaluate(&s).unwrap();
+        let (store, stats) = (result.store, result.stats);
         let mut total = 0;
         for (idb, expected_tuples) in expected.iter().enumerate() {
             let id = IdbId(idb as u32);

@@ -3,7 +3,7 @@
 //! linear-time evaluation, cross-checked against the naive model checker
 //! on randomized bounded-treewidth inputs.
 
-use mdtw_datalog::{eval_quasi_guarded, eval_seminaive, FdCatalog};
+use mdtw_datalog::{EvalOptions, Evaluator, FdCatalog};
 use mdtw_decomp::{decompose, encode_tuple_td, Heuristic, TupleTd};
 use mdtw_graph::{encode_graph, Graph};
 use mdtw_mso::{
@@ -47,6 +47,12 @@ fn check_query_on_forests(phi: &Mso, seed: u64) {
     .expect("width-1 compilation fits the limits");
     compiled.program.check_semipositive().unwrap();
 
+    // One compiled program, many decomposition encodings: both paths run
+    // as reused Evaluator sessions (created lazily on the first encoding,
+    // whose τ_td signature is shared by all of them).
+    let mut qg_session: Option<Evaluator> = None;
+    let mut reference_session: Option<Evaluator> = None;
+
     let mut rng = SmallRng::seed_from_u64(seed);
     for i in 0..10 {
         let g = random_forest(&mut rng, 4 + i);
@@ -55,13 +61,24 @@ fn check_query_on_forests(phi: &Mso, seed: u64) {
         let tuple_td = TupleTd::from_td_with_width(&td, s.domain().len(), 1).unwrap();
         assert_eq!(tuple_td.validate_normal_form(), Ok(()));
         let enc = encode_tuple_td(&s, &tuple_td);
-        let catalog = FdCatalog::for_td_signature(&enc.structure);
 
         // Linear path: quasi-guarded grounding + LTUR.
-        let (store, _) = eval_quasi_guarded(&compiled.program, &enc.structure, &catalog)
-            .expect("compiled programs are quasi-guarded");
+        let qg_session = qg_session.get_or_insert_with(|| {
+            let catalog = FdCatalog::for_td_signature(&enc.structure);
+            Evaluator::with_options(
+                compiled.program.clone(),
+                EvalOptions::new().fd_catalog(catalog),
+            )
+            .expect("compiled programs are quasi-guarded")
+        });
+        let store = qg_session
+            .evaluate(&enc.structure)
+            .expect("compiled programs are quasi-guarded")
+            .store;
         // Reference path: general semi-naive engine on the same program.
-        let (reference, _) = eval_seminaive(&compiled.program, &enc.structure);
+        let reference_session = reference_session
+            .get_or_insert_with(|| Evaluator::new(compiled.program.clone()).unwrap());
+        let reference = reference_session.evaluate(&enc.structure).unwrap().store;
 
         for v in s.domain().elems() {
             let expected = eval_unary(phi, IndVar(0), &s, v, &mut Budget::unlimited()).unwrap();
