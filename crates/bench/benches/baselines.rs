@@ -31,13 +31,13 @@ fn bench_primality_baselines(c: &mut Criterion) {
             b.iter(|| {
                 let enc = encode_schema(&inst.schema);
                 black_box(is_prime_fpt_with_td(enc, inst.td.clone(), target))
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("bruteforce", k), &k, |b, _| {
-            b.iter(|| black_box(inst.schema.is_prime_bruteforce(target)))
+            b.iter(|| black_box(inst.schema.is_prime_bruteforce(target)));
         });
         group.bench_with_input(BenchmarkId::new("lucchesi_osborn", k), &k, |b, _| {
-            b.iter(|| black_box(inst.schema.is_prime_exact(target)))
+            b.iter(|| black_box(inst.schema.is_prime_exact(target)));
         });
     }
     group.finish();
@@ -54,7 +54,7 @@ fn bench_fta_baseline(c: &mut Criterion) {
         let (g, td) = partial_k_tree(&mut rng, 40, w, 0.8);
         let nice = NiceTd::from_td(&td, NiceOptions::default());
         group.bench_with_input(BenchmarkId::new("nfta_linear", w), &w, |b, _| {
-            b.iter(|| black_box(nfta_3col(&g, &nice)))
+            b.iter(|| black_box(nfta_3col(&g, &nice)));
         });
         group.bench_with_input(BenchmarkId::new("mona_determinize", w), &w, |b, _| {
             b.iter(|| {
@@ -63,7 +63,7 @@ fn bench_fta_baseline(c: &mut Criterion) {
                     max_transitions: 1 << 22,
                 };
                 black_box(mona_style_3col(&g, &nice, budget).map(|(ok, _)| ok))
-            })
+            });
         });
     }
     group.finish();

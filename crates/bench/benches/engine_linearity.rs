@@ -51,7 +51,7 @@ fn bench_quasi_guarded(c: &mut Criterion) {
         let mut session =
             Evaluator::with_options(p, EvalOptions::new().fd_catalog(cat)).expect("quasi-guarded");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(session.evaluate(&s).unwrap().store.fact_count()))
+            b.iter(|| black_box(session.evaluate(&s).unwrap().store.fact_count()));
         });
     }
     group.finish();
@@ -70,7 +70,7 @@ fn bench_seminaive(c: &mut Criterion) {
         let (p, _) = program(&s);
         let mut session = Evaluator::new(p).expect("semipositive");
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(session.evaluate(&s).unwrap().store.fact_count()))
+            b.iter(|| black_box(session.evaluate(&s).unwrap().store.fact_count()));
         });
     }
     group.finish();

@@ -23,7 +23,7 @@ fn bench_enumeration(c: &mut Criterion) {
                 let ctx =
                     PrimalityContext::from_parts(encode_schema(&inst.schema), inst.td.clone());
                 black_box(enumerate_primes(&ctx).0.len())
-            })
+            });
         });
     }
     group.finish();
@@ -48,7 +48,7 @@ fn bench_repeated_decision(c: &mut Criterion) {
                     }
                 }
                 black_box(primes)
-            })
+            });
         });
     }
     group.finish();

@@ -57,10 +57,10 @@ fn bench_linear_tc(c: &mut Criterion) {
                 .expect("semipositive");
         let mut indexed = Evaluator::new(p).expect("semipositive");
         group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
-            b.iter(|| black_box(scan.evaluate(&s).unwrap().store.fact_count()))
+            b.iter(|| black_box(scan.evaluate(&s).unwrap().store.fact_count()));
         });
         group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
-            b.iter(|| black_box(indexed.evaluate(&s).unwrap().store.fact_count()))
+            b.iter(|| black_box(indexed.evaluate(&s).unwrap().store.fact_count()));
         });
     }
     group.finish();
@@ -80,10 +80,10 @@ fn bench_nonlinear_tc(c: &mut Criterion) {
                 .expect("semipositive");
         let mut indexed = Evaluator::new(p).expect("semipositive");
         group.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
-            b.iter(|| black_box(scan.evaluate(&s).unwrap().store.fact_count()))
+            b.iter(|| black_box(scan.evaluate(&s).unwrap().store.fact_count()));
         });
         group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
-            b.iter(|| black_box(indexed.evaluate(&s).unwrap().store.fact_count()))
+            b.iter(|| black_box(indexed.evaluate(&s).unwrap().store.fact_count()));
         });
     }
     group.finish();

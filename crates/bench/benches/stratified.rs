@@ -34,7 +34,7 @@ fn bench_stratified(c: &mut Criterion) {
                         .store
                         .fact_count(),
                 )
-            })
+            });
         });
     }
     group.finish();
@@ -50,7 +50,7 @@ fn bench_stratified(c: &mut Criterion) {
             .expect("semipositive core parses");
         let mut session = Evaluator::new(core).expect("semipositive");
         group.bench_with_input(BenchmarkId::new("seminaive", n), &n, |b, _| {
-            b.iter(|| black_box(session.evaluate(&s).unwrap().store.fact_count()))
+            b.iter(|| black_box(session.evaluate(&s).unwrap().store.fact_count()));
         });
     }
     group.finish();

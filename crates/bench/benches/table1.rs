@@ -24,7 +24,7 @@ fn bench_md(c: &mut Criterion) {
             b.iter(|| {
                 let enc = encode_schema(&inst.schema);
                 black_box(is_prime_fpt_with_td(enc, inst.td.clone(), target))
-            })
+            });
         });
     }
     group.finish();
@@ -49,7 +49,7 @@ fn bench_mona(c: &mut Criterion) {
                     eval_unary(&phi, IndVar(0), &inst.encoding.structure, elem, &mut budget)
                         .unwrap(),
                 )
-            })
+            });
         });
     }
     group.finish();

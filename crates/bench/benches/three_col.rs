@@ -32,7 +32,7 @@ fn bench_dp(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     for (n, g, nice) in instances() {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(ThreeColSolver::run(&g, &nice).is_colorable()))
+            b.iter(|| black_box(ThreeColSolver::run(&g, &nice).is_colorable()));
         });
     }
     group.finish();
@@ -47,7 +47,7 @@ fn bench_backtracking(c: &mut Criterion) {
     // The exponential baseline is only run on the smaller inputs.
     for (n, g, _) in instances().into_iter().take(2) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(is_three_colorable_exact(&g)))
+            b.iter(|| black_box(is_three_colorable_exact(&g)));
         });
     }
     group.finish();
@@ -61,7 +61,7 @@ fn bench_nfta(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
     for (n, g, nice) in instances() {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| black_box(nfta_3col(&g, &nice)))
+            b.iter(|| black_box(nfta_3col(&g, &nice)));
         });
     }
     group.finish();

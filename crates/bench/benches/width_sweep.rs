@@ -23,7 +23,7 @@ fn bench_dp_by_width(c: &mut Criterion) {
         let (g, td) = partial_k_tree(&mut rng, 80, w, 0.8);
         let nice = NiceTd::from_td(&td, NiceOptions::default());
         group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, _| {
-            b.iter(|| black_box(ThreeColSolver::run(&g, &nice).is_colorable()))
+            b.iter(|| black_box(ThreeColSolver::run(&g, &nice).is_colorable()));
         });
     }
     group.finish();
@@ -43,7 +43,7 @@ fn bench_grounding_by_width(c: &mut Criterion) {
             b.iter(|| {
                 let ground = ground_three_col(&g, &nice);
                 black_box(ground.succeeds())
-            })
+            });
         });
     }
     group.finish();

@@ -67,6 +67,22 @@ fn main() -> ExitCode {
         }
     }
 
+    // Fail fast if any inline workload program regressed: spanned MD0xx
+    // diagnostics beat a panic (or a silently wrong fixpoint) mid-run.
+    match mdtw_bench::preflight() {
+        Err(diagnostics) => {
+            eprintln!(
+                "bench_report: workload program rejected by static analysis\n\n{diagnostics}"
+            );
+            return ExitCode::from(2);
+        }
+        Ok(warnings) => {
+            for w in warnings {
+                eprintln!("{w}\n");
+            }
+        }
+    }
+
     eprintln!("bench_report: measuring sizes {sizes:?} (scan baseline capped at {SCAN_CAP})…");
     let rows = mdtw_bench::join_report(&sizes, SCAN_CAP);
     let record = mdtw_bench::render_join_record_json(&label, &rows);

@@ -174,6 +174,20 @@ fn chain_structure_for_bench(n: usize, preds: &[(&str, usize)]) -> mdtw_structur
     Structure::new(sig, dom)
 }
 
+/// Inline program of the `linear_tc` workload.
+pub const LINEAR_TC_PROGRAM: &str = "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).";
+
+/// Inline program of the `reach_linearity` workload (`_Y` marks the
+/// intentionally-unused join variable for the singleton-variable lint).
+pub const REACH_PROGRAM: &str = "reach(X) :- first(X).\nreach(Y) :- reach(X), next(X, Y).\n\
+     inner(X) :- reach(X), next(X, _Y), !first(X).";
+
+/// Inline program of the `stratified_reach` and `per_candidate`
+/// workloads: a 3-stratum negation chain.
+pub const STRATIFIED_PROGRAM: &str = "reach(X) :- first(X).\nreach(Y) :- reach(X), e(X, Y).\n\
+     unreach(X) :- node(X), !reach(X).\n\
+     settled(X) :- node(X), !unreach(X), !first(X).";
+
 fn linear_tc_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog::Program) {
     use mdtw_structure::ElemId;
     let mut s = chain_structure_for_bench(n, &[("e", 2)]);
@@ -181,11 +195,7 @@ fn linear_tc_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog::Pro
     for i in 0..n - 1 {
         s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
     }
-    let p = mdtw_datalog::parse_program(
-        "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).",
-        &s,
-    )
-    .unwrap();
+    let p = mdtw_datalog::parse_program(LINEAR_TC_PROGRAM, &s).unwrap();
     (s, p)
 }
 
@@ -198,12 +208,7 @@ fn reach_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog::Program
     for i in 0..n - 1 {
         s.insert(next, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
     }
-    let p = mdtw_datalog::parse_program(
-        "reach(X) :- first(X).\nreach(Y) :- reach(X), next(X, Y).\n\
-         inner(X) :- reach(X), next(X, Y), !first(X).",
-        &s,
-    )
-    .unwrap();
+    let p = mdtw_datalog::parse_program(REACH_PROGRAM, &s).unwrap();
     (s, p)
 }
 
@@ -223,14 +228,48 @@ pub fn stratified_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog
         s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
     }
     s.insert(first, &[ElemId(n as u32 / 2)]);
-    let p = mdtw_datalog::parse_program(
-        "reach(X) :- first(X).\nreach(Y) :- reach(X), e(X, Y).\n\
-         unreach(X) :- node(X), !reach(X).\n\
-         settled(X) :- node(X), !unreach(X), !first(X).",
-        &s,
-    )
-    .unwrap();
+    let p = mdtw_datalog::parse_program(STRATIFIED_PROGRAM, &s).unwrap();
     (s, p)
+}
+
+/// Fail-fast static analysis of every inline workload program, run by the
+/// `table1` and `bench_report` bins before they measure anything.
+///
+/// Each program is parsed by its workload builder (so the spans refer to
+/// the `*_PROGRAM` consts) and pushed through the
+/// [`analyze`](mdtw_datalog::analyze) battery. Error-level findings
+/// (unsafe rules, unstratifiable negation, …) abort with the rendered
+/// rustc-style diagnostics; warnings are returned for the caller to print
+/// without blocking the run (notes — e.g. the expected non-monadicity of
+/// `path/2` — are dropped).
+pub fn preflight() -> Result<Vec<String>, String> {
+    use mdtw_datalog::{analyze, AnalysisOptions, Severity};
+    type Build = fn(usize) -> (mdtw_structure::Structure, mdtw_datalog::Program);
+    let checks: [(&str, &str, Build); 3] = [
+        ("linear_tc", LINEAR_TC_PROGRAM, linear_tc_workload),
+        ("reach_linearity", REACH_PROGRAM, reach_workload),
+        ("stratified_reach", STRATIFIED_PROGRAM, stratified_workload),
+    ];
+    let mut notes = Vec::new();
+    for (name, source, build) in checks {
+        let (s, program) = build(6);
+        let report = analyze(
+            &program,
+            &AnalysisOptions::new().edb_signature(std::sync::Arc::clone(s.signature())),
+        );
+        let mut errors = Vec::new();
+        for d in &report.diagnostics {
+            match d.severity {
+                Severity::Error => errors.push(d.render(Some(source), name)),
+                Severity::Warning => notes.push(d.render(Some(source), name)),
+                Severity::Note => {}
+            }
+        }
+        if !errors.is_empty() {
+            return Err(errors.join("\n\n"));
+        }
+    }
+    Ok(notes)
 }
 
 /// Times `eval` until at least ~200 ms or 50 iterations have elapsed
@@ -272,15 +311,7 @@ pub fn per_candidate_workload(n: usize) -> (Vec<mdtw_structure::Structure>, mdtw
         }
         s.insert(first, &[ElemId((k * n / PER_CANDIDATE_K) as u32)]);
         if program.is_none() {
-            program = Some(
-                mdtw_datalog::parse_program(
-                    "reach(X) :- first(X).\nreach(Y) :- reach(X), e(X, Y).\n\
-                     unreach(X) :- node(X), !reach(X).\n\
-                     settled(X) :- node(X), !unreach(X), !first(X).",
-                    &s,
-                )
-                .unwrap(),
-            );
+            program = Some(mdtw_datalog::parse_program(STRATIFIED_PROGRAM, &s).unwrap());
         }
         structures.push(s);
     }
@@ -438,6 +469,15 @@ pub fn render_join_record_json(label: &str, rows: &[JoinBenchRow]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn preflight_accepts_the_shipped_workloads() {
+        let warnings = preflight().expect("inline workload programs are clean");
+        assert!(
+            warnings.is_empty(),
+            "shipped programs must be warning-free: {warnings:#?}"
+        );
+    }
 
     #[test]
     fn row_measurement_smoke() {

@@ -66,7 +66,7 @@ impl AbductionInstance {
             if self.explains(&candidate) {
                 e = candidate;
                 order.remove(i);
-                for o in order.iter_mut() {
+                for o in &mut order {
                     if *o > victim {
                         *o -= 1;
                     }

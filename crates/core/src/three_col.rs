@@ -234,7 +234,7 @@ impl<'a> ThreeColSolver<'a> {
         }
         // Vertices never covered by a bag (absent from the decomposition)
         // are isolated w.r.t. it; color them 0.
-        for c in colors.iter_mut() {
+        for c in &mut colors {
             if *c == u8::MAX {
                 *c = 0;
             }

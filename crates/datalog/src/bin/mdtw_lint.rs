@@ -1,0 +1,141 @@
+//! `mdtw-lint` — lint `.dl` datalog programs.
+//!
+//! ```text
+//! usage: mdtw-lint [--json] FILE.dl...
+//! ```
+//!
+//! Parses each file leniently against a synthetic structure (extensional
+//! predicates and output predicates come from `%! edb name/arity` and
+//! `%! output name` pragmas, or are inferred — see the `lint` module of
+//! `mdtw-datalog`), runs the full static-analysis battery, and reports
+//! the `MD0xx` diagnostics with rustc-style carets (or as JSON with
+//! `--json`).
+//!
+//! Exit status: 0 when no file has error-level findings (warnings and
+//! notes are allowed), 1 when any file has errors or fails to parse,
+//! 2 on usage or I/O problems.
+
+use mdtw_datalog::analysis::Severity;
+use mdtw_datalog::lint::{diagnostic_to_json, json::Json, lint_source, render_parse_error};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json_mode = false;
+    let mut files: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json_mode = true,
+            "-h" | "--help" => {
+                println!("usage: mdtw-lint [--json] FILE.dl...");
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => {
+                eprintln!("mdtw-lint: unknown flag `{arg}`");
+                eprintln!("usage: mdtw-lint [--json] FILE.dl...");
+                return ExitCode::from(2);
+            }
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: mdtw-lint [--json] FILE.dl...");
+        return ExitCode::from(2);
+    }
+
+    let mut any_errors = false;
+    let mut json_files: Vec<Json> = Vec::new();
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("mdtw-lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let outcome = match lint_source(&source) {
+            Ok(o) => o,
+            Err(pragma) => {
+                eprintln!("mdtw-lint: {path}: invalid pragma: {pragma}");
+                return ExitCode::from(2);
+            }
+        };
+        any_errors |= outcome.has_errors();
+        if json_mode {
+            json_files.push(file_json(path, &outcome));
+        } else {
+            render_human(path, &source, &outcome);
+        }
+    }
+    if json_mode {
+        println!("{}", Json::Arr(json_files).render());
+    }
+    if any_errors {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn render_human(path: &str, source: &str, outcome: &mdtw_datalog::lint::LintOutcome) {
+    if let Some(err) = &outcome.parse_error {
+        println!("{}\n", render_parse_error(err, source, path));
+        println!("{path}: 1 error (parse failed before analysis)");
+        return;
+    }
+    let report = outcome.report.as_ref().expect("no parse error => report");
+    for d in &report.diagnostics {
+        println!("{}\n", d.render(Some(source), path));
+    }
+    let notes = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Note)
+        .count();
+    println!(
+        "{path}: {} errors, {} warnings, {} notes ({}, {} recursion)",
+        report.error_count(),
+        report.warning_count(),
+        notes,
+        if report.monadic {
+            "monadic"
+        } else {
+            "non-monadic"
+        },
+        report.recursion,
+    );
+}
+
+fn file_json(path: &str, outcome: &mdtw_datalog::lint::LintOutcome) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![("file".into(), Json::Str(path.into()))];
+    if let Some(err) = &outcome.parse_error {
+        fields.push((
+            "parse_error".into(),
+            Json::Obj(vec![
+                ("message".into(), Json::Str(err.message.clone())),
+                ("line".into(), Json::Num(f64::from(err.span.line))),
+                ("col".into(), Json::Num(f64::from(err.span.col))),
+            ]),
+        ));
+        fields.push(("diagnostics".into(), Json::Arr(Vec::new())));
+        return Json::Obj(fields);
+    }
+    let report = outcome.report.as_ref().expect("no parse error => report");
+    fields.push((
+        "diagnostics".into(),
+        Json::Arr(report.diagnostics.iter().map(diagnostic_to_json).collect()),
+    ));
+    fields.push((
+        "summary".into(),
+        Json::Obj(vec![
+            ("errors".into(), Json::Num(report.error_count() as f64)),
+            ("warnings".into(), Json::Num(report.warning_count() as f64)),
+            ("monadic".into(), Json::Bool(report.monadic)),
+            ("recursion".into(), Json::Str(report.recursion.to_string())),
+            (
+                "strata".into(),
+                report.strata.map_or(Json::Null, |n| Json::Num(n as f64)),
+            ),
+        ]),
+    ));
+    Json::Obj(fields)
+}

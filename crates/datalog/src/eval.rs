@@ -74,8 +74,10 @@ impl IdbStore {
 
     /// All tuples of `pred`, sorted for determinism.
     pub fn tuples(&self, pred: IdbId) -> Vec<Vec<ElemId>> {
-        let mut out: Vec<Vec<ElemId>> =
-            self.rels[pred.index()].iter().map(|t| t.to_vec()).collect();
+        let mut out: Vec<Vec<ElemId>> = self.rels[pred.index()]
+            .iter()
+            .map(<[mdtw_structure::ElemId]>::to_vec)
+            .collect();
         out.sort();
         out
     }
@@ -920,7 +922,7 @@ fn descend(
         }
         (PredRef::Idb(id), true) => {
             let (_, set) = delta.expect("delta position implies delta set");
-            for (tid, tuple) in set.iter() {
+            for (tid, tuple) in set {
                 if *tid == id {
                     try_tuple(tuple, bindings, stats, emit);
                 }

@@ -54,13 +54,16 @@
 //! assert_eq!(second.stats.plan_cache_hits, 1);
 //! ```
 
+use crate::analysis::{analyze, relevant_rules, AnalysisOptions, ProgramReport};
 use crate::ast::Program;
 use crate::cache::PlanCache;
 use crate::eval::{
     assert_semipositive, naive_fixpoint, scan_fixpoint, EvalStats, IdbStore, SeminaiveScratch,
 };
 use crate::ground::{check_quasi_guarded, run_quasi_guarded, FdCatalog, QgError, QgStats};
-use crate::stratify::{run_stratified, stratify, Stratification, StratificationError};
+use crate::stratify::{
+    run_stratified, stratify, ExtensionMemo, Stratification, StratificationError,
+};
 use mdtw_structure::Structure;
 use std::fmt;
 use std::sync::Arc;
@@ -130,6 +133,8 @@ pub struct EvalOptions {
     no_cache: bool,
     stats_detail: StatsDetail,
     fd_catalog: Option<FdCatalog>,
+    outputs: Option<Vec<String>>,
+    prune_dead_rules: bool,
 }
 
 impl EvalOptions {
@@ -166,6 +171,30 @@ impl EvalOptions {
     /// declared dependencies to resolve non-guard variables.
     pub fn fd_catalog(mut self, catalog: FdCatalog) -> Self {
         self.fd_catalog = Some(catalog);
+        self
+    }
+
+    /// Declares the *output* predicates the session is evaluated for.
+    /// Feeds the relevance passes of [`Evaluator::analyze`] and, together
+    /// with [`prune_dead_rules`](Self::prune_dead_rules), the dead-rule
+    /// pruning. Names not naming an intensional predicate are ignored.
+    pub fn outputs<I, S>(mut self, outputs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.outputs = Some(outputs.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Drops rules irrelevant to the declared [`outputs`](Self::outputs)
+    /// before stratification and planning. The pruned session derives
+    /// exactly the same facts for every output (and every predicate an
+    /// output transitively depends on) — pinned by property tests — but
+    /// skips the strata, plans and fixpoint work of the dead fragment.
+    /// No-op unless outputs were declared.
+    pub fn prune_dead_rules(mut self, on: bool) -> Self {
+        self.prune_dead_rules = on;
         self
     }
 }
@@ -254,9 +283,12 @@ pub struct Evaluator {
     cache_enabled: bool,
     stats_detail: StatsDetail,
     fd_catalog: Option<FdCatalog>,
+    outputs: Option<Vec<String>>,
+    pruned_rules: usize,
     stratification: Arc<Stratification>,
     cache: PlanCache,
     scratch: SeminaiveScratch,
+    ext_memo: ExtensionMemo,
 }
 
 impl Evaluator {
@@ -271,7 +303,23 @@ impl Evaluator {
     /// engine resolution, and (for the quasi-guarded engine) the
     /// structure-independent guard analysis — so every later
     /// [`evaluate`](Self::evaluate) starts from a validated program.
-    pub fn with_options(program: Program, options: EvalOptions) -> Result<Self, EvalError> {
+    pub fn with_options(mut program: Program, options: EvalOptions) -> Result<Self, EvalError> {
+        let mut pruned_rules = 0;
+        if options.prune_dead_rules {
+            if let Some(outputs) = &options.outputs {
+                let ids: Vec<_> = outputs.iter().filter_map(|s| program.idb(s)).collect();
+                let keep = relevant_rules(&program, &ids);
+                if keep.iter().any(|&k| !k) {
+                    pruned_rules = keep.iter().filter(|&&k| !k).count();
+                    let mut keep_rules = keep.iter().copied();
+                    program.rules.retain(|_| keep_rules.next().unwrap());
+                    if !program.spans.is_empty() {
+                        let mut keep_spans = keep.iter().copied();
+                        program.spans.retain(|_| keep_spans.next().unwrap());
+                    }
+                }
+            }
+        }
         let stratification = Arc::new(stratify(&program)?);
         let engine = options.engine.unwrap_or(if options.fd_catalog.is_some() {
             Engine::QuasiGuarded
@@ -296,9 +344,12 @@ impl Evaluator {
             cache_enabled: !options.no_cache,
             stats_detail: options.stats_detail,
             fd_catalog,
+            outputs: options.outputs,
+            pruned_rules,
             stratification,
             cache: PlanCache::new(),
             scratch,
+            ext_memo: ExtensionMemo::default(),
         })
     }
 
@@ -330,6 +381,7 @@ impl Evaluator {
                     structure,
                     cache,
                     &mut self.scratch,
+                    &mut self.ext_memo,
                 );
                 (store, stats, None)
             }
@@ -370,8 +422,36 @@ impl Evaluator {
         }
     }
 
+    /// Runs the full static-analysis battery of
+    /// [`analysis`](crate::analysis) over the session's program (the
+    /// *post-pruning* program, when
+    /// [`EvalOptions::prune_dead_rules`] dropped rules) and returns the
+    /// [`ProgramReport`]. The session's declared outputs and FD catalog
+    /// feed the relevance and quasi-guard passes. A constructed session
+    /// already passed the error-level checks, so the report contains at
+    /// most warnings and notes.
+    pub fn analyze(&self) -> ProgramReport {
+        let mut options = AnalysisOptions::new();
+        if let Some(outputs) = &self.outputs {
+            options = options.outputs(outputs.iter().cloned());
+        }
+        if let Some(catalog) = &self.fd_catalog {
+            options = options.fd_catalog(catalog.clone());
+        }
+        analyze(&self.program, &options)
+    }
+
+    /// How many rules [`EvalOptions::prune_dead_rules`] dropped at
+    /// construction (0 when pruning was off or nothing was dead).
+    #[inline]
+    pub fn pruned_rule_count(&self) -> usize {
+        self.pruned_rules
+    }
+
     /// The session's program (the session owns it; call sites that need
-    /// predicate ids after construction look them up here).
+    /// predicate ids after construction look them up here). When
+    /// [`EvalOptions::prune_dead_rules`] dropped rules this is the pruned
+    /// program.
     #[inline]
     pub fn program(&self) -> &Program {
         &self.program
@@ -607,6 +687,78 @@ mod tests {
         assert_eq!(result.stats.firings, 0);
         assert_eq!(result.stats.index_probes, 0);
         assert_eq!(result.stats.tuples_considered, 0);
+    }
+
+    const WITH_DEAD: &str = "reach(X) :- first(X).\n\
+                             reach(Y) :- reach(X), e(X, Y).\n\
+                             dead(X) :- node(X), e(X, Y).\n\
+                             deader(X) :- dead(X).";
+
+    #[test]
+    fn prune_dead_rules_drops_irrelevant_fragment() {
+        let s = chain(6);
+        let p = parse_program(WITH_DEAD, &s).unwrap();
+        let mut plain =
+            Evaluator::with_options(p.clone(), EvalOptions::new().outputs(["reach"])).unwrap();
+        assert_eq!(plain.pruned_rule_count(), 0, "pruning is opt-in");
+        let mut pruned = Evaluator::with_options(
+            p,
+            EvalOptions::new().outputs(["reach"]).prune_dead_rules(true),
+        )
+        .unwrap();
+        assert_eq!(pruned.pruned_rule_count(), 2);
+        assert_eq!(pruned.program().rules.len(), 2);
+        assert_eq!(
+            pruned.program().spans.len(),
+            2,
+            "spans stay parallel to rules"
+        );
+        let a = plain.evaluate(&s).unwrap();
+        let b = pruned.evaluate(&s).unwrap();
+        let reach = pruned.program().idb("reach").unwrap();
+        assert_eq!(a.store.tuples(reach), b.store.tuples(reach));
+        assert!(a.stats.facts > b.stats.facts, "dead facts skipped");
+    }
+
+    #[test]
+    fn session_analyze_reports_on_the_session_program() {
+        let s = chain(4);
+        let p = parse_program(WITH_DEAD, &s).unwrap();
+        let session =
+            Evaluator::with_options(p.clone(), EvalOptions::new().outputs(["reach"])).unwrap();
+        let report = session.analyze();
+        assert!(!report.has_errors(), "constructed sessions have no errors");
+        assert_eq!(report.relevant_rules, vec![true, true, false, false]);
+        assert!(report.warning_count() > 0, "dead fragment warned about");
+        // After pruning, the same analysis comes back clean.
+        let pruned = Evaluator::with_options(
+            p,
+            EvalOptions::new().outputs(["reach"]).prune_dead_rules(true),
+        )
+        .unwrap();
+        let report = pruned.analyze();
+        assert_eq!(report.relevant_rules, vec![true, true]);
+        assert_eq!(report.warning_count(), 0, "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn stratified_extension_setup_is_memoized_per_signature() {
+        let s = chain(5);
+        let p = parse_program(UNREACH, &s).unwrap();
+        let mut session = Evaluator::new(p).unwrap();
+        session.evaluate(&s).unwrap();
+        assert_eq!(session.ext_memo.rebuilds, 1, "cold session builds once");
+        session.evaluate(&s).unwrap();
+        session.evaluate(&s).unwrap();
+        assert_eq!(
+            session.ext_memo.rebuilds, 1,
+            "same signature: extension setup reused"
+        );
+        // A structure over a different Signature allocation forces a
+        // rebuild.
+        let other = chain(9);
+        session.evaluate(&other).unwrap();
+        assert_eq!(session.ext_memo.rebuilds, 2);
     }
 
     #[test]

@@ -79,7 +79,7 @@ impl FdCatalog {
     }
 
     fn of(&self, pred: PredId) -> &[FuncDep] {
-        self.deps.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+        self.deps.get(&pred).map_or(&[], Vec::as_slice)
     }
 }
 
@@ -352,9 +352,7 @@ pub fn ground(
                 let guard_atom = &rule.body[gi].atom;
                 'tuples: for tuple in structure.relation(guard_pred).iter() {
                     stats.guard_instantiations += 1;
-                    for b in bindings.iter_mut() {
-                        *b = None;
-                    }
+                    bindings.fill(None);
                     // Bind the guard.
                     for (term, &value) in guard_atom.terms.iter().zip(tuple) {
                         match term {

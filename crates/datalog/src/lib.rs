@@ -52,32 +52,48 @@
 //!   analysis with declared functional dependencies, grounding in
 //!   `O(|P|·|𝒜|)`, and the linear-time evaluation of Theorem 4.4;
 //! * [`horn`] — the LTUR/Dowling–Gallier linear-time propositional Horn
-//!   solver the grounding is handed to.
+//!   solver the grounding is handed to;
+//! * [`analysis`](mod@crate::analysis) — the static-analysis and lint
+//!   framework: spanned [`Diagnostic`]s with stable `MD0xx` codes
+//!   (safety, stratifiability, dead rules, always-empty predicates,
+//!   singleton variables, duplicate/subsumed rules, monadicity and
+//!   recursion classification, quasi-guard), driving both
+//!   [`Evaluator::analyze`] and the `mdtw-lint` binary of
+//!   [`lint`](mod@crate::lint);
+//! * [`span`](mod@crate::span) — byte-span + line/column source
+//!   locations, recorded by the parser for every rule, head and literal.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
 pub mod cache;
 pub mod eval;
 pub mod evaluator;
 pub mod ground;
 pub mod horn;
+pub mod lint;
 pub mod parser;
 pub mod plan;
+pub mod span;
 pub mod stratify;
 
+pub use analysis::{
+    analyze, AnalysisOptions, Diagnostic, LintCode, ProgramReport, RecursionClass, Severity,
+};
 pub use ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term, Var};
 pub use cache::{global_plan_cache, PlanCache};
 pub use eval::{EvalStats, IdbStore};
 pub use evaluator::{Engine, EvalError, EvalOptions, EvalResult, Evaluator, StatsDetail};
 pub use ground::{ground, FdCatalog, FuncDep, Grounding, QgError, QgStats};
 pub use horn::{HornProgram, HornRule};
-pub use parser::{parse_program, ParseError};
+pub use parser::{parse_program, parse_program_lenient, ParseError, ParseErrorKind};
 pub use plan::{
     plan_program, plan_program_with, plan_rule, plan_rule_with, Access, CardEstimator, JoinPlan,
     JoinStep, NoEstimates, RulePlans, StructureStats,
 };
+pub use span::{RuleSpans, Span};
 pub use stratify::{stratify, Stratification, StratificationError};
 
 // The seven historical one-shot entry points, kept importable from the

@@ -1,0 +1,130 @@
+//! Source locations for parsed datalog programs.
+//!
+//! A [`Span`] is a half-open byte range into the source text a program was
+//! parsed from, together with the 1-based line/column of its start. Spans
+//! are carried per rule in a [`RuleSpans`] record (the whole rule, its
+//! head atom, and each body literal) stored in a side table on
+//! [`Program`](crate::ast::Program) — parallel to `Program::rules`, so
+//! hand-built programs (which have no source) simply leave it empty.
+//!
+//! Spans feed the [`analysis`](crate::analysis) diagnostic framework and
+//! the `mdtw-lint` driver, which renders them as rustc-style carets.
+
+use std::fmt;
+
+/// A half-open byte range `start..end` into the source text, with the
+/// 1-based line and (character) column of `start`. [`Span::DUMMY`] (all
+/// zeros) marks "no location" — hand-built programs and program-global
+/// conditions carry it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte covered.
+    pub start: u32,
+    /// Byte offset one past the last byte covered.
+    pub end: u32,
+    /// 1-based source line of `start` (0 = unknown).
+    pub line: u32,
+    /// 1-based character column of `start` within its line (0 = unknown).
+    pub col: u32,
+}
+
+impl Span {
+    /// The "no location" span.
+    pub const DUMMY: Span = Span {
+        start: 0,
+        end: 0,
+        line: 0,
+        col: 0,
+    };
+
+    /// True if this span carries a real location.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        self.line != 0
+    }
+
+    /// The smallest span covering both `self` and `other`; a dummy operand
+    /// yields the other span unchanged.
+    pub fn to(self, other: Span) -> Span {
+        match (self.is_known(), other.is_known()) {
+            (false, _) => other,
+            (_, false) => self,
+            (true, true) => {
+                let (first, last) = if self.start <= other.start {
+                    (self, other)
+                } else {
+                    (other, self)
+                };
+                Span {
+                    start: first.start,
+                    end: first.end.max(last.end),
+                    line: first.line,
+                    col: first.col,
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            f.write_str("?:?")
+        }
+    }
+}
+
+/// The source locations of one rule: the whole statement, the head atom,
+/// and each body literal (negation marker included), in body order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RuleSpans {
+    /// The whole rule statement (without the terminating `.`).
+    pub rule: Span,
+    /// The head atom.
+    pub head: Span,
+    /// One span per body literal, in [`Rule::body`](crate::ast::Rule::body)
+    /// order.
+    pub literals: Vec<Span>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dummy_is_unknown_and_displays_placeholder() {
+        assert!(!Span::DUMMY.is_known());
+        assert_eq!(Span::DUMMY.to_string(), "?:?");
+        let real = Span {
+            start: 3,
+            end: 7,
+            line: 2,
+            col: 4,
+        };
+        assert!(real.is_known());
+        assert_eq!(real.to_string(), "2:4");
+    }
+
+    #[test]
+    fn join_covers_both_and_ignores_dummy() {
+        let a = Span {
+            start: 2,
+            end: 5,
+            line: 1,
+            col: 3,
+        };
+        let b = Span {
+            start: 10,
+            end: 14,
+            line: 2,
+            col: 1,
+        };
+        let j = a.to(b);
+        assert_eq!((j.start, j.end, j.line, j.col), (2, 14, 1, 3));
+        assert_eq!(b.to(a), j);
+        assert_eq!(a.to(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.to(b), b);
+    }
+}

@@ -37,8 +37,9 @@
 use crate::ast::{IdbId, PredRef, Program};
 use crate::cache::{global_plan_cache, plans_for, PlanCache};
 use crate::eval::{run_seminaive_scratch, EvalStats, IdbStore, SeminaiveScratch};
-use mdtw_structure::{PredId, Structure};
+use mdtw_structure::{PredId, Signature, Structure};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a program has no stratified semantics (or is not evaluable at
 /// all). Produced by [`stratify`].
@@ -84,7 +85,7 @@ impl fmt::Display for StratificationError {
                     "rule {rule}: negation of `{negated}` inside a recursive component \
                      (cycle: {} \u{ac}\u{2192} {})",
                     cycle.join(" \u{2192} "),
-                    cycle.first().map(String::as_str).unwrap_or("?"),
+                    cycle.first().map_or("?", String::as_str),
                 )
             }
             StratificationError::EdbHead { rule } => {
@@ -356,6 +357,7 @@ pub fn eval_stratified(
         structure,
         Some(global_plan_cache()),
         &mut scratch,
+        &mut ExtensionMemo::default(),
     ))
 }
 
@@ -391,7 +393,90 @@ pub fn eval_stratified_with_cache(
         structure,
         Some(cache),
         &mut scratch,
+        &mut ExtensionMemo::default(),
     ))
+}
+
+/// Memoized per-signature extension setup for the stratified pipeline:
+/// which intensional predicates higher strata read, the extended
+/// [`Signature`] materializing them as fresh extensional predicates
+/// (names uniquified against the base signature), and the IDB →
+/// extension-predicate mapping.
+///
+/// The setup depends only on the program + stratification (fixed for the
+/// lifetime of an [`Evaluator`](crate::evaluator::Evaluator) session) and
+/// the input structure's *signature* — not its relations — so a session
+/// computes it on the first `evaluate()` and reuses it for every later
+/// structure sharing the same signature `Arc`. A structure with a
+/// different signature pointer triggers a rebuild (pointer identity is
+/// the validity key: it is exact for the dominant reuse pattern and never
+/// unsound, merely conservative for structurally-equal signatures).
+#[derive(Debug, Default)]
+pub(crate) struct ExtensionMemo {
+    base_sig: Option<Arc<Signature>>,
+    ext_sig: Option<Arc<Signature>>,
+    ext_pred: Vec<Option<PredId>>,
+    /// How many times the setup actually ran (pinned by session tests).
+    pub(crate) rebuilds: usize,
+}
+
+impl ExtensionMemo {
+    /// Returns the extended signature and the per-IDB extension mapping
+    /// for `structure`'s signature, recomputing only when the signature
+    /// changed since the previous call.
+    fn setup(
+        &mut self,
+        program: &Program,
+        strat: &Stratification,
+        structure: &Structure,
+    ) -> (Arc<Signature>, &[Option<PredId>]) {
+        let base = structure.signature();
+        let cached = self.base_sig.as_ref().is_some_and(|s| Arc::ptr_eq(s, base));
+        if !cached {
+            self.rebuilds += 1;
+            // Which predicates higher strata actually read: only those are
+            // materialized into the extended structure.
+            let mut needed = vec![false; program.idb_count()];
+            for (rule_idx, rule) in program.rules.iter().enumerate() {
+                let rule_stratum = rule_stratum(strat, program, rule_idx);
+                for lit in &rule.body {
+                    if let PredRef::Idb(id) = lit.atom.pred {
+                        if strat.stratum_of(id) < rule_stratum {
+                            needed[id.index()] = true;
+                        }
+                    }
+                }
+            }
+            // One fresh extensional predicate per needed intensional
+            // predicate (names uniquified against the signature — IDB
+            // names can collide with EDB names in hand-built programs).
+            let mut ext_pairs: Vec<(String, usize)> = Vec::new();
+            let mut owners: Vec<IdbId> = Vec::new();
+            for (i, need) in needed.iter().enumerate() {
+                if *need {
+                    let mut name = program.idb_names[i].clone();
+                    while base.lookup(&name).is_some() || ext_pairs.iter().any(|(n, _)| n == &name)
+                    {
+                        name.push('\'');
+                    }
+                    ext_pairs.push((name, program.idb_arities[i]));
+                    owners.push(IdbId(i as u32));
+                }
+            }
+            let ext_sig = Arc::new(base.extend_with(ext_pairs));
+            let mut ext_pred: Vec<Option<PredId>> = vec![None; program.idb_count()];
+            for (slot, owner) in owners.iter().enumerate() {
+                ext_pred[owner.index()] = Some(PredId((base.len() + slot) as u32));
+            }
+            self.base_sig = Some(Arc::clone(base));
+            self.ext_sig = Some(ext_sig);
+            self.ext_pred = ext_pred;
+        }
+        (
+            Arc::clone(self.ext_sig.as_ref().expect("setup ran")),
+            &self.ext_pred,
+        )
+    }
 }
 
 /// The stratified pipeline proper, over a *precomputed* stratification
@@ -406,6 +491,7 @@ pub(crate) fn run_stratified(
     structure: &Structure,
     cache: Option<&PlanCache>,
     scratch: &mut SeminaiveScratch,
+    memo: &mut ExtensionMemo,
 ) -> (IdbStore, EvalStats) {
     if strat.stratum_count() <= 1 {
         // Semipositive fast path: no rewriting, no structure extension.
@@ -419,43 +505,11 @@ pub(crate) fn run_stratified(
         return run_seminaive_scratch(program, structure, &plans, stats, scratch);
     }
 
-    // Which predicates higher strata actually read: only those are
-    // materialized into the extended structure.
-    let mut needed = vec![false; program.idb_count()];
-    for (rule_idx, rule) in program.rules.iter().enumerate() {
-        let rule_stratum = rule_stratum(strat, program, rule_idx);
-        for lit in &rule.body {
-            if let PredRef::Idb(id) = lit.atom.pred {
-                if strat.stratum_of(id) < rule_stratum {
-                    needed[id.index()] = true;
-                }
-            }
-        }
-    }
-
-    // Extend the structure with one fresh extensional predicate per
-    // needed intensional predicate (names uniquified against the
-    // signature — IDB names can collide with EDB names in hand-built
-    // programs).
-    let mut ext_pairs: Vec<(String, usize)> = Vec::new();
-    let mut owners: Vec<IdbId> = Vec::new();
-    for (i, need) in needed.iter().enumerate() {
-        if *need {
-            let mut name = program.idb_names[i].clone();
-            while structure.signature().lookup(&name).is_some()
-                || ext_pairs.iter().any(|(n, _)| n == &name)
-            {
-                name.push('\'');
-            }
-            ext_pairs.push((name, program.idb_arities[i]));
-            owners.push(IdbId(i as u32));
-        }
-    }
-    let (mut ext_structure, ext_ids) = structure.extended(ext_pairs);
-    let mut ext_pred: Vec<Option<PredId>> = vec![None; program.idb_count()];
-    for (owner, id) in owners.iter().zip(&ext_ids) {
-        ext_pred[owner.index()] = Some(*id);
-    }
+    // Extension setup (which predicates to materialize, extended
+    // signature, IDB → extension mapping) is memoized per signature in
+    // the session; only the relation snapshot is rebuilt per evaluate.
+    let (ext_sig, ext_pred) = memo.setup(program, strat, structure);
+    let mut ext_structure = structure.extended_shared(&ext_sig);
 
     let mut final_store = IdbStore::new_for(program);
     let mut total = EvalStats {
@@ -470,6 +524,7 @@ pub(crate) fn run_stratified(
         rules: Vec::new(),
         idb_names: program.idb_names.clone(),
         idb_arities: program.idb_arities.clone(),
+        spans: Vec::new(),
         idb_by_name: program.idb_by_name.clone(),
     };
 

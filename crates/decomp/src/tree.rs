@@ -221,7 +221,11 @@ impl fmt::Display for TreeDecomposition {
                 }
                 d
             };
-            let bag: Vec<String> = self.bag(id).iter().map(|e| e.to_string()).collect();
+            let bag: Vec<String> = self
+                .bag(id)
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect();
             writeln!(f, "{}{} {{{}}}", "  ".repeat(depth), id, bag.join(","))?;
         }
         Ok(())

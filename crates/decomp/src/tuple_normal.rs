@@ -304,14 +304,14 @@ impl TupleTd {
                 // Add one fresh element to *all* bags at once so its
                 // occurrence set is the whole (connected) tree.
                 let e = fresh.pop().expect("domain_size ≥ w+1 guarantees spare");
-                for s in sets.iter_mut() {
+                for s in &mut sets {
                     if !s.contains(&e) {
                         s.push(e);
                     }
                 }
             }
         }
-        for s in sets.iter_mut() {
+        for s in &mut sets {
             s.sort_unstable();
             s.truncate(w + 1);
         }

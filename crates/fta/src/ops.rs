@@ -12,7 +12,7 @@ use mdtw_structure::fx::FxHashMap;
 /// their alphabet.
 pub fn complement(d: &Dfta) -> Dfta {
     let mut out = d.clone();
-    for a in out.accepting.iter_mut() {
+    for a in &mut out.accepting {
         *a = !*a;
     }
     out

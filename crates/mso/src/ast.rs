@@ -207,7 +207,7 @@ impl Mso {
                 b.visit(f);
             }
             Mso::Exists(_, a) | Mso::Forall(_, a) | Mso::ExistsSet(_, a) | Mso::ForallSet(_, a) => {
-                a.visit(f)
+                a.visit(f);
             }
             _ => {}
         }

@@ -205,8 +205,7 @@ impl PosIndex {
                 self.key_of_row(arena, arity, self.buckets[b as usize][0])
                     .eq(key.iter().copied())
             })
-            .map(|b| self.buckets[b as usize].as_slice())
-            .unwrap_or(&[])
+            .map_or(&[], |b| self.buckets[b as usize].as_slice())
     }
 
     /// Registers `row` (whose tuple lives at `row·arity` in `arena`).
@@ -657,6 +656,43 @@ impl Structure {
             },
             ids,
         )
+    }
+
+    /// Like [`Structure::extended`], but against a *pre-extended* signature
+    /// `Arc` — one produced earlier by [`Signature::extend_with`] on this
+    /// structure's signature. The existing relations are shared
+    /// copy-on-write and one empty relation is appended per extension
+    /// predicate; the signature `Arc` itself is reused, so callers that
+    /// extend the same structure repeatedly (e.g. a stratified evaluator
+    /// session re-evaluating per structure) skip rebuilding the signature
+    /// every time.
+    ///
+    /// # Panics
+    /// Panics if `sig` is not an extension of this structure's signature
+    /// (fewer predicates, or a mismatched name/arity on the shared prefix).
+    pub fn extended_shared(&self, sig: &Arc<Signature>) -> Structure {
+        assert!(
+            sig.len() >= self.sig.len(),
+            "extended signature has fewer predicates than the base"
+        );
+        for p in self.sig.preds() {
+            assert!(
+                sig.name(p) == self.sig.name(p) && sig.arity(p) == self.sig.arity(p),
+                "signature is not an extension of the structure's signature \
+                 (mismatch at predicate `{}`)",
+                self.sig.name(p)
+            );
+        }
+        let mut relations = self.relations.clone();
+        relations.extend(
+            (self.sig.len()..sig.len())
+                .map(|i| Arc::new(Relation::new(sig.arity(PredId(i as u32))))),
+        );
+        Structure {
+            sig: Arc::clone(sig),
+            domain: self.domain.clone(),
+            relations,
+        }
     }
 
     /// The substructure of `self` induced by the element set `keep`

@@ -12,7 +12,10 @@
 //!   encoding (§2.1–2.2);
 //! * [`decomp`] — tree decompositions and their normal forms (§2.2, §5);
 //! * [`datalog`] — the stratified / quasi-guarded datalog engine (§2.4, §4),
-//!   fronted by the [`Evaluator`](mdtw_datalog::Evaluator) session API;
+//!   fronted by the [`Evaluator`](mdtw_datalog::Evaluator) session API,
+//!   with the static-analysis / lint framework of
+//!   [`datalog::analysis`] (spanned `MD0xx`
+//!   diagnostics, dead-rule pruning, the `mdtw-lint` binary);
 //! * [`mso`] — MSO formulas, types, and the Theorem 4.5 compilation (§3–4);
 //! * [`fta`] — the classical MSO-to-tree-automata baseline;
 //! * [`core`] — the §5 solvers: 3-Colorability (Figure 5), PRIMALITY
@@ -42,8 +45,9 @@ pub mod prelude {
         PrimalityContext, ThreeColSolver,
     };
     pub use mdtw_datalog::{
-        parse_program, stratify, Engine, EvalOptions, EvalResult, Evaluator, PlanCache,
-        Stratification, StratificationError,
+        analyze, parse_program, stratify, AnalysisOptions, Diagnostic, Engine, EvalOptions,
+        EvalResult, Evaluator, LintCode, PlanCache, ProgramReport, Severity, Span, Stratification,
+        StratificationError,
     };
     pub use mdtw_decomp::{decompose, Heuristic, NiceOptions, NiceTd, TreeDecomposition, TupleTd};
     pub use mdtw_graph::{encode_graph, Graph};

@@ -22,8 +22,8 @@ fn primality_solve_facts_scale_linearly() {
         per_node.push((stats.up_facts + stats.down_facts) as f64 / stats.nodes as f64);
     }
     let (min, max) = (
-        per_node.iter().cloned().fold(f64::INFINITY, f64::min),
-        per_node.iter().cloned().fold(0.0, f64::max),
+        per_node.iter().copied().fold(f64::INFINITY, f64::min),
+        per_node.iter().copied().fold(0.0, f64::max),
     );
     assert!(
         max / min < 3.0,
@@ -42,8 +42,8 @@ fn three_col_solve_facts_scale_linearly() {
         per_node.push(solver.fact_count as f64 / nice.len() as f64);
     }
     let (min, max) = (
-        per_node.iter().cloned().fold(f64::INFINITY, f64::min),
-        per_node.iter().cloned().fold(0.0, f64::max),
+        per_node.iter().copied().fold(f64::INFINITY, f64::min),
+        per_node.iter().copied().fold(0.0, f64::max),
     );
     assert!(
         max / min < 3.0,

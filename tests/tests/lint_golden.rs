@@ -1,0 +1,90 @@
+//! Golden test for the lint pipeline: the checked-in
+//! `tests/fixtures/lint_demo.dl` must produce exactly the expected
+//! `MD0xx` diagnostics, at the expected source locations, and the JSON
+//! encoding must round-trip.
+
+use mdtw_datalog::analysis::{LintCode, Severity};
+use mdtw_datalog::lint::{diagnostic_from_json, diagnostic_to_json, json, lint_source};
+
+const FIXTURE: &str = include_str!("../fixtures/lint_demo.dl");
+
+#[test]
+fn fixture_produces_exactly_the_expected_diagnostics() {
+    let outcome = lint_source(FIXTURE).expect("pragmas are well-formed");
+    assert!(outcome.parse_error.is_none(), "{:?}", outcome.parse_error);
+    assert_eq!(outcome.decls.outputs, vec!["odd".to_owned()]);
+    let report = outcome.report.expect("lenient parse succeeds");
+
+    // Code + line + column, in report order.
+    let got: Vec<(LintCode, u32, u32)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.code, d.span.line, d.span.col))
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            // even(X) :- node(X), !odd(X).  — odd ¬→ even → odd
+            (LintCode::NegativeCycle, 7, 1),
+            // orphan is not reachable from the declared output `odd`…
+            (LintCode::UnusedPredicate, 8, 1),
+            // …so its defining rule is dead…
+            (LintCode::DeadRule, 8, 1),
+            // …and `Unused` occurs once, in the literal `e(X, Unused)`.
+            (LintCode::SingletonVariable, 8, 23),
+        ],
+        "{:#?}",
+        report.diagnostics
+    );
+
+    assert!(report.has_errors());
+    assert_eq!(report.error_count(), 1);
+    assert_eq!(report.warning_count(), 3);
+    assert_eq!(report.strata, None, "unstratifiable: no stratum count");
+    assert!(report.monadic);
+
+    // The singleton-variable span covers exactly the offending literal.
+    let singleton = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == LintCode::SingletonVariable)
+        .unwrap();
+    assert_eq!(
+        &FIXTURE[singleton.span.start as usize..singleton.span.end as usize],
+        "e(X, Unused)"
+    );
+}
+
+#[test]
+fn fixture_diagnostics_round_trip_through_json() {
+    let outcome = lint_source(FIXTURE).unwrap();
+    let report = outcome.report.unwrap();
+    for d in &report.diagnostics {
+        let encoded = diagnostic_to_json(d).render();
+        let value = json::parse(&encoded).expect("emitted JSON parses");
+        let decoded = diagnostic_from_json(&value).expect("all fields survive");
+        assert_eq!(&decoded, d);
+    }
+}
+
+#[test]
+fn fixture_renders_with_carets() {
+    let outcome = lint_source(FIXTURE).unwrap();
+    let report = outcome.report.unwrap();
+    let error = report
+        .diagnostics
+        .iter()
+        .find(|d| d.severity == Severity::Error)
+        .unwrap();
+    let rendered = error.render(Some(FIXTURE), "lint_demo.dl");
+    assert!(rendered.starts_with("error[MD003]"), "{rendered}");
+    assert!(rendered.contains("--> lint_demo.dl:7:1"), "{rendered}");
+    assert!(
+        rendered.contains("7 | even(X) :- node(X), !odd(X)."),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("^^^^^^^^^^^^^^^^^^^^^^^^^^^"),
+        "{rendered}"
+    );
+}

@@ -92,7 +92,7 @@ fn oracle(program: &Program, s: &Structure) -> Vec<Vec<Vec<ElemId>>> {
                         changed |= facts[id.index()].insert(head);
                     }
                     // Next assignment.
-                    for slot in asg.iter_mut() {
+                    for slot in &mut asg {
                         *slot += 1;
                         if *slot < elems.len() {
                             continue 'assignments;
