@@ -5,9 +5,10 @@
 //!     [--out PATH] [--sizes N,N,...] [--label LABEL] [--append]
 //! ```
 //!
-//! Runs the `join_indexing`/`engine_linearity` workloads plus the
-//! 3-stratum `stratified_reach` negation chain at fixed chain sizes
-//! through the semi-naive and stratified engines and writes one labelled
+//! Runs the `join_indexing`/`engine_linearity` workloads, the 3-stratum
+//! `stratified_reach` negation chain and the `magic_point_query`
+//! full-vs-demand ablation at fixed chain sizes through the semi-naive
+//! and stratified engines and writes one labelled
 //! record of rows (ns/eval, ns/derived-fact, work counters) to `--out` (default
 //! `BENCH_joins.json`). With `--append`, the record is appended to the
 //! records array of an existing report file, so before/after measurements

@@ -188,6 +188,30 @@ pub const STRATIFIED_PROGRAM: &str = "reach(X) :- first(X).\nreach(Y) :- reach(X
      unreach(X) :- node(X), !reach(X).\n\
      settled(X) :- node(X), !unreach(X), !first(X).";
 
+/// Inline program of the `magic_point_query` workload: transitive closure
+/// probed from a single source — the shape the magic-set demand
+/// transformation is built for.
+pub const POINT_QUERY_PROGRAM: &str = "path(X, Y) :- e(X, Y).\n\
+     path(X, Z) :- path(X, Y), e(Y, Z).\n\
+     answer(Y) :- source(X), path(X, Y).";
+
+/// The point-query workload: a chain of `n` edges with a single `source`
+/// fact at element 0, asking for everything reachable from it. The full
+/// engine materializes all Θ(n²) `path` facts; the magic rewrite only
+/// the Θ(n) demanded ones.
+pub fn point_query_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog::Program) {
+    use mdtw_structure::ElemId;
+    let mut s = chain_structure_for_bench(n, &[("e", 2), ("source", 1)]);
+    let e = s.signature().lookup("e").unwrap();
+    let source = s.signature().lookup("source").unwrap();
+    s.insert(source, &[ElemId(0)]);
+    for i in 0..n - 1 {
+        s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+    }
+    let p = mdtw_datalog::parse_program(POINT_QUERY_PROGRAM, &s).unwrap();
+    (s, p)
+}
+
 fn linear_tc_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog::Program) {
     use mdtw_structure::ElemId;
     let mut s = chain_structure_for_bench(n, &[("e", 2)]);
@@ -245,10 +269,15 @@ pub fn stratified_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog
 pub fn preflight() -> Result<Vec<String>, String> {
     use mdtw_datalog::{analyze, AnalysisOptions, Severity};
     type Build = fn(usize) -> (mdtw_structure::Structure, mdtw_datalog::Program);
-    let checks: [(&str, &str, Build); 3] = [
+    let checks: [(&str, &str, Build); 4] = [
         ("linear_tc", LINEAR_TC_PROGRAM, linear_tc_workload),
         ("reach_linearity", REACH_PROGRAM, reach_workload),
         ("stratified_reach", STRATIFIED_PROGRAM, stratified_workload),
+        (
+            "magic_point_query",
+            POINT_QUERY_PROGRAM,
+            point_query_workload,
+        ),
     ];
     let mut notes = Vec::new();
     for (name, source, build) in checks {
@@ -390,6 +419,24 @@ pub fn join_report(sizes: &[usize], scan_cap: usize) -> Vec<JoinBenchRow> {
             (r.store.fact_count(), r.stats)
         });
 
+        // Magic-set ablation: the same point query with full
+        // materialization vs. the demand-transformed program.
+        let (s, p) = point_query_workload(n);
+        let mut session =
+            Evaluator::with_options(p.clone(), EvalOptions::new().outputs(["answer"]))
+                .expect("semipositive");
+        measure("magic_point_query", "full", n, &mut rows, &mut || {
+            let r = session.evaluate(&s).expect("semipositive");
+            (r.store.fact_count(), r.stats)
+        });
+        let mut session =
+            Evaluator::with_options(p, EvalOptions::new().outputs(["answer"]).magic_sets(true))
+                .expect("semipositive");
+        measure("magic_point_query", "magic", n, &mut rows, &mut || {
+            let r = session.evaluate(&s).expect("semipositive");
+            (r.store.fact_count(), r.stats)
+        });
+
         // Per-candidate ablation: one evaluation = all K candidates.
         let (candidates, p) = per_candidate_workload(n);
         measure("per_candidate", "session", n, &mut rows, &mut || {
@@ -509,9 +556,9 @@ mod tests {
     fn join_report_smoke_and_json_shape() {
         let rows = join_report(&[40], 40);
         // indexed + scan on linear_tc, indexed on reach_linearity,
-        // stratified on stratified_reach, session + per_call on
-        // per_candidate.
-        assert_eq!(rows.len(), 6);
+        // stratified on stratified_reach, full + magic on
+        // magic_point_query, session + per_call on per_candidate.
+        assert_eq!(rows.len(), 8);
         for r in &rows {
             assert!(r.facts > 0);
             assert!(r.ns_per_fact > 0.0);
@@ -551,13 +598,29 @@ mod tests {
             .expect("per_call row");
         assert_eq!(per_call.stats.plan_cache_hits, 0);
         assert_eq!(session.facts, per_call.facts, "same fixpoints either way");
+        // The demand transformation must strictly shrink the fixpoint on
+        // the point query (Θ(n²) path facts down to Θ(n) demanded ones).
+        let full = rows
+            .iter()
+            .find(|r| r.workload == "magic_point_query" && r.engine == "full")
+            .expect("full row");
+        let magic = rows
+            .iter()
+            .find(|r| r.workload == "magic_point_query" && r.engine == "magic")
+            .expect("magic row");
+        assert!(
+            magic.stats.facts * 2 < full.stats.facts,
+            "magic must at least halve derived facts: {} vs {}",
+            magic.stats.facts,
+            full.stats.facts
+        );
         let json = render_join_record_json("test", &rows);
         assert!(json.starts_with("{\"label\": \"test\""));
         // Hostile labels are escaped, not interpolated raw.
         let hostile = render_join_record_json("a\"b\\c\n", &rows);
         assert!(hostile.starts_with("{\"label\": \"a\\\"b\\\\c\\u000a\""));
         assert!(json.ends_with("]}"));
-        assert_eq!(json.matches("\"workload\"").count(), 6);
+        assert_eq!(json.matches("\"workload\"").count(), 8);
         assert!(json.contains("\"plan_cache_hits\": 1"));
         assert!(json.contains("\"negative_checks\""));
         assert!(json.contains("\"strata\": 3"));

@@ -1,48 +1,77 @@
 //! `mdtw-lint` — lint `.dl` datalog programs.
 //!
 //! ```text
-//! usage: mdtw-lint [--json] FILE.dl...
+//! usage: mdtw-lint [--json] [--deny-warnings] [--optimize] FILE.dl...
 //! ```
 //!
 //! Parses each file leniently against a synthetic structure (extensional
 //! predicates and output predicates come from `%! edb name/arity` and
 //! `%! output name` pragmas, or are inferred — see the `lint` module of
-//! `mdtw-datalog`), runs the full static-analysis battery, and reports
-//! the `MD0xx` diagnostics with rustc-style carets (or as JSON with
-//! `--json`).
+//! `mdtw-datalog`), runs the full static-analysis battery — including the
+//! semantic tier (containment-based redundancy, provable boundedness,
+//! magic-set applicability) — and reports the `MD0xx` diagnostics with
+//! rustc-style carets (or as JSON with `--json`).
 //!
-//! Exit status: 0 when no file has error-level findings (warnings and
-//! notes are allowed), 1 when any file has errors or fails to parse,
-//! 2 on usage or I/O problems.
+//! `--optimize` adds a dry-run of the semantic optimizer pipeline
+//! (minimize → eliminate bounded recursion → magic sets) and prints the
+//! rewritten program; with `--json` it lands in an `optimize` field.
+//!
+//! Exit status — the contract scripts can rely on:
+//! * `0` — every file is clean (warnings allowed unless `--deny-warnings`);
+//! * `1` — some file has error-level findings, fails to parse, or (with
+//!   `--deny-warnings`) has warnings;
+//! * `2` — usage problems, unreadable files, or malformed `%!` pragmas.
 
 use mdtw_datalog::analysis::Severity;
-use mdtw_datalog::lint::{diagnostic_to_json, json::Json, lint_source, render_parse_error};
+use mdtw_datalog::lint::{
+    file_json, json::Json, lint_source, optimize_source, render_parse_error, render_pragma_error,
+    LintOutcome, OptimizeOutcome,
+};
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: mdtw-lint [--json] [--deny-warnings] [--optimize] FILE.dl...";
+
+fn print_help() {
+    println!("{USAGE}");
+    println!();
+    println!("  --json            machine-readable output (one object per file)");
+    println!("  --deny-warnings   treat warning-level findings as errors (exit 1)");
+    println!("  --optimize        dry-run the semantic optimizer and print the result");
+    println!();
+    println!("exit status:");
+    println!("  0  every file is clean (warnings allowed unless --deny-warnings)");
+    println!("  1  error-level findings, a parse failure, or warnings with --deny-warnings");
+    println!("  2  usage problems, unreadable files, or malformed `%!` pragmas");
+}
 
 fn main() -> ExitCode {
     let mut json_mode = false;
+    let mut deny_warnings = false;
+    let mut optimize = false;
     let mut files: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--json" => json_mode = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--optimize" => optimize = true,
             "-h" | "--help" => {
-                println!("usage: mdtw-lint [--json] FILE.dl...");
+                print_help();
                 return ExitCode::SUCCESS;
             }
             _ if arg.starts_with('-') => {
                 eprintln!("mdtw-lint: unknown flag `{arg}`");
-                eprintln!("usage: mdtw-lint [--json] FILE.dl...");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
             _ => files.push(arg),
         }
     }
     if files.is_empty() {
-        eprintln!("usage: mdtw-lint [--json] FILE.dl...");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
 
-    let mut any_errors = false;
+    let mut failed = false;
     let mut json_files: Vec<Json> = Vec::new();
     for path in &files {
         let source = match std::fs::read_to_string(path) {
@@ -55,28 +84,40 @@ fn main() -> ExitCode {
         let outcome = match lint_source(&source) {
             Ok(o) => o,
             Err(pragma) => {
-                eprintln!("mdtw-lint: {path}: invalid pragma: {pragma}");
+                eprintln!("{}", render_pragma_error(&pragma, &source, path));
                 return ExitCode::from(2);
             }
         };
-        any_errors |= outcome.has_errors();
+        failed |= outcome.has_errors();
+        if deny_warnings {
+            failed |= outcome
+                .report
+                .as_ref()
+                .is_some_and(|r| r.warning_count() > 0);
+        }
+        // Pragmas already validated above, so optimize_source cannot fail.
+        let optimized =
+            optimize.then(|| optimize_source(&source).expect("pragmas validated by lint_source"));
         if json_mode {
-            json_files.push(file_json(path, &outcome));
+            json_files.push(file_json(path, &outcome, optimized.as_ref()));
         } else {
             render_human(path, &source, &outcome);
+            if let Some(opt) = &optimized {
+                render_optimized(path, opt);
+            }
         }
     }
     if json_mode {
         println!("{}", Json::Arr(json_files).render());
     }
-    if any_errors {
+    if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
 }
 
-fn render_human(path: &str, source: &str, outcome: &mdtw_datalog::lint::LintOutcome) {
+fn render_human(path: &str, source: &str, outcome: &LintOutcome) {
     if let Some(err) = &outcome.parse_error {
         println!("{}\n", render_parse_error(err, source, path));
         println!("{path}: 1 error (parse failed before analysis)");
@@ -105,37 +146,30 @@ fn render_human(path: &str, source: &str, outcome: &mdtw_datalog::lint::LintOutc
     );
 }
 
-fn file_json(path: &str, outcome: &mdtw_datalog::lint::LintOutcome) -> Json {
-    let mut fields: Vec<(String, Json)> = vec![("file".into(), Json::Str(path.into()))];
-    if let Some(err) = &outcome.parse_error {
-        fields.push((
-            "parse_error".into(),
-            Json::Obj(vec![
-                ("message".into(), Json::Str(err.message.clone())),
-                ("line".into(), Json::Num(f64::from(err.span.line))),
-                ("col".into(), Json::Num(f64::from(err.span.col))),
-            ]),
-        ));
-        fields.push(("diagnostics".into(), Json::Arr(Vec::new())));
-        return Json::Obj(fields);
+fn render_optimized(path: &str, outcome: &OptimizeOutcome) {
+    match outcome {
+        OptimizeOutcome::Skipped(reason) => {
+            println!("\n{path}: optimizer skipped: {reason}");
+        }
+        OptimizeOutcome::Optimized(dump) => {
+            let s = &dump.summary;
+            println!(
+                "\n{path}: optimized {} -> {} rules \
+                 ({} removed, {} literals condensed, {} bounded SCCs, magic: {})",
+                dump.rules_before,
+                dump.rules.len(),
+                s.removed_rules,
+                s.condensed_literals,
+                s.bounded_sccs,
+                if s.magic_applied {
+                    format!("{} demand rules", s.magic_rules)
+                } else {
+                    "not applied".to_owned()
+                },
+            );
+            for rule in &dump.rules {
+                println!("  {rule}");
+            }
+        }
     }
-    let report = outcome.report.as_ref().expect("no parse error => report");
-    fields.push((
-        "diagnostics".into(),
-        Json::Arr(report.diagnostics.iter().map(diagnostic_to_json).collect()),
-    ));
-    fields.push((
-        "summary".into(),
-        Json::Obj(vec![
-            ("errors".into(), Json::Num(report.error_count() as f64)),
-            ("warnings".into(), Json::Num(report.warning_count() as f64)),
-            ("monadic".into(), Json::Bool(report.monadic)),
-            ("recursion".into(), Json::Str(report.recursion.to_string())),
-            (
-                "strata".into(),
-                report.strata.map_or(Json::Null, |n| Json::Num(n as f64)),
-            ),
-        ]),
-    ));
-    Json::Obj(fields)
 }

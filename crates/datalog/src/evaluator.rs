@@ -64,6 +64,7 @@ use crate::ground::{check_quasi_guarded, run_quasi_guarded, FdCatalog, QgError, 
 use crate::stratify::{
     run_stratified, stratify, ExtensionMemo, Stratification, StratificationError,
 };
+use crate::transform::{self, TransformSummary};
 use mdtw_structure::Structure;
 use std::fmt;
 use std::sync::Arc;
@@ -135,6 +136,9 @@ pub struct EvalOptions {
     fd_catalog: Option<FdCatalog>,
     outputs: Option<Vec<String>>,
     prune_dead_rules: bool,
+    minimize: bool,
+    eliminate_bounded: bool,
+    magic_sets: bool,
 }
 
 impl EvalOptions {
@@ -195,6 +199,40 @@ impl EvalOptions {
     /// No-op unless outputs were declared.
     pub fn prune_dead_rules(mut self, on: bool) -> Self {
         self.prune_dead_rules = on;
+        self
+    }
+
+    /// Minimizes the program at construction:
+    /// [`transform::minimize`] condenses rule
+    /// bodies by homomorphism and drops rules the rest of the program
+    /// uniformly contains. Semantics on every intensional predicate are
+    /// preserved (property-tested); see
+    /// [`transforms`](Evaluator::transforms) for what was done.
+    pub fn minimize(mut self, on: bool) -> Self {
+        self.minimize = on;
+        self
+    }
+
+    /// Rewrites recursive SCCs proven *bounded* (by the iterated
+    /// uniform-containment test of
+    /// [`transform::bounded_sccs`]) into
+    /// their nonrecursive unfoldings at construction.
+    pub fn eliminate_bounded_recursion(mut self, on: bool) -> Self {
+        self.eliminate_bounded = on;
+        self
+    }
+
+    /// Applies the magic-set demand transformation keyed by the declared
+    /// [`outputs`](Self::outputs) at construction
+    /// ([`transform::magic_program`]).
+    /// No-op when no output admits a bound adornment, when outputs were
+    /// not declared, or when the rewritten program would not stratify.
+    /// Output predicates keep their names, so
+    /// [`IdbStore`] lookups keep working; other
+    /// predicates may be replaced by adorned versions (`p[bf]`) and
+    /// demand predicates (`m_p[bf]`).
+    pub fn magic_sets(mut self, on: bool) -> Self {
+        self.magic_sets = on;
         self
     }
 }
@@ -285,6 +323,7 @@ pub struct Evaluator {
     fd_catalog: Option<FdCatalog>,
     outputs: Option<Vec<String>>,
     pruned_rules: usize,
+    transforms: TransformSummary,
     stratification: Arc<Stratification>,
     cache: PlanCache,
     scratch: SeminaiveScratch,
@@ -320,6 +359,32 @@ impl Evaluator {
                 }
             }
         }
+        let mut transforms = TransformSummary::default();
+        if options.minimize {
+            let report = transform::minimize(&mut program);
+            transforms.removed_rules = report.removed_rules;
+            transforms.condensed_literals = report.condensed_literals;
+        }
+        if options.eliminate_bounded {
+            transforms.bounded_sccs = transform::eliminate_bounded_recursion(&mut program).len();
+        }
+        if options.magic_sets {
+            if let Some(outputs) = &options.outputs {
+                let ids: Vec<_> = outputs.iter().filter_map(|s| program.idb(s)).collect();
+                let outcome = transform::magic_program(&program, &ids);
+                transforms.magic_adorned = outcome.adorned;
+                transforms.magic_rules = outcome.magic_rules;
+                if let Some(rewritten) = outcome.program {
+                    // The demand rewrite is argued stratifiable whenever
+                    // the input is, but fall back rather than fail if a
+                    // corner case defeats that.
+                    if stratify(&rewritten).is_ok() {
+                        transforms.magic_applied = true;
+                        program = rewritten;
+                    }
+                }
+            }
+        }
         let stratification = Arc::new(stratify(&program)?);
         let engine = options.engine.unwrap_or(if options.fd_catalog.is_some() {
             Engine::QuasiGuarded
@@ -346,6 +411,7 @@ impl Evaluator {
             fd_catalog,
             outputs: options.outputs,
             pruned_rules,
+            transforms,
             stratification,
             cache: PlanCache::new(),
             scratch,
@@ -446,6 +512,15 @@ impl Evaluator {
     #[inline]
     pub fn pruned_rule_count(&self) -> usize {
         self.pruned_rules
+    }
+
+    /// What the semantic transformations ([`EvalOptions::minimize`],
+    /// [`EvalOptions::eliminate_bounded_recursion`],
+    /// [`EvalOptions::magic_sets`]) did at construction; all-zero when
+    /// none was requested.
+    #[inline]
+    pub fn transforms(&self) -> TransformSummary {
+        self.transforms
     }
 
     /// The session's program (the session owns it; call sites that need
@@ -739,6 +814,34 @@ mod tests {
         let report = pruned.analyze();
         assert_eq!(report.relevant_rules, vec![true, true]);
         assert_eq!(report.warning_count(), 0, "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn transform_options_rewrite_at_construction() {
+        let s = chain(12);
+        let src = "path(X, Y) :- e(X, Y).\n\
+                   path(X, Z) :- path(X, Y), e(Y, Z).\n\
+                   answer(Y) :- first(X), path(X, Y).";
+        let p = parse_program(src, &s).unwrap();
+        let mut full =
+            Evaluator::with_options(p.clone(), EvalOptions::new().outputs(["answer"])).unwrap();
+        assert_eq!(full.transforms(), TransformSummary::default());
+        let mut magic =
+            Evaluator::with_options(p, EvalOptions::new().outputs(["answer"]).magic_sets(true))
+                .unwrap();
+        let t = magic.transforms();
+        assert!(t.magic_applied);
+        assert!(t.magic_rules >= 1);
+        let a = full.evaluate(&s).unwrap();
+        let b = magic.evaluate(&s).unwrap();
+        let fa = full.program().idb("answer").unwrap();
+        let fb = magic.program().idb("answer").unwrap();
+        assert_eq!(a.store.tuples(fa), b.store.tuples(fb));
+        assert!(!b.store.tuples(fb).is_empty());
+        assert!(
+            b.stats.facts < a.stats.facts,
+            "demand evaluation avoids the full path materialization"
+        );
     }
 
     #[test]

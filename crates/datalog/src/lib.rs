@@ -61,7 +61,13 @@
 //!   [`Evaluator::analyze`] and the `mdtw-lint` binary of
 //!   [`lint`](mod@crate::lint);
 //! * [`span`](mod@crate::span) — byte-span + line/column source
-//!   locations, recorded by the parser for every rule, head and literal.
+//!   locations, recorded by the parser for every rule, head and literal;
+//! * [`transform`](mod@crate::transform) — the semantic optimizer:
+//!   uniform-containment rule minimization, boundedness detection with
+//!   recursion elimination, and the magic-set demand transformation,
+//!   wired into [`EvalOptions`] (`minimize`, `eliminate_bounded_recursion`,
+//!   `magic_sets`) and reported by the semantic tier of the analysis
+//!   pass (MD017 / MD023 / MD040-series).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,9 +84,11 @@ pub mod parser;
 pub mod plan;
 pub mod span;
 pub mod stratify;
+pub mod transform;
 
 pub use analysis::{
-    analyze, AnalysisOptions, Diagnostic, LintCode, ProgramReport, RecursionClass, Severity,
+    analyze, AnalysisOptions, Diagnostic, LintCode, MagicSummary, ProgramReport, RecursionClass,
+    SemanticReport, Severity,
 };
 pub use ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term, Var};
 pub use cache::{global_plan_cache, PlanCache};
@@ -94,7 +102,11 @@ pub use plan::{
     JoinStep, NoEstimates, RulePlans, StructureStats,
 };
 pub use span::{RuleSpans, Span};
-pub use stratify::{stratify, Stratification, StratificationError};
+pub use stratify::{recursive_idb_scc_count, stratify, Stratification, StratificationError};
+pub use transform::{
+    bounded_sccs, eliminate_bounded_recursion, magic_program, minimize, optimize, redundant_rules,
+    BoundedScc, MagicOutcome, MinimizeReport, TransformSummary,
+};
 
 // The seven historical one-shot entry points, kept importable from the
 // crate root so the legacy-oracle test suites (and downstream pins) keep

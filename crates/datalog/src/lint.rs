@@ -15,15 +15,16 @@
 //!   Without output pragmas those passes are skipped.
 //!
 //! Both pragmas sit inside `%` comments, so the same file feeds
-//! [`parse_program`](crate::parser::parse_program) unchanged.
+//! [`parse_program`] unchanged.
 //!
 //! [`lint_source`] returns a [`LintOutcome`]; [`diagnostic_to_json`] /
 //! [`diagnostic_from_json`] and the [`json`] value type give the binary a
 //! dependency-free `--json` mode that round-trips.
 
 use crate::analysis::{analyze, AnalysisOptions, Diagnostic, LintCode, ProgramReport, Severity};
-use crate::parser::{is_variable, parse_program_lenient, ParseError};
+use crate::parser::{is_variable, parse_program, parse_program_lenient, ParseError};
 use crate::span::Span;
+use crate::transform::{optimize, TransformSummary};
 use mdtw_structure::fx::FxHashMap;
 use mdtw_structure::{Domain, Signature, Structure};
 use std::fmt;
@@ -56,34 +57,54 @@ impl LintOutcome {
     }
 }
 
-/// A malformed `%!` pragma line.
+/// A malformed `%!` pragma line, located by a real [`Span`] covering the
+/// pragma text (so drivers can render it with carets — see
+/// [`render_pragma_error`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PragmaError {
-    /// 1-based line of the pragma.
-    pub line: usize,
+    /// Where the malformed pragma sits in the source.
+    pub span: Span,
     /// What is wrong with it.
     pub message: String,
 }
 
+impl PragmaError {
+    /// The 1-based source line of the pragma.
+    pub fn line(&self) -> usize {
+        self.span.line as usize
+    }
+}
+
 impl fmt::Display for PragmaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}: {}", self.span.line, self.message)
     }
 }
 
 /// Scans `%!` pragma lines. Only lines whose first non-whitespace
 /// characters are `%!` are considered; anything else is a plain comment.
+/// Byte offsets are tracked per raw line (CRLF included), so the spans on
+/// errors stay caret-accurate on Windows line endings.
 pub fn scan_pragmas(source: &str) -> Result<LintDecls, PragmaError> {
     let mut decls = LintDecls::default();
-    for (idx, raw) in source.lines().enumerate() {
-        let line = raw.trim();
-        let Some(body) = line.strip_prefix("%!") else {
+    let mut offset = 0usize;
+    for (idx, raw) in source.split_inclusive('\n').enumerate() {
+        let line_start = offset;
+        offset += raw.len();
+        let content = raw.strip_suffix('\n').unwrap_or(raw);
+        let content = content.strip_suffix('\r').unwrap_or(content);
+        let trimmed = content.trim();
+        let Some(body) = trimmed.strip_prefix("%!") else {
             continue;
         };
-        let err = |message: String| PragmaError {
-            line: idx + 1,
-            message,
+        let lead = content.len() - content.trim_start().len();
+        let span = Span {
+            start: (line_start + lead) as u32,
+            end: (line_start + lead + trimmed.len()) as u32,
+            line: idx as u32 + 1,
+            col: content[..lead].chars().count() as u32 + 1,
         };
+        let err = |message: String| PragmaError { span, message };
         let mut words = body.split_whitespace();
         match words.next() {
             Some("edb") => {
@@ -266,8 +287,9 @@ pub fn lint_source(source: &str) -> Result<LintOutcome, PragmaError> {
             decls,
         }),
         Ok(program) => {
-            let mut options =
-                AnalysisOptions::new().edb_signature(Arc::clone(structure.signature()));
+            let mut options = AnalysisOptions::new()
+                .edb_signature(Arc::clone(structure.signature()))
+                .semantic(true);
             if !decls.outputs.is_empty() {
                 options = options.outputs(decls.outputs.iter().cloned());
             }
@@ -284,38 +306,80 @@ pub fn lint_source(source: &str) -> Result<LintOutcome, PragmaError> {
 /// Renders a fatal parse error rustc-style (mirrors
 /// [`Diagnostic::render`], without a lint code).
 pub fn render_parse_error(err: &ParseError, source: &str, path: &str) -> String {
-    let mut out = format!("error: {}", err.message);
-    if !err.span.is_known() {
-        out.push_str(&format!("\n  --> {path}"));
-        return out;
-    }
-    out.push_str(&format!(
-        "\n  --> {path}:{}:{}",
-        err.span.line, err.span.col
-    ));
-    let Some(line_text) = source.lines().nth(err.span.line as usize - 1) else {
-        return out;
+    format!(
+        "error: {}{}",
+        err.message,
+        crate::span::caret_snippet(err.span, Some(source), path)
+    )
+}
+
+/// Renders a malformed-pragma error rustc-style, with a caret run under
+/// the offending pragma line.
+pub fn render_pragma_error(err: &PragmaError, source: &str, path: &str) -> String {
+    format!(
+        "error: malformed pragma: {}{}",
+        err.message,
+        crate::span::caret_snippet(err.span, Some(source), path)
+    )
+}
+
+/// What `mdtw-lint --optimize` produced for one file: either the
+/// optimized program dump or the reason the dry-run was skipped.
+#[derive(Debug)]
+pub enum OptimizeOutcome {
+    /// The program parsed strictly and the optimizer pipeline ran.
+    Optimized(OptimizeDump),
+    /// The dry-run could not (or had no reason to) run: parse failure or
+    /// error-level diagnostics. Carries a human-readable reason.
+    Skipped(String),
+}
+
+/// The result of running the full [`optimize`] pipeline on a file, for
+/// display: the surviving rules re-rendered as text, plus the summary.
+#[derive(Debug)]
+pub struct OptimizeDump {
+    /// The optimized program's rules, rendered back to datalog text.
+    pub rules: Vec<String>,
+    /// Rule count before the pipeline ran.
+    pub rules_before: usize,
+    /// What each transform did.
+    pub summary: TransformSummary,
+}
+
+/// Runs the semantic-optimizer dry-run for `mdtw-lint --optimize`:
+/// minimization, bounded-recursion elimination and (when `%! output`
+/// pragmas declare a query) the magic-set rewrite, then renders the
+/// resulting program. Never evaluates over real data — the only
+/// evaluation is the containment test's canonical databases.
+pub fn optimize_source(source: &str) -> Result<OptimizeOutcome, PragmaError> {
+    let decls = scan_pragmas(source)?;
+    let structure = synthetic_structure(source, &decls);
+    let mut program = match parse_program(source, &structure) {
+        Ok(p) => p,
+        Err(e) => {
+            return Ok(OptimizeOutcome::Skipped(format!(
+                "parse error at {}: {}",
+                e.span, e.message
+            )))
+        }
     };
-    let gutter = err.span.line.to_string();
-    let pad = " ".repeat(gutter.len());
-    let line_start: usize = source
-        .lines()
-        .take(err.span.line as usize - 1)
-        .map(|l| l.len() + 1)
-        .sum();
-    let span_end_on_line = (err.span.end as usize)
-        .min(line_start + line_text.len())
-        .max(err.span.start as usize + 1);
-    let caret_len = source
-        .get(err.span.start as usize..span_end_on_line)
-        .map_or(1, |s| s.chars().count())
-        .max(1);
-    out.push_str(&format!(
-        "\n {pad}|\n {gutter} | {line_text}\n {pad}| {}{}",
-        " ".repeat(err.span.col as usize - 1),
-        "^".repeat(caret_len),
-    ));
-    out
+    let rules_before = program.rules.len();
+    let outputs: Vec<_> = decls
+        .outputs
+        .iter()
+        .filter_map(|name| program.idb(name))
+        .collect();
+    let summary = optimize(&mut program, &outputs);
+    let rules = program
+        .rules
+        .iter()
+        .map(|r| program.render_rule(r, &structure))
+        .collect();
+    Ok(OptimizeOutcome::Optimized(OptimizeDump {
+        rules,
+        rules_before,
+        summary,
+    }))
 }
 
 /// A minimal JSON value — parser and printer — so `--json` output
@@ -659,6 +723,84 @@ pub fn diagnostic_from_json(value: &Json) -> Option<Diagnostic> {
     })
 }
 
+/// The per-file object of `mdtw-lint --json`: `file`, `diagnostics`
+/// (via [`diagnostic_to_json`]), and either a `parse_error` object or a
+/// `summary` object; with `--optimize`, an `optimize` field built by
+/// [`optimize_json`].
+pub fn file_json(path: &str, outcome: &LintOutcome, optimized: Option<&OptimizeOutcome>) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![("file".into(), Json::Str(path.into()))];
+    if let Some(err) = &outcome.parse_error {
+        fields.push((
+            "parse_error".into(),
+            Json::Obj(vec![
+                ("message".into(), Json::Str(err.message.clone())),
+                ("line".into(), Json::Num(f64::from(err.span.line))),
+                ("col".into(), Json::Num(f64::from(err.span.col))),
+            ]),
+        ));
+        fields.push(("diagnostics".into(), Json::Arr(Vec::new())));
+        return Json::Obj(fields);
+    }
+    let report = outcome.report.as_ref().expect("no parse error => report");
+    fields.push((
+        "diagnostics".into(),
+        Json::Arr(report.diagnostics.iter().map(diagnostic_to_json).collect()),
+    ));
+    fields.push((
+        "summary".into(),
+        Json::Obj(vec![
+            ("errors".into(), Json::Num(report.error_count() as f64)),
+            ("warnings".into(), Json::Num(report.warning_count() as f64)),
+            ("monadic".into(), Json::Bool(report.monadic)),
+            ("recursion".into(), Json::Str(report.recursion.to_string())),
+            (
+                "strata".into(),
+                report.strata.map_or(Json::Null, |n| Json::Num(n as f64)),
+            ),
+        ]),
+    ));
+    if let Some(opt) = optimized {
+        fields.push(("optimize".into(), optimize_json(opt)));
+    }
+    Json::Obj(fields)
+}
+
+/// Serializes an [`OptimizeOutcome`] for `--json --optimize` output.
+pub fn optimize_json(outcome: &OptimizeOutcome) -> Json {
+    match outcome {
+        OptimizeOutcome::Skipped(reason) => {
+            Json::Obj(vec![("skipped".into(), Json::Str(reason.clone()))])
+        }
+        OptimizeOutcome::Optimized(dump) => Json::Obj(vec![
+            (
+                "rules".into(),
+                Json::Arr(dump.rules.iter().map(|r| Json::Str(r.clone())).collect()),
+            ),
+            ("rules_before".into(), Json::Num(dump.rules_before as f64)),
+            (
+                "removed_rules".into(),
+                Json::Num(dump.summary.removed_rules as f64),
+            ),
+            (
+                "condensed_literals".into(),
+                Json::Num(dump.summary.condensed_literals as f64),
+            ),
+            (
+                "bounded_sccs".into(),
+                Json::Num(dump.summary.bounded_sccs as f64),
+            ),
+            (
+                "magic_applied".into(),
+                Json::Bool(dump.summary.magic_applied),
+            ),
+            (
+                "magic_rules".into(),
+                Json::Num(dump.summary.magic_rules as f64),
+            ),
+        ]),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -737,6 +879,68 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.code == LintCode::ExtensionalHead));
+    }
+
+    #[test]
+    fn pragma_errors_carry_real_spans() {
+        let source = "% ok\n  %! edb broken\nq(X) :- e(X, X).";
+        let err = scan_pragmas(source).unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.span.line, 2);
+        assert_eq!(err.span.col, 3);
+        assert_eq!(
+            &source[err.span.start as usize..err.span.end as usize],
+            "%! edb broken"
+        );
+        let rendered = render_pragma_error(&err, source, "p.dl");
+        assert!(rendered.contains("--> p.dl:2:3"), "{rendered}");
+        assert!(rendered.contains("^^^^^^^^^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn pragma_spans_survive_crlf_line_endings() {
+        let source = "% ok\r\n%! output\r\nq(X) :- e(X, X).\r\n";
+        let err = scan_pragmas(source).unwrap_err();
+        assert_eq!((err.span.line, err.span.col), (2, 1));
+        assert_eq!(
+            &source[err.span.start as usize..err.span.end as usize],
+            "%! output"
+        );
+        let rendered = render_pragma_error(&err, source, "p.dl");
+        // The caret line must sit under the pragma, not drift by the
+        // stripped `\r` bytes, and the echoed source line must not
+        // carry the `\r`.
+        assert!(rendered.contains("2 | %! output\n"), "{rendered}");
+        assert!(rendered.ends_with("| ^^^^^^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn optimize_source_dry_runs_the_pipeline() {
+        let out = optimize_source(
+            "%! edb e/2\n%! edb source/1\n%! output answer\n\
+             q(X, Y) :- e(X, Y).\n\
+             q(X, Y) :- q(Y, X).\n\
+             answer(Y) :- source(X), q(X, Y).",
+        )
+        .unwrap();
+        let OptimizeOutcome::Optimized(dump) = out else {
+            panic!("should optimize: {out:?}");
+        };
+        assert_eq!(dump.rules_before, 3);
+        assert_eq!(dump.summary.bounded_sccs, 1);
+        assert!(dump.summary.magic_applied);
+        assert!(!dump.rules.is_empty());
+        assert!(
+            dump.rules.iter().any(|r| r.contains("m_")),
+            "magic predicates visible in the dump: {:?}",
+            dump.rules
+        );
+    }
+
+    #[test]
+    fn optimize_source_skips_unparsable_files() {
+        let out = optimize_source("q(X :- e(X, Y).").unwrap();
+        assert!(matches!(out, OptimizeOutcome::Skipped(_)));
     }
 
     #[test]

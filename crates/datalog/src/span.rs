@@ -76,6 +76,55 @@ impl fmt::Display for Span {
     }
 }
 
+/// Renders the rustc-style location block for `span`: the `--> path:line:col`
+/// arrow line plus the gutter / source-line / caret lines. Returns only the
+/// location block (starting with `\n  --> `); callers prefix their own
+/// `severity[CODE]: message` header. Degrades gracefully: an unknown span
+/// yields just `\n  --> path`, a missing source or out-of-range line yields
+/// just the arrow line.
+///
+/// Line offsets are computed from raw byte positions of `\n`, so the caret
+/// column stays correct on CRLF input (where `str::lines` would undercount
+/// the stripped `\r` bytes).
+pub(crate) fn caret_snippet(span: Span, source: Option<&str>, path: &str) -> String {
+    if !span.is_known() {
+        return format!("\n  --> {path}");
+    }
+    let mut out = format!("\n  --> {path}:{}:{}", span.line, span.col);
+    let Some(source) = source else {
+        return out;
+    };
+    let mut line_start = 0usize;
+    for _ in 1..span.line {
+        match source[line_start..].find('\n') {
+            Some(p) => line_start += p + 1,
+            None => return out,
+        }
+    }
+    let rest = &source[line_start..];
+    let line_end = rest.find('\n').unwrap_or(rest.len());
+    let line_text = rest[..line_end]
+        .strip_suffix('\r')
+        .unwrap_or(&rest[..line_end]);
+    let gutter = span.line.to_string();
+    let pad = " ".repeat(gutter.len());
+    // Caret run: from the span's column to its end, clamped to the first
+    // line (multi-line spans underline to end of line).
+    let span_end_on_line = (span.end as usize)
+        .min(line_start + line_text.len())
+        .max(span.start as usize + 1);
+    let caret_len = source
+        .get(span.start as usize..span_end_on_line)
+        .map_or(1, |s| s.chars().count())
+        .max(1);
+    out.push_str(&format!(
+        "\n {pad}|\n {gutter} | {line_text}\n {pad}| {}{}",
+        " ".repeat(span.col.max(1) as usize - 1),
+        "^".repeat(caret_len),
+    ));
+    out
+}
+
 /// The source locations of one rule: the whole statement, the head atom,
 /// and each body literal (negation marker included), in body order.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]

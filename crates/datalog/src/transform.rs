@@ -1,0 +1,1303 @@
+//! Semantic program transformations: uniform-containment minimization,
+//! boundedness detection with recursion elimination, and the magic-set
+//! demand transformation.
+//!
+//! All three are *semantics-preserving on the declared outputs* and are
+//! property-tested store-identical against the untransformed program:
+//!
+//! * [`minimize`] condenses rule bodies by homomorphism (the
+//!   Chandra–Merlin core computation on each conjunctive body) and drops
+//!   rules that are *uniformly contained* in the rest of the program
+//!   (Sagiv's test: freeze the rule body into a canonical database, run
+//!   the remaining program over it through the ordinary [`Evaluator`],
+//!   and check whether the frozen head is re-derived).
+//! * [`bounded_sccs`] / [`eliminate_bounded_recursion`] decide
+//!   boundedness for linear, fully-positive recursive SCCs by iterating
+//!   the same containment test between the k-stage and (k+1)-stage
+//!   unfoldings (Mazowiecki–Ochremiak–Witkowski study exactly this
+//!   collapse for monadic programs on trees); a bounded SCC is replaced
+//!   by its nonrecursive unfolding.
+//! * [`magic_program`] specializes evaluation to the declared output
+//!   predicates with bound/free adornments and magic filter predicates,
+//!   so point-shaped queries stop materializing whole relations.
+//!
+//! The [`Evaluator`] wires these behind
+//! [`EvalOptions::minimize`](crate::EvalOptions::minimize),
+//! [`EvalOptions::eliminate_bounded_recursion`](crate::EvalOptions::eliminate_bounded_recursion)
+//! and [`EvalOptions::magic_sets`](crate::EvalOptions::magic_sets); the
+//! [`analysis`](crate::analysis) pass reports what they would do as the
+//! MD017 / MD023 / MD040-series diagnostics.
+
+use crate::ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term};
+use crate::evaluator::Evaluator;
+use crate::span::RuleSpans;
+use mdtw_structure::fx::{FxHashMap, FxHashSet};
+use mdtw_structure::{Domain, ElemId, PredId, Signature, Structure};
+use std::sync::Arc;
+
+/// Containment tests are skipped for programs larger than this.
+const MAX_RULES: usize = 64;
+/// Rules with more body literals than this are never candidates.
+const MAX_BODY: usize = 16;
+/// Boundedness is tested up to this unfolding stage.
+const MAX_STAGES: usize = 3;
+/// Unfolding gives up once a stage holds more rules than this.
+const MAX_UNFOLDED: usize = 128;
+/// Backtracking-step budget for one homomorphism search.
+const HOM_STEPS: usize = 10_000;
+
+/// What [`minimize`] did to a program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MinimizeReport {
+    /// Rules removed because the rest of the program uniformly contains
+    /// them.
+    pub removed_rules: usize,
+    /// Body literals dropped by homomorphism condensation.
+    pub condensed_literals: usize,
+}
+
+/// A recursive SCC proven bounded, with its nonrecursive replacement.
+#[derive(Debug, Clone)]
+pub struct BoundedScc {
+    /// Names of the intensional predicates in the SCC.
+    pub preds: Vec<String>,
+    /// The stage k at which the (k+1)-stage unfolding was contained in
+    /// the k-stage one.
+    pub stage: usize,
+    /// Indices (into the analyzed program) of the SCC's rules.
+    pub rules: Vec<usize>,
+    /// The nonrecursive rules that replace them.
+    pub replacement: Vec<Rule>,
+}
+
+/// What the magic-set transformation produced.
+#[derive(Debug, Clone)]
+pub struct MagicOutcome {
+    /// The transformed program, or `None` when no output admits a bound
+    /// adornment (the demand transformation would be the identity).
+    pub program: Option<Program>,
+    /// Number of adorned predicate versions created.
+    pub adorned: usize,
+    /// Number of magic (demand) rules emitted.
+    pub magic_rules: usize,
+    /// Predicates kept fully materialized (negation reaches them, so the
+    /// demand restriction would change their meaning).
+    pub full_preds: Vec<String>,
+}
+
+/// Combined summary of one [`optimize`] run, also surfaced by the
+/// [`Evaluator`] as [`transforms()`](crate::Evaluator::transforms).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransformSummary {
+    /// Rules dropped by uniform-containment minimization.
+    pub removed_rules: usize,
+    /// Body literals dropped by condensation.
+    pub condensed_literals: usize,
+    /// Recursive SCCs proven bounded and rewritten nonrecursive.
+    pub bounded_sccs: usize,
+    /// Whether the magic-set rewrite was applied.
+    pub magic_applied: bool,
+    /// Adorned predicate versions the magic rewrite created.
+    pub magic_adorned: usize,
+    /// Magic (demand) rules the rewrite emitted.
+    pub magic_rules: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Canonical-database harness shared by the containment tests.
+// ---------------------------------------------------------------------------
+
+/// The synthetic world a containment test evaluates in: one EDB slot per
+/// extensional predicate the program mentions (indices aligned with the
+/// original [`PredId`]s) plus one `__in` slot per intensional predicate,
+/// used to freeze IDB body atoms into extensional facts.
+struct TestWorld {
+    sig: Arc<Signature>,
+    /// First [`ElemId`] used for frozen variables; constants keep their
+    /// identity below it.
+    offset: u32,
+    edb_slots: usize,
+}
+
+impl TestWorld {
+    fn new(program: &Program) -> Self {
+        let mut arities: Vec<usize> = Vec::new();
+        let mut max_const = None::<u32>;
+        for rule in &program.rules {
+            for atom in std::iter::once(&rule.head).chain(rule.body.iter().map(|l| &l.atom)) {
+                if let PredRef::Edb(p) = atom.pred {
+                    if p.index() >= arities.len() {
+                        arities.resize(p.index() + 1, 0);
+                    }
+                    arities[p.index()] = atom.terms.len();
+                }
+                for term in &atom.terms {
+                    if let Term::Const(c) = term {
+                        max_const = Some(max_const.map_or(c.0, |m: u32| m.max(c.0)));
+                    }
+                }
+            }
+        }
+        let edb_slots = arities.len();
+        let pairs: Vec<(String, usize)> = arities
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (format!("__e{i}"), a))
+            .chain(
+                program
+                    .idb_arities
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &a)| (format!("__in{i}"), a)),
+            )
+            .collect();
+        TestWorld {
+            sig: Arc::new(Signature::from_pairs(pairs)),
+            offset: max_const.map_or(0, |m| m + 1),
+            edb_slots,
+        }
+    }
+
+    /// The EDB slot that freezes intensional predicate `p`.
+    fn idb_slot(&self, p: IdbId) -> PredId {
+        PredId((self.edb_slots + p.index()) as u32)
+    }
+
+    /// Freezes a term of the candidate rule into a domain element.
+    fn freeze(&self, term: Term) -> ElemId {
+        match term {
+            Term::Const(c) => c,
+            Term::Var(v) => ElemId(self.offset + v.0),
+        }
+    }
+
+    /// The canonical database of `rule`: its positive body literals as
+    /// facts, variables frozen to fresh elements.
+    fn canonical_db(&self, rule: &Rule) -> Structure {
+        let n = self.offset as usize + rule.var_count as usize;
+        let mut db = Structure::new(Arc::clone(&self.sig), Domain::anonymous(n));
+        for lit in &rule.body {
+            if !lit.positive {
+                continue;
+            }
+            let args: Vec<ElemId> = lit.atom.terms.iter().map(|&t| self.freeze(t)).collect();
+            let pred = match lit.atom.pred {
+                PredRef::Edb(p) => p,
+                PredRef::Idb(q) => self.idb_slot(q),
+            };
+            db.insert(pred, &args);
+        }
+        db
+    }
+
+    /// Evaluates `test` over `db` and checks the frozen head of
+    /// `candidate` is derived. Any construction or evaluation error is
+    /// treated as "not contained" (conservative).
+    fn derives_head(&self, test: Program, db: &Structure, candidate: &Rule) -> bool {
+        let PredRef::Idb(head) = candidate.head.pred else {
+            return false;
+        };
+        let args: Vec<ElemId> = candidate
+            .head
+            .terms
+            .iter()
+            .map(|&t| self.freeze(t))
+            .collect();
+        match Evaluator::new(test) {
+            Ok(mut session) => session
+                .evaluate(db)
+                .is_ok_and(|r| r.store.holds(head, &args)),
+            Err(_) => false,
+        }
+    }
+}
+
+/// A rule eligible for the containment tests: fully positive, safe, and
+/// intensional-headed, with a tractable body.
+fn eligible(rule: &Rule) -> bool {
+    matches!(rule.head.pred, PredRef::Idb(_))
+        && rule.body.len() <= MAX_BODY
+        && rule.body.iter().all(|l| l.positive)
+        && rule.is_safe()
+}
+
+/// An empty program sharing `program`'s IDB tables, so [`IdbId`]s align.
+fn idb_shell(program: &Program) -> Program {
+    Program {
+        rules: Vec::new(),
+        idb_names: program.idb_names.clone(),
+        idb_arities: program.idb_arities.clone(),
+        spans: Vec::new(),
+        idb_by_name: program.idb_by_name.clone(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Uniform-containment rule minimization.
+// ---------------------------------------------------------------------------
+
+/// Decides, per rule, whether the rest of the program *uniformly
+/// contains* it — i.e. removing it provably never loses a derivable
+/// fact, over every database and every value of the intensional inputs.
+///
+/// The test is Sagiv's: freeze the rule body into a canonical database
+/// (variables become fresh domain elements, intensional atoms become
+/// `__in` facts), run the remaining program — extended with copy rules
+/// `p(X̄) :- __in_p(X̄)` — over it, and check whether the frozen head is
+/// derived. Rules are tested and removed sequentially, so mutually
+/// subsumed copies never all vanish. Sound under stratified negation:
+/// only the fully-positive fragment of the remaining program is used,
+/// which can only under-approximate derivability.
+pub fn redundant_rules(program: &Program) -> Vec<bool> {
+    let n = program.rules.len();
+    let mut redundant = vec![false; n];
+    if !(2..=MAX_RULES).contains(&n) {
+        return redundant;
+    }
+    let world = TestWorld::new(program);
+    let mut kept: Vec<usize> = (0..n).collect();
+    for (j, flag) in redundant.iter_mut().enumerate() {
+        if !eligible(&program.rules[j]) {
+            continue;
+        }
+        if rule_redundant(&world, program, &kept, j) {
+            *flag = true;
+            kept.retain(|&k| k != j);
+        }
+    }
+    redundant
+}
+
+fn rule_redundant(world: &TestWorld, program: &Program, kept: &[usize], j: usize) -> bool {
+    let candidate = &program.rules[j];
+    let mut test = idb_shell(program);
+    // Copy rules seed every intensional predicate from its frozen input
+    // slot, so derivations in the remaining program may chain through
+    // intensional atoms of the candidate body.
+    for (i, &arity) in program.idb_arities.iter().enumerate() {
+        let terms: Vec<Term> = (0..arity as u32)
+            .map(|v| Term::Var(crate::ast::Var(v)))
+            .collect();
+        test.rules.push(Rule {
+            head: Atom {
+                pred: PredRef::Idb(IdbId(i as u32)),
+                terms: terms.clone(),
+            },
+            body: vec![Literal {
+                atom: Atom {
+                    pred: PredRef::Edb(world.idb_slot(IdbId(i as u32))),
+                    terms,
+                },
+                positive: true,
+            }],
+            var_count: arity as u32,
+            var_names: (0..arity).map(|v| format!("A{v}")).collect(),
+        });
+    }
+    for &k in kept {
+        if k != j && eligible(&program.rules[k]) {
+            test.rules.push(program.rules[k].clone());
+        }
+    }
+    let db = world.canonical_db(candidate);
+    world.derives_head(test, &db, candidate)
+}
+
+/// Condenses rule bodies: a positive literal is dropped when a
+/// homomorphism fixing the head variables (and constants) maps the full
+/// body into the body without it — the body minus the literal is then
+/// equivalent as a conjunctive query. Returns the number of literals
+/// dropped; spans stay parallel.
+pub(crate) fn condense(program: &mut Program) -> usize {
+    let mut dropped = 0;
+    for i in 0..program.rules.len() {
+        if !eligible(&program.rules[i]) {
+            continue;
+        }
+        loop {
+            let rule = &program.rules[i];
+            if rule.body.len() <= 1 {
+                break;
+            }
+            let Some(d) = (0..rule.body.len()).find(|&d| literal_droppable(rule, d)) else {
+                break;
+            };
+            program.rules[i].body.remove(d);
+            if let Some(spans) = program.spans.get_mut(i) {
+                if d < spans.literals.len() {
+                    spans.literals.remove(d);
+                }
+            }
+            dropped += 1;
+        }
+    }
+    dropped
+}
+
+fn literal_droppable(rule: &Rule, d: usize) -> bool {
+    let target: Vec<&Literal> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| k != d)
+        .map(|(_, l)| l)
+        .collect();
+    let mut assign: Vec<Option<Term>> = vec![None; rule.var_count as usize];
+    for v in rule.head.vars() {
+        assign[v.index()] = Some(Term::Var(v));
+    }
+    let mut steps = HOM_STEPS;
+    hom_search(&rule.body, 0, &target, &mut assign, &mut steps)
+}
+
+/// Backtracking search for a homomorphism from `src[i..]` into `target`
+/// extending `assign`. Bounded by `steps`.
+fn hom_search(
+    src: &[Literal],
+    i: usize,
+    target: &[&Literal],
+    assign: &mut Vec<Option<Term>>,
+    steps: &mut usize,
+) -> bool {
+    if i == src.len() {
+        return true;
+    }
+    for t in target {
+        if *steps == 0 {
+            return false;
+        }
+        *steps -= 1;
+        if t.atom.pred != src[i].atom.pred || t.atom.terms.len() != src[i].atom.terms.len() {
+            continue;
+        }
+        let saved = assign.clone();
+        if match_terms(&src[i].atom.terms, &t.atom.terms, assign)
+            && hom_search(src, i + 1, target, assign, steps)
+        {
+            return true;
+        }
+        *assign = saved;
+    }
+    false
+}
+
+fn match_terms(src: &[Term], tgt: &[Term], assign: &mut [Option<Term>]) -> bool {
+    for (s, t) in src.iter().zip(tgt) {
+        match s {
+            Term::Const(c) => {
+                if *t != Term::Const(*c) {
+                    return false;
+                }
+            }
+            Term::Var(v) => match &assign[v.index()] {
+                Some(bound) => {
+                    if bound != t {
+                        return false;
+                    }
+                }
+                None => assign[v.index()] = Some(*t),
+            },
+        }
+    }
+    true
+}
+
+/// Minimizes a program in place: condensation first, then sequential
+/// uniform-containment removal. Semantics on every intensional predicate
+/// are preserved (property-tested).
+pub fn minimize(program: &mut Program) -> MinimizeReport {
+    let condensed_literals = condense(program);
+    let redundant = redundant_rules(program);
+    let removed_rules = redundant.iter().filter(|&&r| r).count();
+    if removed_rules > 0 {
+        let mut keep = redundant.iter();
+        program.rules.retain(|_| !*keep.next().unwrap());
+        if !program.spans.is_empty() {
+            let mut keep = redundant.iter();
+            program.spans.retain(|_| !*keep.next().unwrap());
+        }
+    }
+    MinimizeReport {
+        removed_rules,
+        condensed_literals,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Boundedness detection & recursion elimination.
+// ---------------------------------------------------------------------------
+
+/// Detects bounded recursion: for every linear, fully-positive recursive
+/// SCC, the k-stage unfoldings `U_1 ∪ … ∪ U_k` are compared with the
+/// (k+1)-stage ones by uniform containment (lower intensional
+/// predicates abstracted to extensional inputs, so the proof holds for
+/// *every* value of the lower strata). A SCC bounded at stage k is
+/// reported with its nonrecursive replacement `N_k = U_1 ∪ … ∪ U_k`.
+pub fn bounded_sccs(program: &Program) -> Vec<BoundedScc> {
+    if program.rules.len() > MAX_RULES || program.idb_count() == 0 {
+        return Vec::new();
+    }
+    let scc_of = crate::analysis::idb_sccs(program);
+    let scc_count = scc_of.iter().map(|&s| s + 1).max().unwrap_or(0);
+    let world = TestWorld::new(program);
+    let mut out = Vec::new();
+    for s in 0..scc_count {
+        let members: Vec<usize> = (0..program.idb_count())
+            .filter(|&p| scc_of[p] == s)
+            .collect();
+        if let Some(b) = try_bound_scc(program, &world, &scc_of, s, &members) {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// True if the atom's predicate lies in SCC `s`.
+fn in_scc(pred: PredRef, scc_of: &[usize], s: usize) -> bool {
+    matches!(pred, PredRef::Idb(p) if scc_of[p.index()] == s)
+}
+
+fn try_bound_scc(
+    program: &Program,
+    world: &TestWorld,
+    scc_of: &[usize],
+    s: usize,
+    members: &[usize],
+) -> Option<BoundedScc> {
+    // Gather the SCC's rules; every one must be eligible and *linear*
+    // (at most one in-SCC body literal).
+    let mut rule_ids = Vec::new();
+    let mut exits: Vec<Rule> = Vec::new();
+    let mut recursive: Vec<(Rule, usize)> = Vec::new();
+    for (i, rule) in program.rules.iter().enumerate() {
+        if !in_scc(rule.head.pred, scc_of, s) {
+            continue;
+        }
+        if !eligible(rule) {
+            return None;
+        }
+        rule_ids.push(i);
+        let rec_positions: Vec<usize> = rule
+            .body
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| in_scc(l.atom.pred, scc_of, s))
+            .map(|(k, _)| k)
+            .collect();
+        match rec_positions.len() {
+            0 => exits.push(rule.clone()),
+            1 => recursive.push((rule.clone(), rec_positions[0])),
+            _ => return None,
+        }
+    }
+    if recursive.is_empty() || exits.is_empty() || rule_ids.len() > MAX_BODY {
+        return None;
+    }
+
+    // Iterate the unfolding stages.
+    let mut accumulated: Vec<Rule> = Vec::new(); // N_k
+    let mut frontier: Vec<Rule> = exits; // U_k
+    for stage in 1..=MAX_STAGES {
+        accumulated.extend(frontier.iter().cloned());
+        let mut next: Vec<Rule> = Vec::new(); // U_{k+1}
+        let mut seen: FxHashSet<String> = accumulated.iter().map(rule_key).collect();
+        for (rule, pos) in &recursive {
+            for u in &frontier {
+                let Some(unfolded) = unfold(rule, *pos, u) else {
+                    continue;
+                };
+                if unfolded.body.len() > 2 * MAX_BODY || !unfolded.is_safe() {
+                    return None;
+                }
+                if seen.insert(rule_key(&unfolded)) {
+                    next.push(unfolded);
+                }
+            }
+        }
+        if next.len() > MAX_UNFOLDED {
+            return None;
+        }
+        if next.is_empty()
+            || next
+                .iter()
+                .all(|u| stage_contained(program, world, scc_of, s, &accumulated, u))
+        {
+            return Some(BoundedScc {
+                preds: members
+                    .iter()
+                    .map(|&p| program.idb_names[p].clone())
+                    .collect(),
+                stage,
+                rules: rule_ids,
+                replacement: accumulated,
+            });
+        }
+        frontier = next;
+    }
+    None
+}
+
+/// Resolves `rule`'s single in-SCC literal (at `pos`) against `u`'s head
+/// by unification and returns the unfolded rule, or `None` on clash.
+/// `u`'s variables are shifted above `rule`'s.
+fn unfold(rule: &Rule, pos: usize, u: &Rule) -> Option<Rule> {
+    use crate::ast::Var;
+    let shift = rule.var_count;
+    let nv = (rule.var_count + u.var_count) as usize;
+    let shift_term = |t: Term| match t {
+        Term::Var(v) => Term::Var(Var(v.0 + shift)),
+        c => c,
+    };
+    let mut sub: Vec<Option<Term>> = vec![None; nv];
+    fn resolve(sub: &[Option<Term>], mut t: Term) -> Term {
+        while let Term::Var(v) = t {
+            match sub[v.index()] {
+                Some(next) => t = next,
+                None => break,
+            }
+        }
+        t
+    }
+    let call = &rule.body[pos].atom;
+    if call.terms.len() != u.head.terms.len() {
+        return None;
+    }
+    for (&a, &b) in call.terms.iter().zip(u.head.terms.iter()) {
+        let a = resolve(&sub, a);
+        let b = resolve(&sub, shift_term(b));
+        match (a, b) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return None;
+                }
+            }
+            (Term::Var(x), t) | (t, Term::Var(x)) => {
+                if t != Term::Var(x) {
+                    sub[x.index()] = Some(t);
+                }
+            }
+        }
+    }
+
+    // Build the unfolded rule: rule's body minus the call, plus u's body,
+    // all under the substitution, with variables compactly renumbered.
+    let mut remap: Vec<Option<u32>> = vec![None; nv];
+    let mut var_names: Vec<String> = Vec::new();
+    let mut used: FxHashSet<String> = FxHashSet::default();
+    let mut next_var = 0u32;
+    let mut map_term = |t: Term, remap: &mut Vec<Option<u32>>, var_names: &mut Vec<String>| {
+        let t = resolve(&sub, t);
+        match t {
+            Term::Const(_) => t,
+            Term::Var(v) => {
+                let id = *remap[v.index()].get_or_insert_with(|| {
+                    let mut name = if v.0 < shift {
+                        rule.var_names.get(v.index()).cloned()
+                    } else {
+                        u.var_names.get((v.0 - shift) as usize).cloned()
+                    }
+                    .unwrap_or_else(|| format!("V{}", v.0));
+                    while !used.insert(name.clone()) {
+                        name.push('\'');
+                    }
+                    var_names.push(name);
+                    let id = next_var;
+                    next_var += 1;
+                    id
+                });
+                Term::Var(Var(id))
+            }
+        }
+    };
+    let mut map_atom = |a: &Atom, shifted: bool| Atom {
+        pred: a.pred,
+        terms: a
+            .terms
+            .iter()
+            .map(|&t| {
+                let t = if shifted { shift_term(t) } else { t };
+                map_term(t, &mut remap, &mut var_names)
+            })
+            .collect(),
+    };
+    let head = map_atom(&rule.head, false);
+    let mut body: Vec<Literal> = Vec::new();
+    for (k, lit) in rule.body.iter().enumerate() {
+        if k != pos {
+            body.push(Literal {
+                atom: map_atom(&lit.atom, false),
+                positive: lit.positive,
+            });
+        }
+    }
+    for lit in &u.body {
+        body.push(Literal {
+            atom: map_atom(&lit.atom, true),
+            positive: lit.positive,
+        });
+    }
+    Some(Rule {
+        head,
+        body,
+        var_count: next_var,
+        var_names,
+    })
+}
+
+/// A structural dedup key (not canonical under variable renaming — used
+/// only to avoid re-deriving identical unfoldings).
+fn rule_key(rule: &Rule) -> String {
+    let mut lits: Vec<String> = rule.body.iter().map(|l| format!("{l:?}")).collect();
+    lits.sort_unstable();
+    format!("{:?}|{}", rule.head, lits.join(";"))
+}
+
+/// Is the unfolded rule `u` uniformly contained in the nonrecursive
+/// program `stages`? Lower intensional predicates are rewritten to their
+/// extensional input slots on both sides, so the containment holds for
+/// every value of the lower strata.
+fn stage_contained(
+    program: &Program,
+    world: &TestWorld,
+    scc_of: &[usize],
+    s: usize,
+    stages: &[Rule],
+    u: &Rule,
+) -> bool {
+    debug_assert!(!u.body.iter().any(|l| in_scc(l.atom.pred, scc_of, s)));
+    let mut test = idb_shell(program);
+    for rule in stages {
+        let mut rewritten = rule.clone();
+        for lit in &mut rewritten.body {
+            if let PredRef::Idb(q) = lit.atom.pred {
+                lit.atom.pred = PredRef::Edb(world.idb_slot(q));
+            }
+        }
+        test.rules.push(rewritten);
+    }
+    let db = world.canonical_db(u);
+    world.derives_head(test, &db, u)
+}
+
+/// Rewrites every bounded SCC nonrecursive, in place: the SCC's rules
+/// are dropped and the unfolded replacement appended (with dummy spans,
+/// since the new rules have no single source location). Returns the
+/// proofs. Store-identical on every predicate (property-tested).
+pub fn eliminate_bounded_recursion(program: &mut Program) -> Vec<BoundedScc> {
+    let sccs = bounded_sccs(program);
+    if sccs.is_empty() {
+        return sccs;
+    }
+    let mut drop = vec![false; program.rules.len()];
+    for scc in &sccs {
+        for &i in &scc.rules {
+            drop[i] = true;
+        }
+    }
+    let had_spans = !program.spans.is_empty();
+    let mut keep = drop.iter();
+    program.rules.retain(|_| !*keep.next().unwrap());
+    if had_spans {
+        let mut keep = drop.iter();
+        program.spans.retain(|_| !*keep.next().unwrap());
+    }
+    for scc in &sccs {
+        for rule in &scc.replacement {
+            program.rules.push(rule.clone());
+            if had_spans {
+                program.spans.push(RuleSpans::default());
+            }
+        }
+    }
+    sccs
+}
+
+// ---------------------------------------------------------------------------
+// Magic-set demand transformation.
+// ---------------------------------------------------------------------------
+
+fn adorned_name(name: &str, adorn: &[bool]) -> String {
+    if adorn.iter().all(|&b| !b) {
+        name.to_owned()
+    } else {
+        let tag: String = adorn.iter().map(|&b| if b { 'b' } else { 'f' }).collect();
+        format!("{name}[{tag}]")
+    }
+}
+
+struct MagicBuilder<'a> {
+    src: &'a Program,
+    out: Program,
+    /// Predicates negation can reach: kept fully materialized.
+    needs_full: Vec<bool>,
+    rules_by_head: Vec<Vec<usize>>,
+    adorned: FxHashMap<(u32, Vec<bool>), IdbId>,
+    magic: FxHashMap<(u32, Vec<bool>), IdbId>,
+    full_done: Vec<bool>,
+    worklist: Vec<(IdbId, Vec<bool>)>,
+    magic_seen: FxHashSet<String>,
+    magic_rule_count: usize,
+}
+
+impl<'a> MagicBuilder<'a> {
+    fn new(src: &'a Program) -> Self {
+        let n = src.idb_count();
+        let mut rules_by_head = vec![Vec::new(); n];
+        for (i, rule) in src.rules.iter().enumerate() {
+            if let PredRef::Idb(h) = rule.head.pred {
+                rules_by_head[h.index()].push(i);
+            }
+        }
+        // Negated predicates — and everything their rules depend on —
+        // must keep their exact original extension: restricting them by
+        // demand would change what the negation filters out.
+        let mut needs_full = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        for rule in &src.rules {
+            for lit in &rule.body {
+                if let (false, PredRef::Idb(q)) = (lit.positive, lit.atom.pred) {
+                    if !needs_full[q.index()] {
+                        needs_full[q.index()] = true;
+                        stack.push(q.index());
+                    }
+                }
+            }
+        }
+        while let Some(p) = stack.pop() {
+            for &ri in &rules_by_head[p] {
+                for lit in &src.rules[ri].body {
+                    if let PredRef::Idb(q) = lit.atom.pred {
+                        if !needs_full[q.index()] {
+                            needs_full[q.index()] = true;
+                            stack.push(q.index());
+                        }
+                    }
+                }
+            }
+        }
+        MagicBuilder {
+            src,
+            out: Program::default(),
+            needs_full,
+            rules_by_head,
+            adorned: FxHashMap::default(),
+            magic: FxHashMap::default(),
+            full_done: vec![false; n],
+            worklist: Vec::new(),
+            magic_seen: FxHashSet::default(),
+            magic_rule_count: 0,
+        }
+    }
+
+    /// Interns predicate `p` under its original name and emits its
+    /// original rules verbatim (bodies remapped recursively). Terminates
+    /// on cycles because `full_done` is set before recursing.
+    fn ensure_full(&mut self, p: IdbId) -> IdbId {
+        let id = self
+            .out
+            .intern_idb(
+                &self.src.idb_names[p.index()],
+                self.src.idb_arities[p.index()],
+            )
+            .expect("full predicates keep their original arity");
+        if !self.full_done[p.index()] {
+            self.full_done[p.index()] = true;
+            for ri in self.rules_by_head[p.index()].clone() {
+                let mut rule = self.src.rules[ri].clone();
+                rule.head.pred = PredRef::Idb(id);
+                for lit in &mut rule.body {
+                    if let PredRef::Idb(q) = lit.atom.pred {
+                        lit.atom.pred = PredRef::Idb(self.ensure_full(q));
+                    }
+                }
+                self.out.rules.push(rule);
+            }
+        }
+        id
+    }
+
+    /// The adorned version of `p` under `adorn` (original name when all
+    /// positions are free), scheduling its rules for rewriting on first
+    /// use. Predicates negation reaches stay full.
+    fn ensure_adorned(&mut self, p: IdbId, adorn: Vec<bool>) -> IdbId {
+        if self.needs_full[p.index()] {
+            return self.ensure_full(p);
+        }
+        let key = (p.0, adorn.clone());
+        if let Some(&id) = self.adorned.get(&key) {
+            return id;
+        }
+        let name = adorned_name(&self.src.idb_names[p.index()], &adorn);
+        let id = self
+            .out
+            .intern_idb(&name, self.src.idb_arities[p.index()])
+            .expect("adorned names are fresh");
+        self.adorned.insert(key, id);
+        self.worklist.push((p, adorn));
+        id
+    }
+
+    /// The magic (demand) predicate for `p` under `adorn`; arity = number
+    /// of bound positions.
+    fn magic_id(&mut self, p: IdbId, adorn: &[bool]) -> IdbId {
+        let key = (p.0, adorn.to_vec());
+        if let Some(&id) = self.magic.get(&key) {
+            return id;
+        }
+        let tag: String = adorn.iter().map(|&b| if b { 'b' } else { 'f' }).collect();
+        let arity = adorn.iter().filter(|&&b| b).count();
+        let id = self
+            .out
+            .intern_idb(
+                &format!("m_{}[{tag}]", self.src.idb_names[p.index()]),
+                arity,
+            )
+            .expect("magic names are fresh");
+        self.magic.insert(key, id);
+        id
+    }
+
+    /// Rewrites every rule of `p` for the adornment `adorn`.
+    fn rewrite_pred(&mut self, p: IdbId, adorn: &[bool]) {
+        for ri in self.rules_by_head[p.index()].clone() {
+            self.rewrite_rule(p, adorn, ri);
+        }
+    }
+
+    fn rewrite_rule(&mut self, p: IdbId, adorn: &[bool], ri: usize) {
+        let rule = &self.src.rules[ri];
+        let head_id = self.adorned[&(p.0, adorn.to_vec())];
+        let mut bound = vec![false; rule.var_count as usize];
+        let mut body_out: Vec<Literal> = Vec::new();
+
+        // The magic filter: this rule only fires for demanded bindings.
+        if adorn.iter().any(|&b| b) {
+            let terms: Vec<Term> = rule
+                .head
+                .terms
+                .iter()
+                .zip(adorn)
+                .filter(|&(_, &b)| b)
+                .map(|(&t, _)| t)
+                .collect();
+            for t in &terms {
+                if let Term::Var(v) = t {
+                    bound[v.index()] = true;
+                }
+            }
+            let magic = self.magic_id(p, adorn);
+            body_out.push(Literal {
+                atom: Atom {
+                    pred: PredRef::Idb(magic),
+                    terms,
+                },
+                positive: true,
+            });
+        }
+
+        let src_body = rule.body.clone();
+        let (head_terms, var_count, var_names) = (
+            rule.head.terms.clone(),
+            rule.var_count,
+            rule.var_names.clone(),
+        );
+        for lit in &src_body {
+            let rewritten = match lit.atom.pred {
+                PredRef::Edb(_) => lit.clone(),
+                PredRef::Idb(q) if !lit.positive || self.needs_full[q.index()] => Literal {
+                    atom: Atom {
+                        pred: PredRef::Idb(self.ensure_full(q)),
+                        terms: lit.atom.terms.clone(),
+                    },
+                    positive: lit.positive,
+                },
+                PredRef::Idb(q) => {
+                    let sub_adorn: Vec<bool> = lit
+                        .atom
+                        .terms
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(_) => true,
+                            Term::Var(v) => bound[v.index()],
+                        })
+                        .collect();
+                    if sub_adorn.iter().any(|&b| b) {
+                        self.emit_magic_rule(q, &sub_adorn, lit, &body_out, var_count, &var_names);
+                    }
+                    Literal {
+                        atom: Atom {
+                            pred: PredRef::Idb(self.ensure_adorned(q, sub_adorn)),
+                            terms: lit.atom.terms.clone(),
+                        },
+                        positive: true,
+                    }
+                }
+            };
+            if rewritten.positive {
+                for v in rewritten.atom.vars() {
+                    bound[v.index()] = true;
+                }
+            }
+            body_out.push(rewritten);
+        }
+
+        self.out.rules.push(Rule {
+            head: Atom {
+                pred: PredRef::Idb(head_id),
+                terms: head_terms,
+            },
+            body: body_out,
+            var_count,
+            var_names: var_names.clone(),
+        });
+    }
+
+    /// Emits `m_q[β'](bound args) :- <positive prefix of the rewritten
+    /// body so far>`, skipping exact duplicates and the tautological
+    /// single-literal self-loop.
+    fn emit_magic_rule(
+        &mut self,
+        q: IdbId,
+        sub_adorn: &[bool],
+        lit: &Literal,
+        body_so_far: &[Literal],
+        var_count: u32,
+        var_names: &[String],
+    ) {
+        let magic = self.magic_id(q, sub_adorn);
+        let head = Atom {
+            pred: PredRef::Idb(magic),
+            terms: lit
+                .atom
+                .terms
+                .iter()
+                .zip(sub_adorn)
+                .filter(|&(_, &b)| b)
+                .map(|(&t, _)| t)
+                .collect(),
+        };
+        let body: Vec<Literal> = body_so_far.iter().filter(|l| l.positive).cloned().collect();
+        if body.len() == 1 && body[0].atom == head {
+            return; // m_q(X) :- m_q(X).
+        }
+        let rule = Rule {
+            head,
+            body,
+            var_count,
+            var_names: var_names.to_vec(),
+        };
+        if self.magic_seen.insert(rule_key(&rule)) {
+            self.magic_rule_count += 1;
+            self.out.rules.push(rule);
+        }
+    }
+}
+
+/// The magic-set demand transformation keyed by the declared `outputs`
+/// (queried all-free; bindings propagate left to right through rule
+/// bodies). Output and fully-materialized predicates keep their original
+/// names, so result lookups by name keep working. Returns
+/// `program: None` when no bound adornment arises — the rewrite would
+/// just be a renaming. The caller should fall back to the original
+/// program if the rewrite fails to stratify.
+pub fn magic_program(program: &Program, outputs: &[IdbId]) -> MagicOutcome {
+    let inert = |full_preds: Vec<String>| MagicOutcome {
+        program: None,
+        adorned: 0,
+        magic_rules: 0,
+        full_preds,
+    };
+    if outputs.is_empty()
+        || program.rules.len() > 4 * MAX_RULES
+        || program
+            .rules
+            .iter()
+            .any(|r| !r.is_safe() || matches!(r.head.pred, PredRef::Edb(_)))
+    {
+        return inert(Vec::new());
+    }
+    let mut b = MagicBuilder::new(program);
+    for &o in outputs {
+        let adorn = vec![false; program.idb_arities[o.index()]];
+        b.ensure_adorned(o, adorn);
+    }
+    while let Some((p, adorn)) = b.worklist.pop() {
+        b.rewrite_pred(p, &adorn);
+    }
+    let mut full_preds: Vec<String> = b
+        .full_done
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d)
+        .map(|(i, _)| program.idb_names[i].clone())
+        .collect();
+    full_preds.sort_unstable();
+    if b.magic.is_empty() {
+        return inert(full_preds);
+    }
+    MagicOutcome {
+        program: Some(b.out),
+        adorned: b.adorned.len(),
+        magic_rules: b.magic_rule_count,
+        full_preds,
+    }
+}
+
+/// Runs the full pipeline in place — minimization, bounded-recursion
+/// elimination, then (if any output admits a bound adornment and the
+/// rewrite stratifies) the magic-set transformation — and reports what
+/// happened. `outputs` are predicate ids of the *input* program; they
+/// stay valid across the first two passes because predicates are never
+/// renumbered.
+pub fn optimize(program: &mut Program, outputs: &[IdbId]) -> TransformSummary {
+    let minimized = minimize(program);
+    let bounded = eliminate_bounded_recursion(program);
+    let magic = magic_program(program, outputs);
+    let mut summary = TransformSummary {
+        removed_rules: minimized.removed_rules,
+        condensed_literals: minimized.condensed_literals,
+        bounded_sccs: bounded.len(),
+        magic_applied: false,
+        magic_adorned: magic.adorned,
+        magic_rules: magic.magic_rules,
+    };
+    if let Some(rewritten) = magic.program {
+        if crate::stratify::stratify(&rewritten).is_ok() {
+            summary.magic_applied = true;
+            *program = rewritten;
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::EvalOptions;
+    use crate::parser::parse_program;
+    use mdtw_structure::{Domain, ElemId, Signature, Structure};
+    use std::sync::Arc;
+
+    fn chain(n: usize) -> Structure {
+        let sig = Arc::new(Signature::from_pairs([
+            ("e", 2),
+            ("node", 1),
+            ("source", 1),
+        ]));
+        let mut s = Structure::new(sig, Domain::anonymous(n));
+        let e = s.signature().lookup("e").unwrap();
+        let node = s.signature().lookup("node").unwrap();
+        let source = s.signature().lookup("source").unwrap();
+        for i in 0..n {
+            s.insert(node, &[ElemId(i as u32)]);
+        }
+        for i in 0..n - 1 {
+            s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+        }
+        s.insert(source, &[ElemId(0)]);
+        s
+    }
+
+    #[test]
+    fn redundant_rule_is_detected_semantically() {
+        // The second rule is an instance of the first (a homomorphic
+        // image), but not a syntactic duplicate.
+        let s = chain(4);
+        let p = parse_program(
+            "q(X) :- e(X, Y).\n\
+             q(X) :- e(X, Y), node(Y).",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(redundant_rules(&p), vec![false, true]);
+    }
+
+    #[test]
+    fn recursive_rule_subsumed_by_exit_rule() {
+        // reach ranges over all of node either way: the recursive rule is
+        // semantically redundant given the exit rule.
+        let s = chain(4);
+        let p = parse_program(
+            "reach(Y) :- e(X, Y).\n\
+             reach(Y) :- reach(X), e(X, Y).",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(redundant_rules(&p), vec![false, true]);
+    }
+
+    #[test]
+    fn independent_rules_are_kept() {
+        let s = chain(4);
+        let p = parse_program(
+            "q(X) :- source(X).\n\
+             q(Y) :- e(X, Y).",
+            &s,
+        )
+        .unwrap();
+        assert_eq!(redundant_rules(&p), vec![false, false]);
+    }
+
+    #[test]
+    fn condensation_drops_homomorphically_redundant_literals() {
+        let s = chain(4);
+        let mut p = parse_program("q(X) :- e(X, Y), e(X, Z).", &s).unwrap();
+        let report = minimize(&mut p);
+        assert_eq!(report.condensed_literals, 1);
+        assert_eq!(p.rules[0].body.len(), 1);
+        // Head variable is still bound by the remaining literal.
+        assert!(p.rules[0].is_safe());
+        // A rule where both literals are needed stays intact.
+        let mut p = parse_program("q(X) :- e(X, Y), e(Y, X).", &s).unwrap();
+        assert_eq!(minimize(&mut p).condensed_literals, 0);
+        assert_eq!(p.rules[0].body.len(), 2);
+    }
+
+    #[test]
+    fn bounded_tc_is_rewritten_nonrecursive() {
+        // reach already covers every edge target, so the recursive rule
+        // adds nothing: bounded at stage 1.
+        let s = chain(5);
+        let p = parse_program(
+            "reach(Y) :- e(_X, Y).\n\
+             reach(Y) :- reach(X), e(X, Y).",
+            &s,
+        )
+        .unwrap();
+        let sccs = bounded_sccs(&p);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].preds, vec!["reach".to_owned()]);
+        assert_eq!(sccs[0].stage, 1);
+        let mut rewritten = p.clone();
+        let proofs = eliminate_bounded_recursion(&mut rewritten);
+        assert_eq!(proofs.len(), 1);
+        assert_eq!(crate::stratify::recursive_idb_scc_count(&rewritten), 0);
+        assert_eq!(rewritten.spans.len(), rewritten.rules.len());
+        // Same model.
+        let a = Evaluator::new(p).unwrap().evaluate(&s).unwrap();
+        let b = Evaluator::new(rewritten).unwrap().evaluate(&s).unwrap();
+        let reach = IdbId(0);
+        assert_eq!(a.store.tuples(reach), b.store.tuples(reach));
+        assert!(!b.store.tuples(reach).is_empty());
+    }
+
+    #[test]
+    fn true_transitive_closure_is_not_bounded() {
+        let s = chain(5);
+        let p = parse_program(
+            "path(X, Y) :- e(X, Y).\n\
+             path(X, Z) :- path(X, Y), e(Y, Z).",
+            &s,
+        )
+        .unwrap();
+        assert!(bounded_sccs(&p).is_empty());
+    }
+
+    #[test]
+    fn magic_rewrite_restricts_point_query() {
+        let s = chain(30);
+        let src = "path(X, Y) :- e(X, Y).\n\
+                   path(X, Z) :- path(X, Y), e(Y, Z).\n\
+                   answer(Y) :- source(X), path(X, Y).";
+        let p = parse_program(src, &s).unwrap();
+        let answer_id = p.idb("answer").unwrap();
+        let outcome = magic_program(&p, &[answer_id]);
+        let magic = outcome.program.expect("source binds path's first slot");
+        assert!(outcome.magic_rules >= 1);
+        assert!(outcome.adorned >= 2, "answer[ff-free] and path[bf]");
+        assert!(outcome.full_preds.is_empty());
+        assert!(crate::stratify::stratify(&magic).is_ok());
+
+        let mut full = Evaluator::with_options(p, EvalOptions::new()).unwrap();
+        let mut demand = Evaluator::with_options(magic, EvalOptions::new()).unwrap();
+        let a = full.evaluate(&s).unwrap();
+        let b = demand.evaluate(&s).unwrap();
+        let fa = full.program().idb("answer").unwrap();
+        let fb = demand.program().idb("answer").unwrap();
+        assert_eq!(a.store.tuples(fa), b.store.tuples(fb));
+        assert!(!b.store.tuples(fb).is_empty());
+        assert!(
+            b.stats.facts * 2 < a.stats.facts,
+            "demand evaluation derives far fewer facts ({} vs {})",
+            b.stats.facts,
+            a.stats.facts
+        );
+    }
+
+    #[test]
+    fn magic_keeps_negated_predicates_fully_materialized() {
+        // `reach` is negated, so it (and its whole dependency cone) must
+        // keep its exact original extension; `miss` is only referenced
+        // positively and is demand-restricted to `m_miss[b]`.
+        let s = chain(6);
+        let src = "reach(X) :- source(X).\n\
+                   reach(Y) :- reach(X), e(X, Y).\n\
+                   miss(Y) :- e(X, Y), !reach(Y).\n\
+                   answer(Y) :- source(X), e(X, Y), miss(Y).";
+        let p = parse_program(src, &s).unwrap();
+        let answer_id = p.idb("answer").unwrap();
+        let outcome = magic_program(&p, &[answer_id]);
+        assert_eq!(outcome.full_preds, vec!["reach".to_owned()]);
+        let magic = outcome.program.expect("e(X, Y) binds miss's argument");
+        assert!(crate::stratify::stratify(&magic).is_ok());
+        let mut full = Evaluator::new(p).unwrap();
+        let mut demand = Evaluator::new(magic).unwrap();
+        let a = full.evaluate(&s).unwrap();
+        let b = demand.evaluate(&s).unwrap();
+        let fa = full.program().idb("answer").unwrap();
+        let fb = demand.program().idb("answer").unwrap();
+        assert_eq!(a.store.tuples(fa), b.store.tuples(fb));
+    }
+
+    #[test]
+    fn magic_is_inert_without_bound_adornments() {
+        let s = chain(4);
+        let p = parse_program("q(X) :- node(X).", &s).unwrap();
+        let q = p.idb("q").unwrap();
+        let outcome = magic_program(&p, &[q]);
+        assert!(outcome.program.is_none());
+        assert_eq!(outcome.magic_rules, 0);
+    }
+
+    #[test]
+    fn minimization_subsumes_trivially_bounded_recursion() {
+        // The recursive rule is uniformly contained in the exit rule, so
+        // the pipeline's *first* stage already removes it — nothing is
+        // left for boundedness to prove.
+        let s = chain(8);
+        let src = "reach(Y) :- e(_X, Y).\n\
+                   reach(Y) :- reach(X), e(X, Y).";
+        let mut p = parse_program(src, &s).unwrap();
+        let reach_id = p.idb("reach").unwrap();
+        let summary = optimize(&mut p, &[reach_id]);
+        assert_eq!(summary.removed_rules, 1, "{summary:?}");
+        assert_eq!(summary.bounded_sccs, 0, "{summary:?}");
+        assert_eq!(crate::stratify::recursive_idb_scc_count(&p), 0);
+    }
+
+    #[test]
+    fn optimize_pipeline_reports_every_stage() {
+        // `q` is the symmetric closure of `e`: bounded (stage 2) but the
+        // flip rule is *not* redundant, so it reaches the boundedness
+        // stage; `big` condenses; the point query gets magic sets.
+        let s = chain(8);
+        let src = "q(X, Y) :- e(X, Y).\n\
+                   q(X, Y) :- q(Y, X).\n\
+                   big(X) :- node(X), node(X).\n\
+                   answer(Y) :- source(X), q(X, Y), big(Y).";
+        let mut p = parse_program(src, &s).unwrap();
+        let answer_id = p.idb("answer").unwrap();
+        let plain = Evaluator::new(p.clone()).unwrap().evaluate(&s).unwrap();
+        let summary = optimize(&mut p, &[answer_id]);
+        assert_eq!(summary.removed_rules, 0, "{summary:?}");
+        assert_eq!(summary.condensed_literals, 1, "{summary:?}");
+        assert_eq!(summary.bounded_sccs, 1, "{summary:?}");
+        assert!(summary.magic_applied, "{summary:?}");
+        let mut opt = Evaluator::new(p.clone()).unwrap();
+        let b = opt.evaluate(&s).unwrap();
+        let fb = opt.program().idb("answer").unwrap();
+        assert_eq!(plain.store.tuples(answer_id), b.store.tuples(fb));
+        assert!(!b.store.tuples(fb).is_empty());
+        assert_eq!(crate::stratify::recursive_idb_scc_count(opt.program()), 0);
+    }
+}

@@ -4,7 +4,10 @@
 //! encoding must round-trip.
 
 use mdtw_datalog::analysis::{LintCode, Severity};
-use mdtw_datalog::lint::{diagnostic_from_json, diagnostic_to_json, json, lint_source};
+use mdtw_datalog::lint::{
+    diagnostic_from_json, diagnostic_to_json, file_json, json, lint_source, optimize_source,
+    render_pragma_error, scan_pragmas,
+};
 
 const FIXTURE: &str = include_str!("../fixtures/lint_demo.dl");
 
@@ -87,4 +90,136 @@ fn fixture_renders_with_carets() {
         rendered.contains("^^^^^^^^^^^^^^^^^^^^^^^^^^^"),
         "{rendered}"
     );
+}
+
+#[test]
+fn file_json_matches_the_documented_shape() {
+    // The object `mdtw-lint --json` emits per file, validated field by
+    // field so scripts can rely on it.
+    let outcome = lint_source(FIXTURE).unwrap();
+    let encoded = file_json("lint_demo.dl", &outcome, None).render();
+    let value = json::parse(&encoded).expect("emitted JSON parses");
+    assert_eq!(value.get("file").unwrap().as_str(), Some("lint_demo.dl"));
+    let diags = value.get("diagnostics").unwrap().as_arr().unwrap();
+    assert_eq!(diags.len(), 4);
+    for d in diags {
+        for key in ["code", "severity", "message", "line", "col", "start", "end"] {
+            assert!(d.get(key).is_some(), "missing `{key}` in {d:?}");
+        }
+        assert!(diagnostic_from_json(d).is_some(), "round-trips: {d:?}");
+    }
+    let summary = value.get("summary").unwrap();
+    assert_eq!(summary.get("errors").unwrap().as_usize(), Some(1));
+    assert_eq!(summary.get("warnings").unwrap().as_usize(), Some(3));
+    assert_eq!(summary.get("monadic").unwrap(), &json::Json::Bool(true));
+    assert!(summary.get("recursion").unwrap().as_str().is_some());
+    assert_eq!(summary.get("strata").unwrap(), &json::Json::Null);
+    assert!(value.get("optimize").is_none(), "only with --optimize");
+    assert!(value.get("parse_error").is_none());
+
+    // With --optimize, the `optimize` object carries the dry-run.
+    let source = include_str!("../fixtures/bounded_tc.dl");
+    let outcome = lint_source(source).unwrap();
+    let optimized = optimize_source(source).unwrap();
+    let encoded = file_json("bounded_tc.dl", &outcome, Some(&optimized)).render();
+    let value = json::parse(&encoded).unwrap();
+    let opt = value.get("optimize").expect("optimize field present");
+    assert_eq!(opt.get("rules_before").unwrap().as_usize(), Some(3));
+    assert_eq!(opt.get("removed_rules").unwrap().as_usize(), Some(1));
+    assert_eq!(opt.get("bounded_sccs").unwrap().as_usize(), Some(1));
+    assert!(opt.get("magic_applied").is_some());
+    let rules = opt.get("rules").unwrap().as_arr().unwrap();
+    assert!(!rules.is_empty());
+    assert!(rules.iter().all(|r| r.as_str().is_some()));
+}
+
+#[test]
+fn multi_line_rule_caret_clamps_to_the_first_line() {
+    // A rule wrapped across three lines: the whole-rule span starts on
+    // line 2, and the caret run must underline only the first line of
+    // the rule, not bleed into the continuation lines.
+    let source = "%! edb e/2\nodd(X) :-\n    e(Y, X),\n    even(Y).\neven(X) :- e(X, _Z), !odd(X).";
+    let outcome = lint_source(source).unwrap();
+    let report = outcome.report.unwrap();
+    let error = report
+        .diagnostics
+        .iter()
+        .find(|d| d.code == LintCode::NegativeCycle)
+        .expect("negative cycle over the wrapped rule");
+    let rendered = error.render(Some(source), "wrapped.dl");
+    let caret_line = rendered.lines().last().unwrap();
+    let source_line = rendered
+        .lines()
+        .find(|l| l.contains("| even(X)"))
+        .unwrap_or_else(|| panic!("echoed source line missing:\n{rendered}"));
+    assert!(
+        caret_line
+            .trim_start_matches([' ', '|'])
+            .chars()
+            .all(|c| c == '^'),
+        "{rendered}"
+    );
+    // Caret run never longer than the echoed source line's content.
+    let content_len = source_line.split(" | ").nth(1).unwrap().chars().count();
+    let caret_len = caret_line.chars().filter(|&c| c == '^').count();
+    assert!(caret_len <= content_len, "{rendered}");
+    assert!(caret_len >= 1, "{rendered}");
+}
+
+#[test]
+fn crlf_input_keeps_lines_columns_and_carets_accurate() {
+    // The same program with Windows line endings: line/col of every
+    // diagnostic must match the LF version, and the rendered snippet
+    // must neither echo the `\r` nor misplace the caret run.
+    let lf = "%! edb e/2\n%! edb node/1\nodd(X) :- e(Y, X), node(Y).\nflag(X) :- node(X), e(X, Unused).\n";
+    let crlf = lf.replace('\n', "\r\n");
+    let report_lf = lint_source(lf).unwrap().report.unwrap();
+    let report_crlf = lint_source(&crlf).unwrap().report.unwrap();
+    let locs = |r: &mdtw_datalog::ProgramReport| {
+        r.diagnostics
+            .iter()
+            .map(|d| (d.code, d.span.line, d.span.col))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(locs(&report_lf), locs(&report_crlf));
+
+    let singleton = report_crlf
+        .diagnostics
+        .iter()
+        .find(|d| d.code == LintCode::SingletonVariable)
+        .expect("`Unused` is a singleton");
+    assert_eq!((singleton.span.line, singleton.span.col), (4, 21));
+    assert_eq!(
+        &crlf[singleton.span.start as usize..singleton.span.end as usize],
+        "e(X, Unused)"
+    );
+    let rendered = singleton.render(Some(&crlf), "crlf.dl");
+    assert!(rendered.contains("--> crlf.dl:4:21"), "{rendered}");
+    assert!(
+        rendered.contains("4 | flag(X) :- node(X), e(X, Unused).\n"),
+        "no stray carriage return in the echoed line: {rendered:?}"
+    );
+    assert!(
+        rendered.ends_with(&format!("| {}{}", " ".repeat(20), "^".repeat(12))),
+        "caret run exactly under the literal: {rendered}"
+    );
+}
+
+#[test]
+fn malformed_pragmas_render_with_carets() {
+    let source = "% header\r\n  %! edb broken\r\nq(X) :- e(X, X).\r\n";
+    let err = scan_pragmas(source).expect_err("missing arity");
+    assert_eq!(err.line(), 2);
+    assert_eq!(
+        &source[err.span.start as usize..err.span.end as usize],
+        "%! edb broken"
+    );
+    let rendered = render_pragma_error(&err, source, "broken.dl");
+    assert!(
+        rendered.starts_with("error: malformed pragma:"),
+        "{rendered}"
+    );
+    assert!(rendered.contains("--> broken.dl:2:3"), "{rendered}");
+    assert!(rendered.contains("2 |   %! edb broken\n"), "{rendered}");
+    assert!(rendered.ends_with("|   ^^^^^^^^^^^^^"), "{rendered}");
 }
