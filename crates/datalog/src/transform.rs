@@ -1301,3 +1301,39 @@ mod tests {
         assert_eq!(crate::stratify::recursive_idb_scc_count(opt.program()), 0);
     }
 }
+
+#[cfg(test)]
+mod probe_magic_const {
+    use super::*;
+    use crate::evaluator::EvalOptions;
+    use crate::parser::parse_program;
+    use mdtw_structure::{Domain, ElemId, Signature, Structure};
+    use std::sync::Arc;
+
+    #[test]
+    fn magic_with_constant_bound_first_literal() {
+        let sig = Arc::new(Signature::from_pairs([("e", 2)]));
+        let mut dom = Domain::anonymous(6);
+        dom.set_name(ElemId(0), "a");
+        let mut s = Structure::new(Arc::clone(&sig), dom);
+        let e = sig.lookup("e").unwrap();
+        for i in 0..5u32 {
+            s.insert(e, &[ElemId(i), ElemId(i + 1)]);
+        }
+        let src = "path(X, Y) :- e(X, Y).\n\
+                   path(X, Z) :- path(X, Y), e(Y, Z).\n\
+                   answer(Y) :- path(a, Y).";
+        let p = parse_program(src, &s).unwrap();
+        let answer = p.idb("answer").unwrap();
+        let outcome = magic_program(&p, &[answer]);
+        let magic = outcome.program.expect("constant binds path's first slot");
+        let mut full = Evaluator::new(p).unwrap();
+        let mut demand = Evaluator::with_options(magic, EvalOptions::new()).unwrap();
+        let a = full.evaluate(&s).unwrap();
+        let b = demand.evaluate(&s).unwrap();
+        let fa = full.program().idb("answer").unwrap();
+        let fb = demand.program().idb("answer").unwrap();
+        assert_eq!(a.store.tuples(fa), b.store.tuples(fb), "magic changed the answer");
+        assert!(!b.store.tuples(fb).is_empty(), "answer must be nonempty");
+    }
+}
