@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run -p mdtw-bench --bin bench_report --release -- \
-//!     [--out PATH] [--sizes N,N,...] [--label LABEL] [--append]
+//!     [--out PATH] [--sizes N,N,...] [--label LABEL] [--append] \
+//!     [--fuel N] [--timeout-ms N]
 //! ```
 //!
 //! Runs the `join_indexing`/`engine_linearity` workloads, the 3-stratum
@@ -13,16 +14,25 @@
 //! `BENCH_joins.json`). With `--append`, the record is appended to the
 //! records array of an existing report file, so before/after measurements
 //! of the same workloads accumulate in one place.
+//!
+//! The `budgeted_tc` row runs the linear-TC workload under an evaluation
+//! budget. By default the budget is effectively unlimited (checkpoints
+//! run, nothing trips), so the row measures pure governor overhead;
+//! `--fuel N` / `--timeout-ms N` replace it with a real budget, and a
+//! tripped evaluation records its partial result instead of hanging.
 
 use std::process::ExitCode;
 
 const USAGE: &str =
     "usage: bench_report [--out PATH] [--sizes N,N,...] [--label LABEL] [--append]\n\
+    \x20                   [--fuel N] [--timeout-ms N]\n\
     \n\
     --out PATH      output file (default BENCH_joins.json)\n\
     --sizes N,N,..  comma-separated chain sizes (default 1000,2000,4000,8000)\n\
     --label LABEL   record label (default `current`)\n\
-    --append        append the record to an existing report file";
+    --append        append the record to an existing report file\n\
+    --fuel N        budget the governed `budgeted_tc` row to N units of work\n\
+    --timeout-ms N  deadline for the governed `budgeted_tc` row";
 
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("bench_report: {message}\n{USAGE}");
@@ -37,6 +47,8 @@ fn main() -> ExitCode {
     let mut sizes: Vec<usize> = vec![1000, 2000, 4000, 8000];
     let mut label = String::from("current");
     let mut append = false;
+    let mut fuel: Option<u64> = None;
+    let mut timeout_ms: Option<u64> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -54,6 +66,14 @@ fn main() -> ExitCode {
                 Some(l) => label = l,
                 None => return usage_error("--label requires a value"),
             },
+            "--fuel" | "--timeout-ms" => {
+                let flag = arg.clone();
+                match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(v) if flag == "--fuel" => fuel = Some(v),
+                    Some(v) => timeout_ms = Some(v),
+                    None => return usage_error(&format!("{flag} requires a nonnegative integer")),
+                }
+            }
             "--sizes" => match args.next() {
                 Some(list) => {
                     let parsed: Result<Vec<usize>, _> = list.split(',').map(str::parse).collect();
@@ -84,8 +104,20 @@ fn main() -> ExitCode {
         }
     }
 
+    let limits = if fuel.is_some() || timeout_ms.is_some() {
+        let mut l = mdtw_datalog::EvalLimits::new();
+        if let Some(f) = fuel {
+            l = l.fuel(f);
+        }
+        if let Some(ms) = timeout_ms {
+            l = l.deadline(std::time::Duration::from_millis(ms));
+        }
+        Some(l)
+    } else {
+        None
+    };
     eprintln!("bench_report: measuring sizes {sizes:?} (scan baseline capped at {SCAN_CAP})…");
-    let rows = mdtw_bench::join_report(&sizes, SCAN_CAP);
+    let rows = mdtw_bench::join_report_with_limits(&sizes, SCAN_CAP, limits.as_ref());
     let record = mdtw_bench::render_join_record_json(&label, &rows);
 
     let report = if append {

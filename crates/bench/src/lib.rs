@@ -149,11 +149,11 @@ pub fn render_table1_json(rows: &[Table1Row]) -> String {
 /// trajectory of the semi-naive engine is recorded across PRs.
 #[derive(Debug, Clone)]
 pub struct JoinBenchRow {
-    /// Workload name (`linear_tc`, `reach_linearity`, `stratified_reach`
-    /// or `per_candidate`).
+    /// Workload name (`linear_tc`, `budgeted_tc`, `reach_linearity`,
+    /// `stratified_reach`, `magic_point_query` or `per_candidate`).
     pub workload: String,
-    /// Engine name (`indexed`, `scan`, `stratified`, `session` or
-    /// `per_call`).
+    /// Engine name (`indexed`, `scan`, `governed`, `stratified`, `full`,
+    /// `magic`, `session` or `per_call`).
     pub engine: String,
     /// Structure size (chain length).
     pub n: usize,
@@ -365,7 +365,22 @@ fn add_stats(total: &mut mdtw_datalog::EvalStats, part: &mdtw_datalog::EvalStats
 /// session per candidate (`per_call`) — the setup cost the session API
 /// amortizes.
 pub fn join_report(sizes: &[usize], scan_cap: usize) -> Vec<JoinBenchRow> {
-    use mdtw_datalog::{Engine, EvalOptions, EvalStats, Evaluator};
+    join_report_with_limits(sizes, scan_cap, None)
+}
+
+/// [`join_report`] with an explicit budget for the `budgeted_tc` row's
+/// governor (from `bench_report --fuel` / `--timeout-ms`). `None` grants
+/// an effectively unlimited fuel budget, so every checkpoint runs but
+/// never trips — the row then measures the pure overhead of governance
+/// against the ungoverned `linear_tc`/`indexed` row. A budget that *does*
+/// trip records the partial result's fact count instead (each size gets a
+/// fresh meter).
+pub fn join_report_with_limits(
+    sizes: &[usize],
+    scan_cap: usize,
+    limits: Option<&mdtw_datalog::EvalLimits>,
+) -> Vec<JoinBenchRow> {
+    use mdtw_datalog::{Engine, EvalError, EvalLimits, EvalOptions, EvalStats, Evaluator};
     let mut rows = Vec::new();
     let measure = |workload: &str,
                    engine: &str,
@@ -404,6 +419,32 @@ pub fn join_report(sizes: &[usize], scan_cap: usize) -> Vec<JoinBenchRow> {
                 (r.store.fact_count(), r.stats)
             });
         }
+
+        // Governor-overhead ablation: the same linear TC under an
+        // evaluation budget. The default (no --fuel/--timeout-ms) budget
+        // is effectively unlimited, so every amortized checkpoint runs
+        // but never trips — comparing this row's ns/eval against the
+        // ungoverned `linear_tc`/`indexed` row above isolates the cost
+        // of governance itself.
+        let (s, p) = linear_tc_workload(n);
+        let budget =
+            limits.map_or_else(|| EvalLimits::new().fuel(u64::MAX >> 1), EvalLimits::fresh);
+        let mut session =
+            Evaluator::with_options(p, EvalOptions::new().limits(budget)).expect("semipositive");
+        measure(
+            "budgeted_tc",
+            "governed",
+            n,
+            &mut rows,
+            &mut || match session.evaluate(&s) {
+                Ok(r) => (r.store.fact_count(), r.stats),
+                Err(EvalError::LimitExceeded { stats, partial, .. }) => (
+                    partial.as_ref().map_or(0, |p| p.store.fact_count()).max(1),
+                    stats,
+                ),
+                Err(e) => panic!("budgeted_tc: unexpected evaluation error: {e}"),
+            },
+        );
 
         let (s, p) = reach_workload(n);
         let mut session = Evaluator::new(p).expect("semipositive");
@@ -555,10 +596,11 @@ mod tests {
     #[test]
     fn join_report_smoke_and_json_shape() {
         let rows = join_report(&[40], 40);
-        // indexed + scan on linear_tc, indexed on reach_linearity,
-        // stratified on stratified_reach, full + magic on
-        // magic_point_query, session + per_call on per_candidate.
-        assert_eq!(rows.len(), 8);
+        // indexed + scan on linear_tc, governed on budgeted_tc, indexed
+        // on reach_linearity, stratified on stratified_reach, full +
+        // magic on magic_point_query, session + per_call on
+        // per_candidate.
+        assert_eq!(rows.len(), 9);
         for r in &rows {
             assert!(r.facts > 0);
             assert!(r.ns_per_fact > 0.0);
@@ -620,7 +662,18 @@ mod tests {
         let hostile = render_join_record_json("a\"b\\c\n", &rows);
         assert!(hostile.starts_with("{\"label\": \"a\\\"b\\\\c\\u000a\""));
         assert!(json.ends_with("]}"));
-        assert_eq!(json.matches("\"workload\"").count(), 8);
+        assert_eq!(json.matches("\"workload\"").count(), 9);
+        // The governed row derives the same fixpoint as the ungoverned
+        // linear TC — an unlimited budget never changes the answer.
+        let tc = rows
+            .iter()
+            .find(|r| r.workload == "linear_tc" && r.engine == "indexed")
+            .expect("linear_tc row");
+        let governed = rows
+            .iter()
+            .find(|r| r.engine == "governed")
+            .expect("governed row");
+        assert_eq!(governed.facts, tc.facts);
         assert!(json.contains("\"plan_cache_hits\": 1"));
         assert!(json.contains("\"negative_checks\""));
         assert!(json.contains("\"strata\": 3"));

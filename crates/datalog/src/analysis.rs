@@ -23,6 +23,7 @@
 
 use crate::ast::{IdbId, Literal, PredRef, Program, Rule, Term};
 use crate::ground::{check_quasi_guarded, FdCatalog, QgError};
+use crate::limits::EvalLimits;
 use crate::span::Span;
 use crate::stratify::{stratify, StratificationError};
 use mdtw_structure::fx::FxHashMap;
@@ -370,7 +371,14 @@ pub struct AnalysisOptions {
     edb_signature: Option<Arc<Signature>>,
     fd_catalog: Option<FdCatalog>,
     semantic: bool,
+    limits: Option<EvalLimits>,
 }
+
+/// Default fuel budget for the semantic tier's containment probes when
+/// [`AnalysisOptions::limits`] is not set: generous enough for every
+/// reasonable program, small enough that linting can never hang on an
+/// adversarial one.
+pub const DEFAULT_SEMANTIC_FUEL: u64 = 5_000_000;
 
 impl AnalysisOptions {
     /// No outputs, no signature, no FD catalog: relevance (`MD010`/
@@ -417,6 +425,17 @@ impl AnalysisOptions {
         self.semantic = on;
         self
     }
+
+    /// Budgets the semantic tier's containment probes. When unset, a
+    /// default fuel budget of [`DEFAULT_SEMANTIC_FUEL`] applies, so
+    /// analysis terminates even on adversarial programs whose canonical
+    /// databases explode. A tripped budget surfaces as
+    /// [`SemanticReport::budget_tripped`] — affected transforms are
+    /// reported as "not proven", never misreported.
+    pub fn limits(mut self, limits: EvalLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
 }
 
 /// What the semantic tier learned (see [`AnalysisOptions::semantic`]).
@@ -431,6 +450,10 @@ pub struct SemanticReport {
     /// What the magic-set transformation would do, when outputs were
     /// declared.
     pub magic: Option<MagicSummary>,
+    /// Whether a containment probe ran out of budget (see
+    /// [`AnalysisOptions::limits`]). Tripped probes degrade to "not
+    /// proven": redundancy flags stay `false` and SCCs stay unproven.
+    pub budget_tripped: bool,
 }
 
 /// Magic-set applicability for the declared outputs.
@@ -1003,7 +1026,15 @@ pub fn analyze(program: &Program, options: &AnalysisOptions) -> ProgramReport {
             .filter(|d| matches!(d.code, LintCode::DuplicateRule | LintCode::SubsumedRule))
             .filter_map(|d| d.rule)
             .collect();
-        let redundant = crate::transform::redundant_rules(program);
+        // One shared budget meter across every probe of the tier: either
+        // the caller's, or the default fuel budget so linting terminates
+        // even when a canonical database explodes.
+        let budget = options
+            .limits
+            .clone()
+            .unwrap_or_else(|| EvalLimits::new().fuel(DEFAULT_SEMANTIC_FUEL));
+        let (redundant, min_tripped) =
+            crate::transform::redundant_rules_with_limits(program, Some(&budget));
         for (i, &r) in redundant.iter().enumerate() {
             // Rules already flagged by the syntactic MD015/MD016 passes
             // are not re-reported — MD017 is the semantic upgrade.
@@ -1018,7 +1049,8 @@ pub fn analyze(program: &Program, options: &AnalysisOptions) -> ProgramReport {
                 ));
             }
         }
-        let bounded_sccs = crate::transform::bounded_sccs(program);
+        let (bounded_sccs, scc_tripped) =
+            crate::transform::bounded_sccs_with_limits(program, Some(&budget));
         for scc in &bounded_sccs {
             let anchor = scc.rules.first().copied();
             diags.push(Diagnostic::new(
@@ -1082,6 +1114,7 @@ pub fn analyze(program: &Program, options: &AnalysisOptions) -> ProgramReport {
             redundant_rules: redundant,
             bounded_sccs,
             magic,
+            budget_tripped: min_tripped || scc_tripped,
         });
     }
 

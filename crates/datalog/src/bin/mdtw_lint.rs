@@ -1,7 +1,8 @@
 //! `mdtw-lint` — lint `.dl` datalog programs.
 //!
 //! ```text
-//! usage: mdtw-lint [--json] [--deny-warnings] [--optimize] FILE.dl...
+//! usage: mdtw-lint [--json] [--deny-warnings] [--optimize]
+//!                  [--fuel N] [--timeout-ms N] FILE.dl...
 //! ```
 //!
 //! Parses each file leniently against a synthetic structure (extensional
@@ -16,6 +17,12 @@
 //! (minimize → eliminate bounded recursion → magic sets) and prints the
 //! rewritten program; with `--json` it lands in an `optimize` field.
 //!
+//! `--fuel N` and `--timeout-ms N` budget the semantic tier's containment
+//! probes (per file — each file gets a fresh meter). Without them a
+//! built-in fuel ceiling applies, so linting terminates even on
+//! adversarial programs; a tripped budget degrades the affected semantic
+//! findings to "not proven" and never changes the exit status by itself.
+//!
 //! Exit status — the contract scripts can rely on:
 //! * `0` — every file is clean (warnings allowed unless `--deny-warnings`);
 //! * `1` — some file has error-level findings, fails to parse, or (with
@@ -24,12 +31,15 @@
 
 use mdtw_datalog::analysis::Severity;
 use mdtw_datalog::lint::{
-    file_json, json::Json, lint_source, optimize_source, render_parse_error, render_pragma_error,
-    LintOutcome, OptimizeOutcome,
+    file_json, json::Json, lint_source_with_limits, optimize_source_with_limits,
+    render_parse_error, render_pragma_error, LintOutcome, OptimizeOutcome,
 };
+use mdtw_datalog::EvalLimits;
 use std::process::ExitCode;
+use std::time::Duration;
 
-const USAGE: &str = "usage: mdtw-lint [--json] [--deny-warnings] [--optimize] FILE.dl...";
+const USAGE: &str = "usage: mdtw-lint [--json] [--deny-warnings] [--optimize] \
+                     [--fuel N] [--timeout-ms N] FILE.dl...";
 
 fn print_help() {
     println!("{USAGE}");
@@ -37,6 +47,8 @@ fn print_help() {
     println!("  --json            machine-readable output (one object per file)");
     println!("  --deny-warnings   treat warning-level findings as errors (exit 1)");
     println!("  --optimize        dry-run the semantic optimizer and print the result");
+    println!("  --fuel N          budget the semantic probes to N units of work per file");
+    println!("  --timeout-ms N    deadline for the semantic probes, per file");
     println!();
     println!("exit status:");
     println!("  0  every file is clean (warnings allowed unless --deny-warnings)");
@@ -48,12 +60,27 @@ fn main() -> ExitCode {
     let mut json_mode = false;
     let mut deny_warnings = false;
     let mut optimize = false;
+    let mut fuel: Option<u64> = None;
+    let mut timeout_ms: Option<u64> = None;
     let mut files: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_mode = true,
             "--deny-warnings" => deny_warnings = true,
             "--optimize" => optimize = true,
+            "--fuel" | "--timeout-ms" => {
+                let Some(value) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("mdtw-lint: `{arg}` needs a nonnegative integer argument");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                };
+                if arg == "--fuel" {
+                    fuel = Some(value);
+                } else {
+                    timeout_ms = Some(value);
+                }
+            }
             "-h" | "--help" => {
                 print_help();
                 return ExitCode::SUCCESS;
@@ -70,6 +97,20 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
+    // Fresh per file: tripping on one file must not starve the next.
+    let file_limits = || -> Option<EvalLimits> {
+        if fuel.is_none() && timeout_ms.is_none() {
+            return None;
+        }
+        let mut limits = EvalLimits::new();
+        if let Some(f) = fuel {
+            limits = limits.fuel(f);
+        }
+        if let Some(ms) = timeout_ms {
+            limits = limits.deadline(Duration::from_millis(ms));
+        }
+        Some(limits)
+    };
 
     let mut failed = false;
     let mut json_files: Vec<Json> = Vec::new();
@@ -81,7 +122,8 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let outcome = match lint_source(&source) {
+        let limits = file_limits();
+        let outcome = match lint_source_with_limits(&source, limits.as_ref()) {
             Ok(o) => o,
             Err(pragma) => {
                 eprintln!("{}", render_pragma_error(&pragma, &source, path));
@@ -96,8 +138,11 @@ fn main() -> ExitCode {
                 .is_some_and(|r| r.warning_count() > 0);
         }
         // Pragmas already validated above, so optimize_source cannot fail.
-        let optimized =
-            optimize.then(|| optimize_source(&source).expect("pragmas validated by lint_source"));
+        // A fresh meter keeps the dry-run's budget independent of lint's.
+        let optimized = optimize.then(|| {
+            optimize_source_with_limits(&source, file_limits().as_ref())
+                .expect("pragmas validated by lint_source")
+        });
         if json_mode {
             json_files.push(file_json(path, &outcome, optimized.as_ref()));
         } else {
@@ -167,6 +212,12 @@ fn render_optimized(path: &str, outcome: &OptimizeOutcome) {
                     "not applied".to_owned()
                 },
             );
+            if s.budget_tripped {
+                println!(
+                    "  (budget tripped: some containment probes ran out of fuel or time, \
+                     the affected transforms were skipped)"
+                );
+            }
             for rule in &dump.rules {
                 println!("  {rule}");
             }

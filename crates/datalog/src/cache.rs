@@ -169,10 +169,11 @@ pub(crate) fn plans_for(
 /// [`global_plan_cache`]). [`EvalStats::plan_cache_hits`] reports whether
 /// planning was skipped.
 ///
-/// # Panics
-/// Panics if the program is not semipositive (negated intensional atoms
-/// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
-/// otherwise ill-formed.
+/// # Errors
+/// [`EvalError`](crate::evaluator::EvalError::NotSemipositive) if the
+/// program negates an intensional atom (negated intensional atoms need
+/// [`eval_stratified`](crate::stratify::eval_stratified)) or is otherwise
+/// ill-formed.
 #[deprecated(
     since = "0.2.0",
     note = "construct an `Evaluator` session, which owns its `PlanCache` \
@@ -182,15 +183,15 @@ pub fn eval_seminaive_with_cache(
     program: &Program,
     structure: &Structure,
     cache: &PlanCache,
-) -> (IdbStore, EvalStats) {
-    crate::eval::assert_semipositive(program);
+) -> Result<(IdbStore, EvalStats), crate::evaluator::EvalError> {
+    crate::eval::check_semipositive(program)?;
     let (plans, hit) = cache.plans(program, structure);
     let stats = EvalStats {
         plan_cache_hits: usize::from(hit),
         strata: 1,
         ..EvalStats::default()
     };
-    run_seminaive(program, structure, &plans, stats)
+    Ok(run_seminaive(program, structure, &plans, stats))
 }
 
 fn program_fingerprint(program: &Program) -> u64 {
@@ -236,8 +237,8 @@ mod tests {
         let s = chain(6);
         let p = parse_program(TC, &s).unwrap();
         let cache = PlanCache::new();
-        let (_, first) = eval_seminaive_with_cache(&p, &s, &cache);
-        let (_, second) = eval_seminaive_with_cache(&p, &s, &cache);
+        let (_, first) = eval_seminaive_with_cache(&p, &s, &cache).unwrap();
+        let (_, second) = eval_seminaive_with_cache(&p, &s, &cache).unwrap();
         assert_eq!(first.plan_cache_hits, 0);
         assert_eq!(second.plan_cache_hits, 1);
         assert_eq!(cache.len(), 1);
@@ -338,8 +339,8 @@ mod tests {
             &s,
         )
         .unwrap();
-        let (_, first) = crate::eval::eval_seminaive(&p, &s);
-        let (_, second) = crate::eval::eval_seminaive(&p, &s);
+        let (_, first) = crate::eval::eval_seminaive(&p, &s).unwrap();
+        let (_, second) = crate::eval::eval_seminaive(&p, &s).unwrap();
         // The global cache persists across calls (first may itself hit if
         // an earlier test evaluated this exact program+shape).
         let _ = first;

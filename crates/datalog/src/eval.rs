@@ -23,6 +23,8 @@
 //! lives in the `ground` and `horn` modules.
 
 use crate::ast::{Atom, IdbId, PredRef, Program, Rule, Term, Var};
+use crate::evaluator::EvalError;
+use crate::limits::Governor;
 use crate::plan::{Access, JoinPlan, RulePlans};
 use mdtw_structure::fx::{FxHashMap, FxHashSet};
 use mdtw_structure::{ElemId, PosIndex, Relation, Structure};
@@ -188,51 +190,76 @@ impl EvalStats {
     }
 }
 
-/// The semipositive engines' input contract, checked loudly at entry.
-/// The parser accepts any *stratified* program, so a negated intensional
-/// literal could reach these engines; without this check it would
-/// surface as a confusing `unreachable!` deep inside the join loop.
-pub(crate) fn assert_semipositive(program: &Program) {
-    if let Err(msg) = program.check_semipositive() {
-        panic!("semipositive engine: {msg}; stratified programs evaluate with eval_stratified");
-    }
+/// The semipositive engines' input contract as a typed error. The parser
+/// accepts any *stratified* program, so a negated intensional literal
+/// could reach the one-shot engine entry points; without this check it
+/// would surface as a confusing `unreachable!` deep inside the join loop.
+pub(crate) fn check_semipositive(program: &Program) -> Result<(), EvalError> {
+    program
+        .check_semipositive()
+        .map_err(|message| EvalError::NotSemipositive { message })
+}
+
+/// The debug twin of [`check_semipositive`] for call sites where
+/// semipositivity is guaranteed by construction (an [`Evaluator`]
+/// (crate::evaluator::Evaluator) session rejects multi-stratum programs
+/// on semipositive-only engines before `evaluate` can run).
+pub(crate) fn debug_assert_semipositive(program: &Program) {
+    debug_assert!(
+        program.check_semipositive().is_ok(),
+        "caller must guarantee semipositivity"
+    );
 }
 
 /// Naive evaluation: apply all rules until nothing changes.
 ///
-/// # Panics
-/// Panics if the program is not semipositive (negated intensional atoms
-/// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
-/// otherwise ill-formed.
+/// # Errors
+/// [`EvalError::NotSemipositive`] if the program negates an intensional
+/// atom (use an `Evaluator` session, which auto-dispatches to the
+/// stratified pipeline) or is otherwise ill-formed.
 #[deprecated(
     since = "0.2.0",
     note = "construct an `Evaluator` session with `Engine::Naive` \
             (`Evaluator::with_options(program, EvalOptions::new().engine(Engine::Naive))`)"
 )]
-pub fn eval_naive(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
-    assert_semipositive(program);
-    naive_fixpoint(program, structure)
+pub fn eval_naive(
+    program: &Program,
+    structure: &Structure,
+) -> Result<(IdbStore, EvalStats), EvalError> {
+    check_semipositive(program)?;
+    Ok(naive_fixpoint(program, structure, &mut Governor::new(None)))
 }
 
 /// The naive engine proper (shared by the deprecated [`eval_naive`]
 /// wrapper and [`Engine::Naive`](crate::evaluator::Engine::Naive)
-/// sessions). The caller guarantees semipositivity.
-pub(crate) fn naive_fixpoint(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
+/// sessions). The caller guarantees semipositivity. On a governor trip
+/// the store holds the facts derived so far — a sound subset of the
+/// least fixpoint.
+pub(crate) fn naive_fixpoint(
+    program: &Program,
+    structure: &Structure,
+    gov: &mut Governor<'_>,
+) -> (IdbStore, EvalStats) {
     let mut store = IdbStore::new(program);
     let mut stats = EvalStats {
         strata: 1,
         ..EvalStats::default()
     };
     loop {
+        if gov.round(stats.tuples_considered, stats.facts) {
+            break;
+        }
         stats.rounds += 1;
         let mut new_facts: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
+        let mut stopped = false;
         for rule in &program.rules {
-            for_each_match(
+            stopped = for_each_match(
                 rule,
                 structure,
                 &store,
                 None,
                 &mut stats,
+                gov,
                 &mut |head_args| {
                     if let PredRef::Idb(id) = rule.head.pred {
                         if !store.holds(id, &head_args) {
@@ -241,7 +268,12 @@ pub(crate) fn naive_fixpoint(program: &Program, structure: &Structure) -> (IdbSt
                     }
                 },
             );
+            if stopped {
+                break;
+            }
         }
+        // Facts staged before a trip are still derivable, so folding them
+        // in keeps the partial store a subset of the fixpoint.
         let mut changed = false;
         for (id, args) in new_facts {
             if store.insert(id, &args) {
@@ -249,7 +281,7 @@ pub(crate) fn naive_fixpoint(program: &Program, structure: &Structure) -> (IdbSt
                 stats.facts += 1;
             }
         }
-        if !changed {
+        if stopped || !changed {
             break;
         }
     }
@@ -358,24 +390,27 @@ struct PlanCtx<'a> {
 /// same program skip planning entirely and report it in
 /// [`EvalStats::plan_cache_hits`].
 ///
-/// # Panics
-/// Panics if the program is not semipositive (negated intensional atoms
-/// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
-/// otherwise ill-formed.
+/// # Errors
+/// [`EvalError::NotSemipositive`] if the program negates an intensional
+/// atom (use an `Evaluator` session, which auto-dispatches to the
+/// stratified pipeline) or is otherwise ill-formed.
 #[deprecated(
     since = "0.2.0",
     note = "construct an `Evaluator` session (`Evaluator::new(program)?.evaluate(&structure)`) \
             so repeated evaluations reuse one analysis, plan cache and scratch buffers"
 )]
-pub fn eval_seminaive(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
-    assert_semipositive(program);
+pub fn eval_seminaive(
+    program: &Program,
+    structure: &Structure,
+) -> Result<(IdbStore, EvalStats), EvalError> {
+    check_semipositive(program)?;
     let (plans, hit) = crate::cache::global_plan_cache().plans(program, structure);
     let stats = EvalStats {
         plan_cache_hits: usize::from(hit),
         strata: 1,
         ..EvalStats::default()
     };
-    run_seminaive(program, structure, &plans, stats)
+    Ok(run_seminaive(program, structure, &plans, stats))
 }
 
 /// The recycled working set of the semi-naive round loop: the ping-ponged
@@ -416,7 +451,7 @@ impl SeminaiveScratch {
 }
 
 /// The semi-naive round loop, parameterized by pre-compiled plans, with a
-/// one-shot scratch set.
+/// one-shot scratch set and no governor (the deprecated-wrapper path).
 pub(crate) fn run_seminaive(
     program: &Program,
     structure: &Structure,
@@ -424,17 +459,27 @@ pub(crate) fn run_seminaive(
     stats: EvalStats,
 ) -> (IdbStore, EvalStats) {
     let mut scratch = SeminaiveScratch::new(program);
-    run_seminaive_scratch(program, structure, plans, stats, &mut scratch)
+    run_seminaive_scratch(
+        program,
+        structure,
+        plans,
+        stats,
+        &mut scratch,
+        &mut Governor::new(None),
+    )
 }
 
 /// The semi-naive round loop over caller-owned (session-recycled) scratch
-/// buffers.
+/// buffers. On a governor trip the loop unwinds after folding the staged
+/// derivations in, so the returned store is a sound subset of the least
+/// fixpoint; the caller reads the trip off the governor.
 pub(crate) fn run_seminaive_scratch(
     program: &Program,
     structure: &Structure,
     plans: &[RulePlans],
     mut stats: EvalStats,
     scratch: &mut SeminaiveScratch,
+    gov: &mut Governor<'_>,
 ) -> (IdbStore, EvalStats) {
     scratch.reset();
     let SeminaiveScratch {
@@ -444,6 +489,10 @@ pub(crate) fn run_seminaive_scratch(
         key,
     } = scratch;
     let mut store = IdbStore::new(program);
+
+    if gov.round(stats.tuples_considered, stats.facts) {
+        return (store, stats);
+    }
 
     // Round 0: all rules, unconstrained.
     stats.rounds += 1;
@@ -455,7 +504,9 @@ pub(crate) fn run_seminaive_scratch(
             structure,
             store: &store,
         };
-        apply_plan(&ctx, &mut stats, fresh, key);
+        if apply_plan(&ctx, &mut stats, fresh, key, gov) {
+            break;
+        }
     }
     // Two delta stores ping-pong across rounds: `delta` is read by the
     // round while `next` collects the survivors, then they swap and the
@@ -463,8 +514,11 @@ pub(crate) fn run_seminaive_scratch(
     merge_round(&mut store, delta, fresh, &mut stats);
 
     while delta.count > 0 {
+        if gov.round(stats.tuples_considered, stats.facts) {
+            break;
+        }
         stats.rounds += 1;
-        for (rule, rp) in program.rules.iter().zip(plans) {
+        'rules: for (rule, rp) in program.rules.iter().zip(plans) {
             for (dpos, plan) in &rp.delta {
                 let ctx = PlanCtx {
                     rule,
@@ -473,7 +527,9 @@ pub(crate) fn run_seminaive_scratch(
                     structure,
                     store: &store,
                 };
-                apply_plan(&ctx, &mut stats, fresh, key);
+                if apply_plan(&ctx, &mut stats, fresh, key, gov) {
+                    break 'rules;
+                }
             }
         }
         next.clear();
@@ -503,21 +559,24 @@ fn merge_round(
     fresh.clear();
 }
 
+/// Runs one rule pass; returns `true` when the governor tripped and the
+/// round loop should unwind.
 fn apply_plan(
     ctx: &PlanCtx<'_>,
     stats: &mut EvalStats,
     out: &mut FreshStore,
     scratch: &mut Vec<ElemId>,
-) {
+    gov: &mut Governor<'_>,
+) -> bool {
     let mut bindings: Vec<Option<ElemId>> = vec![None; ctx.rule.var_count as usize];
     for &ni in &ctx.plan.ground_negatives {
         stats.negative_checks += 1;
         if negative_holds(ctx, ni, &bindings, scratch) {
-            return;
+            return false;
         }
     }
     let execs = resolve_steps(ctx);
-    descend_plan(ctx, &execs, 0, &mut bindings, stats, out, scratch);
+    descend_plan(ctx, &execs, 0, &mut bindings, stats, out, scratch, gov)
 }
 
 /// True if the *atom* of negative literal `ni` holds in the structure
@@ -597,6 +656,8 @@ fn resolve_steps<'a>(ctx: &PlanCtx<'a>) -> Vec<StepExec<'a>> {
         .collect()
 }
 
+/// The recursive join; returns `true` when the governor tripped (the
+/// amortized per-tuple check fired) and the whole pass should unwind.
 #[allow(clippy::too_many_arguments)]
 fn descend_plan(
     ctx: &PlanCtx<'_>,
@@ -606,7 +667,8 @@ fn descend_plan(
     stats: &mut EvalStats,
     out: &mut FreshStore,
     scratch: &mut Vec<ElemId>,
-) {
+    gov: &mut Governor<'_>,
+) -> bool {
     if step_idx == ctx.plan.steps.len() {
         stats.firings += 1;
         if let PredRef::Idb(id) = ctx.rule.head.pred {
@@ -615,7 +677,7 @@ fn descend_plan(
                 stats.interned_hits += 1;
             }
         }
-        return;
+        return false;
     }
 
     let step = &ctx.plan.steps[step_idx];
@@ -627,8 +689,14 @@ fn descend_plan(
                     bindings: &mut Vec<Option<ElemId>>,
                     stats: &mut EvalStats,
                     out: &mut FreshStore,
-                    scratch: &mut Vec<ElemId>| {
+                    scratch: &mut Vec<ElemId>,
+                    gov: &mut Governor<'_>|
+     -> bool {
         stats.tuples_considered += 1;
+        if gov.work(stats.tuples_considered, stats.facts) {
+            return true;
+        }
+        let mut stop = false;
         let mut touched: Vec<Var> = Vec::new();
         if unify(&lit.atom, tuple, bindings, &mut touched) {
             let negatives_ok = step.negatives_after.iter().all(|&ni| {
@@ -636,12 +704,13 @@ fn descend_plan(
                 !negative_holds(ctx, ni, bindings, scratch)
             });
             if negatives_ok {
-                descend_plan(ctx, execs, step_idx + 1, bindings, stats, out, scratch);
+                stop = descend_plan(ctx, execs, step_idx + 1, bindings, stats, out, scratch, gov);
             }
         }
         for v in touched {
             bindings[v.index()] = None;
         }
+        stop
     };
 
     match &step.access {
@@ -654,7 +723,9 @@ fn descend_plan(
                 if exclude.is_some_and(|d| d.contains(tuple)) {
                     continue;
                 }
-                on_tuple(tuple, bindings, stats, out, scratch);
+                if on_tuple(tuple, bindings, stats, out, scratch, gov) {
+                    return true;
+                }
             }
         }
         Access::Probe { positions } => {
@@ -676,10 +747,13 @@ fn descend_plan(
                 if exclude.is_some_and(|d| d.contains(tuple)) {
                     continue;
                 }
-                on_tuple(tuple, bindings, stats, out, scratch);
+                if on_tuple(tuple, bindings, stats, out, scratch, gov) {
+                    return true;
+                }
             }
         }
     }
+    false
 }
 
 // ---------------------------------------------------------------------------
@@ -697,41 +771,54 @@ fn descend_plan(
 /// [`EvalStats::firings`]; [`eval_seminaive`] fixes this with the proper
 /// rule split.
 ///
-/// # Panics
-/// Panics if the program is not semipositive (negated intensional atoms
-/// need [`eval_stratified`](crate::stratify::eval_stratified)) or is
-/// otherwise ill-formed.
+/// # Errors
+/// [`EvalError::NotSemipositive`] if the program negates an intensional
+/// atom (use an `Evaluator` session, which auto-dispatches to the
+/// stratified pipeline) or is otherwise ill-formed.
 #[deprecated(
     since = "0.2.0",
     note = "construct an `Evaluator` session with `Engine::SemiNaiveScan` \
             (`Evaluator::with_options(program, EvalOptions::new().engine(Engine::SemiNaiveScan))`)"
 )]
-pub fn eval_seminaive_scan(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
-    assert_semipositive(program);
-    scan_fixpoint(program, structure)
+pub fn eval_seminaive_scan(
+    program: &Program,
+    structure: &Structure,
+) -> Result<(IdbStore, EvalStats), EvalError> {
+    check_semipositive(program)?;
+    Ok(scan_fixpoint(program, structure, &mut Governor::new(None)))
 }
 
 /// The scan engine proper (shared by the deprecated
 /// [`eval_seminaive_scan`] wrapper and
 /// [`Engine::SemiNaiveScan`](crate::evaluator::Engine::SemiNaiveScan)
-/// sessions). The caller guarantees semipositivity.
-pub(crate) fn scan_fixpoint(program: &Program, structure: &Structure) -> (IdbStore, EvalStats) {
+/// sessions). The caller guarantees semipositivity. On a governor trip
+/// the store holds a sound subset of the least fixpoint.
+pub(crate) fn scan_fixpoint(
+    program: &Program,
+    structure: &Structure,
+    gov: &mut Governor<'_>,
+) -> (IdbStore, EvalStats) {
     let mut store = IdbStore::new(program);
     let mut stats = EvalStats {
         strata: 1,
         ..EvalStats::default()
     };
 
+    if gov.round(stats.tuples_considered, stats.facts) {
+        return (store, stats);
+    }
+
     // Round 0: all rules, unconstrained.
     stats.rounds += 1;
     let mut delta: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
     for rule in &program.rules {
-        for_each_match(
+        let stopped = for_each_match(
             rule,
             structure,
             &store,
             None,
             &mut stats,
+            gov,
             &mut |head_args| {
                 if let PredRef::Idb(id) = rule.head.pred {
                     if !store.holds(id, &head_args) {
@@ -740,6 +827,9 @@ pub(crate) fn scan_fixpoint(program: &Program, structure: &Structure) -> (IdbSto
                 }
             },
         );
+        if stopped {
+            break;
+        }
     }
     let mut frontier: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
     for (id, args) in delta {
@@ -750,10 +840,14 @@ pub(crate) fn scan_fixpoint(program: &Program, structure: &Structure) -> (IdbSto
     }
 
     while !frontier.is_empty() {
+        if gov.round(stats.tuples_considered, stats.facts) {
+            break;
+        }
         stats.rounds += 1;
         let delta_set: DeltaSet = frontier.drain(..).collect();
         let mut new_facts: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
-        for rule in &program.rules {
+        let mut stopped = false;
+        'rules: for rule in &program.rules {
             // One pass per IDB body position: that position must match the
             // delta; other positions use the full store.
             let idb_positions: Vec<usize> = rule
@@ -764,12 +858,13 @@ pub(crate) fn scan_fixpoint(program: &Program, structure: &Structure) -> (IdbSto
                 .map(|(i, _)| i)
                 .collect();
             for &pos in &idb_positions {
-                for_each_match(
+                stopped = for_each_match(
                     rule,
                     structure,
                     &store,
                     Some((pos, &delta_set)),
                     &mut stats,
+                    gov,
                     &mut |head_args| {
                         if let PredRef::Idb(id) = rule.head.pred {
                             if !store.holds(id, &head_args) {
@@ -778,6 +873,9 @@ pub(crate) fn scan_fixpoint(program: &Program, structure: &Structure) -> (IdbSto
                         }
                     },
                 );
+                if stopped {
+                    break 'rules;
+                }
             }
         }
         for (id, args) in new_facts {
@@ -786,12 +884,16 @@ pub(crate) fn scan_fixpoint(program: &Program, structure: &Structure) -> (IdbSto
                 frontier.push((id, args));
             }
         }
+        if stopped {
+            break;
+        }
     }
     (store, stats)
 }
 
 /// Enumerates all substitutions satisfying `rule`'s body and yields the
-/// instantiated head arguments.
+/// instantiated head arguments. Returns `true` when the governor tripped
+/// and the caller should unwind.
 ///
 /// `delta`: if `Some((pos, set))`, the body literal at `pos` must match a
 /// tuple in `set` (semi-naive restriction).
@@ -801,8 +903,9 @@ fn for_each_match(
     store: &IdbStore,
     delta: Option<(usize, &DeltaSet)>,
     stats: &mut EvalStats,
+    gov: &mut Governor<'_>,
     emit: &mut dyn FnMut(Box<[ElemId]>),
-) {
+) -> bool {
     let mut bindings: Vec<Option<ElemId>> = vec![None; rule.var_count as usize];
 
     // Literal processing order: positives in body order (no reordering —
@@ -832,8 +935,9 @@ fn for_each_match(
         &negatives,
         &mut bindings,
         stats,
+        gov,
         emit,
-    );
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -847,8 +951,9 @@ fn descend(
     negatives: &[usize],
     bindings: &mut Vec<Option<ElemId>>,
     stats: &mut EvalStats,
+    gov: &mut Governor<'_>,
     emit: &mut dyn FnMut(Box<[ElemId]>),
-) {
+) -> bool {
     if next == positives.len() {
         // All positives matched; check negatives (safety guarantees all
         // their variables are bound) and emit.
@@ -864,13 +969,13 @@ fn descend(
                 ),
             };
             if holds {
-                return;
+                return false;
             }
         }
         stats.firings += 1;
         let head_args = instantiate(&rule.head, bindings).expect("safe rule: head bound");
         emit(head_args);
-        return;
+        return false;
     }
 
     let li = positives[next];
@@ -881,11 +986,17 @@ fn descend(
     let try_tuple = |tuple: &[ElemId],
                      bindings: &mut Vec<Option<ElemId>>,
                      stats: &mut EvalStats,
-                     emit: &mut dyn FnMut(Box<[ElemId]>)| {
+                     gov: &mut Governor<'_>,
+                     emit: &mut dyn FnMut(Box<[ElemId]>)|
+     -> bool {
         stats.tuples_considered += 1;
+        if gov.work(stats.tuples_considered, stats.facts) {
+            return true;
+        }
+        let mut stop = false;
         let mut touched: Vec<Var> = Vec::new();
         if unify(&lit.atom, tuple, bindings, &mut touched) {
-            descend(
+            stop = descend(
                 rule,
                 structure,
                 store,
@@ -895,12 +1006,14 @@ fn descend(
                 negatives,
                 bindings,
                 stats,
+                gov,
                 emit,
             );
         }
         for v in touched {
             bindings[v.index()] = None;
         }
+        stop
     };
 
     // The scan engines enumerate whole relations on every non-delta
@@ -911,24 +1024,29 @@ fn descend(
         (PredRef::Edb(p), _) => {
             stats.full_scans += 1;
             for tuple in structure.relation(p).iter() {
-                try_tuple(tuple, bindings, stats, emit);
+                if try_tuple(tuple, bindings, stats, gov, emit) {
+                    return true;
+                }
             }
         }
         (PredRef::Idb(id), false) => {
             stats.full_scans += 1;
             for tuple in store.rels[id.index()].iter() {
-                try_tuple(tuple, bindings, stats, emit);
+                if try_tuple(tuple, bindings, stats, gov, emit) {
+                    return true;
+                }
             }
         }
         (PredRef::Idb(id), true) => {
             let (_, set) = delta.expect("delta position implies delta set");
             for (tid, tuple) in set {
-                if *tid == id {
-                    try_tuple(tuple, bindings, stats, emit);
+                if *tid == id && try_tuple(tuple, bindings, stats, gov, emit) {
+                    return true;
                 }
             }
         }
     }
+    false
 }
 
 /// Tries to unify `atom` with `tuple` under the current bindings;
@@ -1023,7 +1141,7 @@ mod tests {
     fn transitive_closure_naive() {
         let s = chain(5);
         let p = parse_program(TC, &s).unwrap();
-        let (store, _) = eval_naive(&p, &s);
+        let (store, _) = eval_naive(&p, &s).unwrap();
         let path = p.idb("path").unwrap();
         assert_eq!(store.tuples(path).len(), 4 + 3 + 2 + 1);
         assert!(store.holds(path, &[ElemId(0), ElemId(4)]));
@@ -1034,8 +1152,8 @@ mod tests {
     fn seminaive_agrees_with_naive() {
         let s = chain(7);
         let p = parse_program(TC, &s).unwrap();
-        let (naive, _) = eval_naive(&p, &s);
-        let (semi, _) = eval_seminaive(&p, &s);
+        let (naive, _) = eval_naive(&p, &s).unwrap();
+        let (semi, _) = eval_seminaive(&p, &s).unwrap();
         let path = p.idb("path").unwrap();
         assert_eq!(naive.tuples(path), semi.tuples(path));
     }
@@ -1044,8 +1162,8 @@ mod tests {
     fn scan_engine_agrees_with_naive() {
         let s = chain(7);
         let p = parse_program(TC_NONLINEAR, &s).unwrap();
-        let (naive, naive_stats) = eval_naive(&p, &s);
-        let (scan, scan_stats) = eval_seminaive_scan(&p, &s);
+        let (naive, naive_stats) = eval_naive(&p, &s).unwrap();
+        let (scan, scan_stats) = eval_seminaive_scan(&p, &s).unwrap();
         let path = p.idb("path").unwrap();
         assert_eq!(naive.tuples(path), scan.tuples(path));
         assert_eq!(naive_stats.facts, scan_stats.facts);
@@ -1055,8 +1173,8 @@ mod tests {
     fn seminaive_fires_less_than_naive() {
         let s = chain(12);
         let p = parse_program(TC, &s).unwrap();
-        let (_, naive_stats) = eval_naive(&p, &s);
-        let (_, semi_stats) = eval_seminaive(&p, &s);
+        let (_, naive_stats) = eval_naive(&p, &s).unwrap();
+        let (_, semi_stats) = eval_seminaive(&p, &s).unwrap();
         assert!(semi_stats.firings < naive_stats.firings);
         assert_eq!(semi_stats.facts, naive_stats.facts);
     }
@@ -1079,8 +1197,8 @@ mod tests {
     fn two_idb_atoms_fire_once_per_instantiation() {
         let s = chain(4);
         let p = parse_program(TC_NONLINEAR, &s).unwrap();
-        let (indexed_store, indexed) = eval_seminaive(&p, &s);
-        let (scan_store, scan) = eval_seminaive_scan(&p, &s);
+        let (indexed_store, indexed) = eval_seminaive(&p, &s).unwrap();
+        let (scan_store, scan) = eval_seminaive_scan(&p, &s).unwrap();
         let path = p.idb("path").unwrap();
         assert_eq!(indexed_store.tuples(path), scan_store.tuples(path));
         assert_eq!(indexed.facts, 6);
@@ -1102,7 +1220,7 @@ mod tests {
     fn delta_passes_probe_instead_of_scanning() {
         let s = chain(50);
         let p = parse_program(TC, &s).unwrap();
-        let (_, stats) = eval_seminaive(&p, &s);
+        let (_, stats) = eval_seminaive(&p, &s).unwrap();
         assert_eq!(
             stats.full_scans, 2,
             "only the unconstrained round-0 scans remain"
@@ -1122,7 +1240,7 @@ mod tests {
             &s,
         )
         .unwrap();
-        let (store, _) = eval_seminaive(&p, &s);
+        let (store, _) = eval_seminaive(&p, &s).unwrap();
         let skip = p.idb("skip").unwrap();
         assert!(store.holds(skip, &[ElemId(0), ElemId(2)]));
         assert!(!store.holds(skip, &[ElemId(0), ElemId(1)]));
@@ -1130,13 +1248,24 @@ mod tests {
 
     /// The parser accepts stratified programs, so the semipositive
     /// engines must reject a negated intensional atom at entry with a
-    /// pointer to `eval_stratified`, not an `unreachable!` mid-join.
+    /// typed [`EvalError::NotSemipositive`], not a panic (the seed
+    /// behavior) or an `unreachable!` mid-join.
     #[test]
-    #[should_panic(expected = "eval_stratified")]
-    fn semipositive_engine_rejects_stratified_programs_loudly() {
+    fn semipositive_engine_rejects_stratified_programs_with_typed_error() {
         let s = chain(3);
         let p = parse_program("q(X) :- e(X, Y), !r(X). r(X) :- e(X, X).", &s).unwrap();
-        let _ = eval_seminaive(&p, &s);
+        for result in [
+            eval_naive(&p, &s),
+            eval_seminaive(&p, &s),
+            eval_seminaive_scan(&p, &s),
+        ] {
+            let err = result.unwrap_err();
+            assert!(
+                matches!(&err, EvalError::NotSemipositive { message } if !message.is_empty()),
+                "{err:?}"
+            );
+            assert!(err.to_string().contains("semipositive engine"));
+        }
     }
 
     #[test]
@@ -1148,7 +1277,7 @@ mod tests {
             &s,
         )
         .unwrap();
-        let (store, _) = eval_seminaive(&p, &s);
+        let (store, _) = eval_seminaive(&p, &s).unwrap();
         let g = p.idb("reachable").unwrap();
         assert!(store.holds(g, &[]));
     }
@@ -1157,7 +1286,7 @@ mod tests {
     fn constants_in_rules() {
         let s = chain(4);
         let p = parse_program("from_start(Y) :- e(x0, Y).", &s).unwrap();
-        let (store, _) = eval_seminaive(&p, &s);
+        let (store, _) = eval_seminaive(&p, &s).unwrap();
         let q = p.idb("from_start").unwrap();
         assert_eq!(store.unary(q), vec![ElemId(1)]);
     }
@@ -1166,7 +1295,7 @@ mod tests {
     fn facts_in_program() {
         let s = chain(3);
         let p = parse_program("mark(x1). marked2(X) :- mark(X), e(X, Y).", &s).unwrap();
-        let (store, _) = eval_seminaive(&p, &s);
+        let (store, _) = eval_seminaive(&p, &s).unwrap();
         let m2 = p.idb("marked2").unwrap();
         assert_eq!(store.unary(m2), vec![ElemId(1)]);
     }
@@ -1180,7 +1309,7 @@ mod tests {
         s.insert(e, &[ElemId(0), ElemId(0)]);
         s.insert(e, &[ElemId(0), ElemId(1)]);
         let p = parse_program("loop(X) :- e(X, X).", &s).unwrap();
-        let (store, _) = eval_seminaive(&p, &s);
+        let (store, _) = eval_seminaive(&p, &s).unwrap();
         let l = p.idb("loop").unwrap();
         assert_eq!(store.unary(l), vec![ElemId(0)]);
     }
@@ -1191,7 +1320,7 @@ mod tests {
         let dom = Domain::anonymous(2);
         let s = Structure::new(sig, dom);
         let p = parse_program(TC, &s).unwrap();
-        let (store, stats) = eval_seminaive(&p, &s);
+        let (store, stats) = eval_seminaive(&p, &s).unwrap();
         assert_eq!(store.fact_count(), 0);
         assert_eq!(stats.facts, 0);
     }
@@ -1200,7 +1329,7 @@ mod tests {
     fn holds_named_uses_interned_names() {
         let s = chain(4);
         let p = parse_program(TC, &s).unwrap();
-        let (store, _) = eval_seminaive(&p, &s);
+        let (store, _) = eval_seminaive(&p, &s).unwrap();
         assert!(store.holds_named("path", &[ElemId(0), ElemId(3)]));
         assert!(!store.holds_named("path", &[ElemId(3), ElemId(0)]));
         assert!(!store.holds_named("no_such_predicate", &[ElemId(0)]));
@@ -1223,9 +1352,9 @@ mod tests {
             &s,
         )
         .unwrap();
-        let (naive, _) = eval_naive(&p, &s);
-        let (indexed, _) = eval_seminaive(&p, &s);
-        let (scan, _) = eval_seminaive_scan(&p, &s);
+        let (naive, _) = eval_naive(&p, &s).unwrap();
+        let (indexed, _) = eval_seminaive(&p, &s).unwrap();
+        let (scan, _) = eval_seminaive_scan(&p, &s).unwrap();
         for name in ["even", "odd"] {
             let id = p.idb(name).unwrap();
             assert_eq!(naive.tuples(id), indexed.tuples(id), "{name}");

@@ -58,9 +58,10 @@ use crate::analysis::{analyze, relevant_rules, AnalysisOptions, ProgramReport};
 use crate::ast::Program;
 use crate::cache::PlanCache;
 use crate::eval::{
-    assert_semipositive, naive_fixpoint, scan_fixpoint, EvalStats, IdbStore, SeminaiveScratch,
+    debug_assert_semipositive, naive_fixpoint, scan_fixpoint, EvalStats, IdbStore, SeminaiveScratch,
 };
 use crate::ground::{check_quasi_guarded, run_quasi_guarded, FdCatalog, QgError, QgStats};
+use crate::limits::{EvalLimits, Governor, LimitKind};
 use crate::stratify::{
     run_stratified, stratify, ExtensionMemo, Stratification, StratificationError,
 };
@@ -139,6 +140,7 @@ pub struct EvalOptions {
     minimize: bool,
     eliminate_bounded: bool,
     magic_sets: bool,
+    limits: Option<EvalLimits>,
 }
 
 impl EvalOptions {
@@ -235,10 +237,34 @@ impl EvalOptions {
         self.magic_sets = on;
         self
     }
+
+    /// Attaches resource limits ([`EvalLimits`]) to the session. Every
+    /// evaluation — and every nested evaluation the construction-time
+    /// transforms spawn — draws from the limits' shared meter; a trip
+    /// surfaces as [`EvalError::LimitExceeded`] (with a partial result
+    /// where the engine can guarantee soundness), except in the
+    /// construction-time transforms, which degrade to "not applied" (see
+    /// [`TransformSummary::budget_tripped`]).
+    ///
+    /// ```
+    /// use mdtw_datalog::{EvalLimits, EvalOptions};
+    /// use std::time::Duration;
+    /// let opts = EvalOptions::new()
+    ///     .limits(EvalLimits::new().fuel(1_000_000).deadline(Duration::from_millis(100)));
+    /// # let _ = opts;
+    /// ```
+    pub fn limits(mut self, limits: EvalLimits) -> Self {
+        self.limits = Some(limits);
+        self
+    }
 }
 
 /// Why an [`Evaluator`] could not be constructed or an evaluation failed.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality compares the error *shape* (and, for
+/// [`EvalError::LimitExceeded`], the [`LimitKind`]) — not the attached
+/// statistics or partial results.
+#[derive(Debug, Clone)]
 pub enum EvalError {
     /// The program has no stratified semantics, or failed the per-rule
     /// safety/head checks.
@@ -258,7 +284,57 @@ pub enum EvalError {
     /// [`Engine::QuasiGuarded`] was selected without attaching an
     /// [`FdCatalog`] via [`EvalOptions::fd_catalog`].
     MissingFdCatalog,
+    /// A semipositive-only entry point received a program with intensional
+    /// negation; use the [`Evaluator`] session API (or
+    /// [`Engine::SemiNaiveIndexed`]), which evaluates stratified programs.
+    NotSemipositive {
+        /// What the semipositivity check rejected.
+        message: String,
+    },
+    /// A resource limit attached via [`EvalOptions::limits`] tripped
+    /// (see [`EvalLimits`]).
+    LimitExceeded {
+        /// Which limit tripped.
+        kind: LimitKind,
+        /// The work counters at the moment of the trip. On a
+        /// multi-stratum evaluation `stats.strata` counts the *completed*
+        /// strata (the partial result's materialized prefix); on a
+        /// single-stratum trip it is 0.
+        stats: EvalStats,
+        /// The facts materialized before the trip — always a sound subset
+        /// of the full least fixpoint (graceful degradation). `None` for
+        /// the quasi-guarded engine, which cannot certify a partial
+        /// grounding.
+        partial: Option<Box<EvalResult>>,
+    },
 }
+
+impl PartialEq for EvalError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (EvalError::Stratification(a), EvalError::Stratification(b)) => a == b,
+            (EvalError::QuasiGuarded(a), EvalError::QuasiGuarded(b)) => a == b,
+            (
+                EvalError::NeedsStratifiedEngine { engine, strata },
+                EvalError::NeedsStratifiedEngine {
+                    engine: e2,
+                    strata: s2,
+                },
+            ) => engine == e2 && strata == s2,
+            (EvalError::MissingFdCatalog, EvalError::MissingFdCatalog) => true,
+            (
+                EvalError::NotSemipositive { message },
+                EvalError::NotSemipositive { message: m2 },
+            ) => message == m2,
+            (EvalError::LimitExceeded { kind, .. }, EvalError::LimitExceeded { kind: k2, .. }) => {
+                kind == k2
+            }
+            _ => false,
+        }
+    }
+}
+
+impl Eq for EvalError {}
 
 impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -273,6 +349,24 @@ impl fmt::Display for EvalError {
             EvalError::MissingFdCatalog => write!(
                 f,
                 "Engine::QuasiGuarded needs an FdCatalog (EvalOptions::fd_catalog)"
+            ),
+            EvalError::NotSemipositive { message } => {
+                write!(f, "semipositive engine: {message}")
+            }
+            EvalError::LimitExceeded {
+                kind,
+                stats,
+                partial,
+            } => write!(
+                f,
+                "evaluation exceeded its {kind} limit after {} facts and {} rounds{}",
+                stats.facts,
+                stats.rounds,
+                if partial.is_some() {
+                    " (partial result attached)"
+                } else {
+                    ""
+                }
             ),
         }
     }
@@ -324,6 +418,7 @@ pub struct Evaluator {
     outputs: Option<Vec<String>>,
     pruned_rules: usize,
     transforms: TransformSummary,
+    limits: Option<EvalLimits>,
     stratification: Arc<Stratification>,
     cache: PlanCache,
     scratch: SeminaiveScratch,
@@ -361,12 +456,19 @@ impl Evaluator {
         }
         let mut transforms = TransformSummary::default();
         if options.minimize {
-            let report = transform::minimize(&mut program);
+            let (report, tripped) =
+                transform::minimize_with_limits(&mut program, options.limits.as_ref());
             transforms.removed_rules = report.removed_rules;
             transforms.condensed_literals = report.condensed_literals;
+            transforms.budget_tripped |= tripped;
         }
         if options.eliminate_bounded {
-            transforms.bounded_sccs = transform::eliminate_bounded_recursion(&mut program).len();
+            let (sccs, tripped) = transform::eliminate_bounded_recursion_with_limits(
+                &mut program,
+                options.limits.as_ref(),
+            );
+            transforms.bounded_sccs = sccs.len();
+            transforms.budget_tripped |= tripped;
         }
         if options.magic_sets {
             if let Some(outputs) = &options.outputs {
@@ -412,6 +514,7 @@ impl Evaluator {
             outputs: options.outputs,
             pruned_rules,
             transforms,
+            limits: options.limits,
             stratification,
             cache: PlanCache::new(),
             scratch,
@@ -425,47 +528,78 @@ impl Evaluator {
     /// engine directly; multi-stratum programs run the bottom-up
     /// stratified pipeline (only [`Engine::SemiNaiveIndexed`] supports
     /// them — others are rejected at construction). Construction-time
-    /// analysis is reused, so the only per-call errors are data-dependent
-    /// quasi-guarded failures ([`QgError::FdViolated`]).
+    /// analysis is reused, so the per-call errors are data-dependent
+    /// quasi-guarded failures ([`QgError::FdViolated`]) and — when
+    /// [`EvalOptions::limits`] attached a budget —
+    /// [`EvalError::LimitExceeded`].
     pub fn evaluate(&mut self, structure: &Structure) -> Result<EvalResult, EvalError> {
-        let (store, stats, qg) = match self.engine {
+        let limits = self.limits.clone();
+        let (store, stats, qg, trip) = match self.engine {
             Engine::Naive => {
-                assert_semipositive(&self.program);
-                let (store, stats) = naive_fixpoint(&self.program, structure);
-                (store, stats, None)
+                debug_assert_semipositive(&self.program);
+                let mut gov = Governor::new(limits.as_ref());
+                let (store, stats) = naive_fixpoint(&self.program, structure, &mut gov);
+                (store, stats, None, gov.tripped())
             }
             Engine::SemiNaiveScan => {
-                assert_semipositive(&self.program);
-                let (store, stats) = scan_fixpoint(&self.program, structure);
-                (store, stats, None)
+                debug_assert_semipositive(&self.program);
+                let mut gov = Governor::new(limits.as_ref());
+                let (store, stats) = scan_fixpoint(&self.program, structure, &mut gov);
+                (store, stats, None, gov.tripped())
             }
             Engine::SemiNaiveIndexed => {
                 let cache = self.cache_enabled.then_some(&self.cache);
-                let (store, stats) = run_stratified(
+                let (store, stats, trip) = run_stratified(
                     &self.program,
                     &self.stratification,
                     structure,
                     cache,
                     &mut self.scratch,
                     &mut self.ext_memo,
+                    limits.as_ref(),
                 );
-                (store, stats, None)
+                (store, stats, None, trip)
             }
             Engine::QuasiGuarded => {
                 let catalog = self
                     .fd_catalog
                     .as_ref()
                     .expect("QuasiGuarded sessions carry a catalog (checked at construction)");
-                let (store, qg) = run_quasi_guarded(&self.program, structure, catalog)?;
+                let mut gov = Governor::new(limits.as_ref());
+                let (store, qg) = run_quasi_guarded(&self.program, structure, catalog, &mut gov)?;
                 let stats = EvalStats {
                     facts: store.fact_count(),
                     rounds: 1,
                     strata: 1,
                     ..EvalStats::default()
                 };
-                (store, stats, Some(qg))
+                (store, stats, Some(qg), gov.tripped())
             }
         };
+        if let Some(kind) = trip {
+            let mut stats = stats;
+            if self.engine != Engine::SemiNaiveIndexed {
+                // Single-stratum engines complete no stratum on a trip;
+                // the stratified driver already set the completed count.
+                stats.strata = 0;
+            }
+            let stats = self.filter_stats(stats);
+            // The quasi-guarded engine cannot certify a partial grounding,
+            // so it degrades without a partial result.
+            let partial = (self.engine != Engine::QuasiGuarded).then(|| {
+                Box::new(EvalResult {
+                    store,
+                    stats,
+                    stratification: Arc::clone(&self.stratification),
+                    qg: None,
+                })
+            });
+            return Err(EvalError::LimitExceeded {
+                kind,
+                stats,
+                partial,
+            });
+        }
         Ok(EvalResult {
             store,
             stats: self.filter_stats(stats),

@@ -19,6 +19,7 @@
 use crate::ast::{Literal, PredRef, Program, Rule, Term};
 use crate::eval::IdbStore;
 use crate::horn::{HornProgram, HornRule};
+use crate::limits::Governor;
 use mdtw_structure::fx::FxHashMap;
 use mdtw_structure::{ElemId, PosIndex, PredId, Structure};
 use std::sync::Arc;
@@ -96,6 +97,12 @@ pub enum QgError {
         /// The predicate whose relation violates the dependency.
         pred: PredId,
     },
+    /// The program negates an intensional atom: the quasi-guarded
+    /// pipeline evaluates semipositive programs only.
+    NotSemipositive {
+        /// What the semipositivity check rejected.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for QgError {
@@ -109,6 +116,9 @@ impl std::fmt::Display for QgError {
                     f,
                     "relation {pred} violates a declared functional dependency"
                 )
+            }
+            QgError::NotSemipositive { message } => {
+                write!(f, "quasi-guarded pipeline is semipositive-only: {message}")
             }
         }
     }
@@ -280,14 +290,33 @@ impl Grounding {
 
 /// Grounds a quasi-guarded program over a structure (the construction in
 /// the proof of Theorem 4.4).
+///
+/// # Errors
+/// [`QgError::NotSemipositive`] if the program negates an intensional
+/// atom, [`QgError::NotQuasiGuarded`] / [`QgError::FdViolated`] from the
+/// guard analysis and FD validation.
 pub fn ground(
     program: &Program,
     structure: &Structure,
     catalog: &FdCatalog,
 ) -> Result<Grounding, QgError> {
+    ground_governed(program, structure, catalog, &mut Governor::new(None))
+}
+
+/// [`ground`] with a resource governor: the guard-instantiation loop is
+/// the pipeline's only data-proportional loop, so it carries the work
+/// checkpoints (1 fuel unit per guard instantiation). On a trip the
+/// grounding is *incomplete* — the caller must not solve it for a model
+/// (an incomplete grounding under-constrains nothing but proves nothing).
+pub(crate) fn ground_governed(
+    program: &Program,
+    structure: &Structure,
+    catalog: &FdCatalog,
+    gov: &mut Governor<'_>,
+) -> Result<Grounding, QgError> {
     program
         .check_semipositive()
-        .expect("caller must supply a valid semipositive program");
+        .map_err(|message| QgError::NotSemipositive { message })?;
     let plans = analyze(program, catalog)?;
 
     // Resolve each rule's lookup steps to (predicate, unique index) pairs
@@ -328,7 +357,8 @@ pub fn ground(
     };
 
     let mut key_buf: Vec<ElemId> = Vec::new();
-    for ((rule, plan), rule_indexes) in program.rules.iter().zip(&plans).zip(&step_indexes) {
+    'rules: for ((rule, plan), rule_indexes) in program.rules.iter().zip(&plans).zip(&step_indexes)
+    {
         let mut bindings: Vec<Option<ElemId>> = vec![None; rule.var_count as usize];
         match plan.guard {
             None => {
@@ -352,6 +382,9 @@ pub fn ground(
                 let guard_atom = &rule.body[gi].atom;
                 'tuples: for tuple in structure.relation(guard_pred).iter() {
                     stats.guard_instantiations += 1;
+                    if gov.work(stats.guard_instantiations, 0) {
+                        break 'rules;
+                    }
                     bindings.fill(None);
                     // Bind the guard.
                     for (term, &value) in guard_atom.terms.iter().zip(tuple) {
@@ -479,19 +512,31 @@ pub fn eval_quasi_guarded(
     structure: &Structure,
     catalog: &FdCatalog,
 ) -> Result<(IdbStore, QgStats), QgError> {
-    run_quasi_guarded(program, structure, catalog)
+    run_quasi_guarded(program, structure, catalog, &mut Governor::new(None))
 }
 
 /// The quasi-guarded pipeline proper (shared by the deprecated
 /// [`eval_quasi_guarded`] wrapper and
 /// [`Evaluator`](crate::evaluator::Evaluator) sessions with an attached
-/// [`FdCatalog`]).
+/// [`FdCatalog`]). On a governor trip the grounding is incomplete, so the
+/// LTUR solve is *skipped* — a least model of a partial grounding is not a
+/// subset of the real one — and an empty store is returned; the caller
+/// reads the trip off the governor and reports no partial result.
 pub(crate) fn run_quasi_guarded(
     program: &Program,
     structure: &Structure,
     catalog: &FdCatalog,
+    gov: &mut Governor<'_>,
 ) -> Result<(IdbStore, QgStats), QgError> {
-    let grounding = ground(program, structure, catalog)?;
+    let grounding = ground_governed(program, structure, catalog, gov)?;
+    // Stage checkpoint at the grounding → solve boundary: guarantees every
+    // governed QG run passes at least one checkpoint, however small the
+    // structure (the amortized work checks inside the grounding loop only
+    // fire every few thousand guard instantiations).
+    gov.round(grounding.stats.guard_instantiations, 0);
+    if gov.tripped().is_some() {
+        return Ok((IdbStore::new_for(program), grounding.stats));
+    }
     let model = grounding.horn.least_model();
     let mut store = IdbStore::new_for(program);
     for ((pred, args), id) in &grounding.atom_ids {
@@ -557,7 +602,7 @@ mod tests {
                    inner(X) :- reach(X), next(X, Y), !first(X).";
         let p = parse_program(src, &s).unwrap();
         let (qg, _) = eval_quasi_guarded(&p, &s, &cat).unwrap();
-        let (sn, _) = eval_seminaive(&p, &s);
+        let (sn, _) = eval_seminaive(&p, &s).unwrap();
         for name in ["reach", "inner"] {
             let id = p.idb(name).unwrap();
             assert_eq!(qg.tuples(id), sn.tuples(id), "{name}");

@@ -79,6 +79,7 @@ pub mod eval;
 pub mod evaluator;
 pub mod ground;
 pub mod horn;
+pub mod limits;
 pub mod lint;
 pub mod parser;
 pub mod plan;
@@ -96,6 +97,7 @@ pub use eval::{EvalStats, IdbStore};
 pub use evaluator::{Engine, EvalError, EvalOptions, EvalResult, Evaluator, StatsDetail};
 pub use ground::{ground, FdCatalog, FuncDep, Grounding, QgError, QgStats};
 pub use horn::{HornProgram, HornRule};
+pub use limits::{CancelToken, EvalLimits, LimitKind};
 pub use parser::{parse_program, parse_program_lenient, ParseError, ParseErrorKind};
 pub use plan::{
     plan_program, plan_program_with, plan_rule, plan_rule_with, Access, CardEstimator, JoinPlan,
@@ -104,8 +106,10 @@ pub use plan::{
 pub use span::{RuleSpans, Span};
 pub use stratify::{recursive_idb_scc_count, stratify, Stratification, StratificationError};
 pub use transform::{
-    bounded_sccs, eliminate_bounded_recursion, magic_program, minimize, optimize, redundant_rules,
-    BoundedScc, MagicOutcome, MinimizeReport, TransformSummary,
+    bounded_sccs, bounded_sccs_with_limits, eliminate_bounded_recursion,
+    eliminate_bounded_recursion_with_limits, magic_program, minimize, minimize_with_limits,
+    optimize, optimize_with_limits, redundant_rules, redundant_rules_with_limits, BoundedScc,
+    MagicOutcome, MinimizeReport, TransformSummary,
 };
 
 // The seven historical one-shot entry points, kept importable from the

@@ -22,9 +22,10 @@
 //! dependency-free `--json` mode that round-trips.
 
 use crate::analysis::{analyze, AnalysisOptions, Diagnostic, LintCode, ProgramReport, Severity};
+use crate::limits::EvalLimits;
 use crate::parser::{is_variable, parse_program, parse_program_lenient, ParseError};
 use crate::span::Span;
-use crate::transform::{optimize, TransformSummary};
+use crate::transform::{optimize_with_limits, TransformSummary};
 use mdtw_structure::fx::FxHashMap;
 use mdtw_structure::{Domain, Signature, Structure};
 use std::fmt;
@@ -278,6 +279,18 @@ pub fn synthetic_structure(source: &str, decls: &LintDecls) -> Structure {
 /// extensional heads and negative cycles as spanned `MD0xx` diagnostics
 /// instead of dying on the first), and runs [`analyze`].
 pub fn lint_source(source: &str) -> Result<LintOutcome, PragmaError> {
+    lint_source_with_limits(source, None)
+}
+
+/// [`lint_source`] with an explicit budget for the semantic tier's
+/// containment probes (e.g. from `mdtw-lint --fuel` / `--timeout-ms`).
+/// `None` falls back to the analysis layer's default fuel budget
+/// ([`crate::analysis::DEFAULT_SEMANTIC_FUEL`]), so linting terminates
+/// even on adversarial programs.
+pub fn lint_source_with_limits(
+    source: &str,
+    limits: Option<&EvalLimits>,
+) -> Result<LintOutcome, PragmaError> {
     let decls = scan_pragmas(source)?;
     let structure = synthetic_structure(source, &decls);
     match parse_program_lenient(source, &structure) {
@@ -290,6 +303,9 @@ pub fn lint_source(source: &str) -> Result<LintOutcome, PragmaError> {
             let mut options = AnalysisOptions::new()
                 .edb_signature(Arc::clone(structure.signature()))
                 .semantic(true);
+            if let Some(l) = limits {
+                options = options.limits(l.clone());
+            }
             if !decls.outputs.is_empty() {
                 options = options.outputs(decls.outputs.iter().cloned());
             }
@@ -334,7 +350,7 @@ pub enum OptimizeOutcome {
     Skipped(String),
 }
 
-/// The result of running the full [`optimize`] pipeline on a file, for
+/// The result of running the full [`optimize_with_limits`] pipeline on a file, for
 /// display: the surviving rules re-rendered as text, plus the summary.
 #[derive(Debug)]
 pub struct OptimizeDump {
@@ -352,6 +368,25 @@ pub struct OptimizeDump {
 /// resulting program. Never evaluates over real data — the only
 /// evaluation is the containment test's canonical databases.
 pub fn optimize_source(source: &str) -> Result<OptimizeOutcome, PragmaError> {
+    optimize_source_with_limits(source, None)
+}
+
+/// Default fuel budget for the `--optimize` dry-run's containment probes
+/// when no explicit limits are given: the pipeline runs more probes than
+/// a lint pass, so its ceiling is higher, but it still guarantees
+/// termination on adversarial inputs.
+pub const DEFAULT_OPTIMIZE_FUEL: u64 = 20_000_000;
+
+/// [`optimize_source`] with an explicit budget for the pipeline's
+/// containment probes. `None` falls back to [`DEFAULT_OPTIMIZE_FUEL`];
+/// a tripped budget is visible as
+/// [`TransformSummary::budget_tripped`](crate::transform::TransformSummary::budget_tripped)
+/// on the returned dump — the affected transforms degrade to "not
+/// applied" instead of hanging.
+pub fn optimize_source_with_limits(
+    source: &str,
+    limits: Option<&EvalLimits>,
+) -> Result<OptimizeOutcome, PragmaError> {
     let decls = scan_pragmas(source)?;
     let structure = synthetic_structure(source, &decls);
     let mut program = match parse_program(source, &structure) {
@@ -369,7 +404,10 @@ pub fn optimize_source(source: &str) -> Result<OptimizeOutcome, PragmaError> {
         .iter()
         .filter_map(|name| program.idb(name))
         .collect();
-    let summary = optimize(&mut program, &outputs);
+    let budget = limits
+        .cloned()
+        .unwrap_or_else(|| EvalLimits::new().fuel(DEFAULT_OPTIMIZE_FUEL));
+    let summary = optimize_with_limits(&mut program, &outputs, Some(&budget));
     let rules = program
         .rules
         .iter()

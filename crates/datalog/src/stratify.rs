@@ -37,6 +37,7 @@
 use crate::ast::{IdbId, PredRef, Program};
 use crate::cache::{global_plan_cache, plans_for, PlanCache};
 use crate::eval::{run_seminaive_scratch, EvalStats, IdbStore, SeminaiveScratch};
+use crate::limits::{EvalLimits, Governor, LimitKind};
 use mdtw_structure::{PredId, Signature, Structure};
 use std::fmt;
 use std::sync::Arc;
@@ -386,14 +387,16 @@ pub fn eval_stratified(
 ) -> Result<(IdbStore, EvalStats), StratificationError> {
     let strat = stratify(program)?;
     let mut scratch = SeminaiveScratch::new(program);
-    Ok(run_stratified(
+    let (store, stats, _) = run_stratified(
         program,
         &strat,
         structure,
         Some(global_plan_cache()),
         &mut scratch,
         &mut ExtensionMemo::default(),
-    ))
+        None,
+    );
+    Ok((store, stats))
 }
 
 /// Evaluates a stratified program bottom-up with an explicit plan cache.
@@ -422,14 +425,16 @@ pub fn eval_stratified_with_cache(
 ) -> Result<(IdbStore, EvalStats), StratificationError> {
     let strat = stratify(program)?;
     let mut scratch = SeminaiveScratch::new(program);
-    Ok(run_stratified(
+    let (store, stats, _) = run_stratified(
         program,
         &strat,
         structure,
         Some(cache),
         &mut scratch,
         &mut ExtensionMemo::default(),
-    ))
+        None,
+    );
+    Ok((store, stats))
 }
 
 /// Memoized per-signature extension setup for the stratified pipeline:
@@ -520,6 +525,12 @@ impl ExtensionMemo {
 /// and [`Evaluator`](crate::evaluator::Evaluator) sessions (which
 /// stratify once at construction and reuse the certificate across
 /// evaluations). `cache` is `None` when plan caching is disabled.
+///
+/// The third return element is the tripped [`LimitKind`], if `limits`
+/// governed the run and a limit tripped. On a trip the store holds every
+/// completed stratum plus the partial output of the stratum that tripped
+/// (a sound subset of the fixpoint), and `stats.strata` is rewritten to
+/// the *completed*-stratum count.
 pub(crate) fn run_stratified(
     program: &Program,
     strat: &Stratification,
@@ -527,17 +538,24 @@ pub(crate) fn run_stratified(
     cache: Option<&PlanCache>,
     scratch: &mut SeminaiveScratch,
     memo: &mut ExtensionMemo,
-) -> (IdbStore, EvalStats) {
+    limits: Option<&EvalLimits>,
+) -> (IdbStore, EvalStats, Option<LimitKind>) {
     if strat.stratum_count() <= 1 {
         // Semipositive fast path: no rewriting, no structure extension.
-        crate::eval::assert_semipositive(program);
+        crate::eval::debug_assert_semipositive(program);
         let (plans, hit) = plans_for(program, structure, cache);
         let stats = EvalStats {
             plan_cache_hits: usize::from(hit),
             strata: strat.stratum_count(),
             ..EvalStats::default()
         };
-        return run_seminaive_scratch(program, structure, &plans, stats, scratch);
+        let mut gov = Governor::new(limits);
+        let (store, mut stats) =
+            run_seminaive_scratch(program, structure, &plans, stats, scratch, &mut gov);
+        if gov.tripped().is_some() {
+            stats.strata = 0;
+        }
+        return (store, stats, gov.tripped());
     }
 
     // Extension setup (which predicates to materialize, extended
@@ -563,6 +581,8 @@ pub(crate) fn run_stratified(
         idb_by_name: program.idb_by_name.clone(),
     };
 
+    let mut completed = 0usize;
+    let mut trip: Option<LimitKind> = None;
     for (k, stratum_rules) in strat.strata().iter().enumerate() {
         if !stratum_rules.is_empty() {
             // The stratum's semipositive sub-program: this stratum's rules
@@ -594,12 +614,19 @@ pub(crate) fn run_stratified(
                 plan_cache_hits: usize::from(hit),
                 ..EvalStats::default()
             };
+            // A fresh governor per stratum (the per-stratum stats reset
+            // breaks the work counter's monotonicity); the shared meter
+            // keeps the budget cumulative across strata.
+            let mut gov = Governor::new(limits);
             let (sub_store, stats) =
-                run_seminaive_scratch(&sub, &ext_structure, &plans, stats, scratch);
+                run_seminaive_scratch(&sub, &ext_structure, &plans, stats, scratch, &mut gov);
             total.merge_counters(&stats);
+            trip = gov.tripped();
 
             // Materialize this stratum's output: into the final store, and
-            // into the extended structure for the strata above.
+            // into the extended structure for the strata above. A tripped
+            // stratum's partial output is still materialized — every fact
+            // in it is truly derivable (graceful degradation).
             for pred in (0..program.idb_count() as u32).map(IdbId) {
                 if strat.stratum_of(pred) != k {
                     continue;
@@ -611,10 +638,17 @@ pub(crate) fn run_stratified(
                     }
                 }
             }
+            if trip.is_some() {
+                break;
+            }
         }
+        completed = k + 1;
     }
 
-    (final_store, total)
+    if trip.is_some() {
+        total.strata = completed;
+    }
+    (final_store, total, trip)
 }
 
 /// The stratum a rule evaluates in: the stratum of its head predicate.
@@ -739,7 +773,7 @@ mod tests {
             &s,
         )
         .unwrap();
-        let (semi, semi_stats) = eval_seminaive(&p, &s);
+        let (semi, semi_stats) = eval_seminaive(&p, &s).unwrap();
         let (strat, strat_stats) = eval_stratified(&p, &s).unwrap();
         for idb in 0..p.idb_count() {
             let id = IdbId(idb as u32);

@@ -29,7 +29,8 @@
 //! MD017 / MD023 / MD040-series diagnostics.
 
 use crate::ast::{Atom, IdbId, Literal, PredRef, Program, Rule, Term};
-use crate::evaluator::Evaluator;
+use crate::evaluator::{EvalError, EvalOptions, Evaluator};
+use crate::limits::EvalLimits;
 use crate::span::RuleSpans;
 use mdtw_structure::fx::{FxHashMap, FxHashSet};
 use mdtw_structure::{Domain, ElemId, PredId, Signature, Structure};
@@ -101,6 +102,11 @@ pub struct TransformSummary {
     pub magic_adorned: usize,
     /// Magic (demand) rules the rewrite emitted.
     pub magic_rules: usize,
+    /// Whether a containment probe ran out of budget, so one or more
+    /// transforms degraded to "not applied" instead of completing their
+    /// proof. The program is still correct — an unproven containment
+    /// just means the rule (or SCC) is conservatively kept.
+    pub budget_tripped: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -192,8 +198,20 @@ impl TestWorld {
 
     /// Evaluates `test` over `db` and checks the frozen head of
     /// `candidate` is derived. Any construction or evaluation error is
-    /// treated as "not contained" (conservative).
-    fn derives_head(&self, test: Program, db: &Structure, candidate: &Rule) -> bool {
+    /// treated as "not contained" (conservative). When `limits` is
+    /// given, the nested evaluation shares its budget meter (a clone of
+    /// [`EvalLimits`] keeps the same counters), and a
+    /// [`EvalError::LimitExceeded`] trip sets `tripped` — the probe then
+    /// counts as "not contained", so the transform degrades to leaving
+    /// the rule in place rather than risking an unproven removal.
+    fn derives_head(
+        &self,
+        test: Program,
+        db: &Structure,
+        candidate: &Rule,
+        limits: Option<&EvalLimits>,
+        tripped: &mut bool,
+    ) -> bool {
         let PredRef::Idb(head) = candidate.head.pred else {
             return false;
         };
@@ -203,10 +221,19 @@ impl TestWorld {
             .iter()
             .map(|&t| self.freeze(t))
             .collect();
-        match Evaluator::new(test) {
-            Ok(mut session) => session
-                .evaluate(db)
-                .is_ok_and(|r| r.store.holds(head, &args)),
+        let options = match limits {
+            Some(l) => EvalOptions::new().limits(l.clone()),
+            None => EvalOptions::new(),
+        };
+        match Evaluator::with_options(test, options) {
+            Ok(mut session) => match session.evaluate(db) {
+                Ok(r) => r.store.holds(head, &args),
+                Err(EvalError::LimitExceeded { .. }) => {
+                    *tripped = true;
+                    false
+                }
+                Err(_) => false,
+            },
             Err(_) => false,
         }
     }
@@ -249,26 +276,49 @@ fn idb_shell(program: &Program) -> Program {
 /// only the fully-positive fragment of the remaining program is used,
 /// which can only under-approximate derivability.
 pub fn redundant_rules(program: &Program) -> Vec<bool> {
+    redundant_rules_with_limits(program, None).0
+}
+
+/// Budget-governed [`redundant_rules`]: every containment probe runs its
+/// nested [`Evaluator`] under `limits` (sharing one meter, so the budget
+/// is cumulative across probes). Returns the redundancy flags plus
+/// whether any probe tripped; a tripped probe conservatively keeps its
+/// rule, and remaining candidates are skipped.
+pub fn redundant_rules_with_limits(
+    program: &Program,
+    limits: Option<&EvalLimits>,
+) -> (Vec<bool>, bool) {
     let n = program.rules.len();
     let mut redundant = vec![false; n];
+    let mut tripped = false;
     if !(2..=MAX_RULES).contains(&n) {
-        return redundant;
+        return (redundant, tripped);
     }
     let world = TestWorld::new(program);
     let mut kept: Vec<usize> = (0..n).collect();
     for (j, flag) in redundant.iter_mut().enumerate() {
+        if tripped {
+            break;
+        }
         if !eligible(&program.rules[j]) {
             continue;
         }
-        if rule_redundant(&world, program, &kept, j) {
+        if rule_redundant(&world, program, &kept, j, limits, &mut tripped) {
             *flag = true;
             kept.retain(|&k| k != j);
         }
     }
-    redundant
+    (redundant, tripped)
 }
 
-fn rule_redundant(world: &TestWorld, program: &Program, kept: &[usize], j: usize) -> bool {
+fn rule_redundant(
+    world: &TestWorld,
+    program: &Program,
+    kept: &[usize],
+    j: usize,
+    limits: Option<&EvalLimits>,
+    tripped: &mut bool,
+) -> bool {
     let candidate = &program.rules[j];
     let mut test = idb_shell(program);
     // Copy rules seed every intensional predicate from its frozen input
@@ -300,7 +350,7 @@ fn rule_redundant(world: &TestWorld, program: &Program, kept: &[usize], j: usize
         }
     }
     let db = world.canonical_db(candidate);
-    world.derives_head(test, &db, candidate)
+    world.derives_head(test, &db, candidate, limits, tripped)
 }
 
 /// Condenses rule bodies: a positive literal is dropped when a
@@ -406,8 +456,20 @@ fn match_terms(src: &[Term], tgt: &[Term], assign: &mut [Option<Term>]) -> bool 
 /// uniform-containment removal. Semantics on every intensional predicate
 /// are preserved (property-tested).
 pub fn minimize(program: &mut Program) -> MinimizeReport {
+    minimize_with_limits(program, None).0
+}
+
+/// Budget-governed [`minimize`]: containment probes run under `limits`
+/// (condensation is a pure homomorphism search and is already bounded by
+/// a fixed step budget, so only the removal pass is governed). Returns the
+/// report plus whether the budget tripped; on a trip the remaining
+/// candidate rules are conservatively kept.
+pub fn minimize_with_limits(
+    program: &mut Program,
+    limits: Option<&EvalLimits>,
+) -> (MinimizeReport, bool) {
     let condensed_literals = condense(program);
-    let redundant = redundant_rules(program);
+    let (redundant, tripped) = redundant_rules_with_limits(program, limits);
     let removed_rules = redundant.iter().filter(|&&r| r).count();
     if removed_rules > 0 {
         let mut keep = redundant.iter();
@@ -417,10 +479,13 @@ pub fn minimize(program: &mut Program) -> MinimizeReport {
             program.spans.retain(|_| !*keep.next().unwrap());
         }
     }
-    MinimizeReport {
-        removed_rules,
-        condensed_literals,
-    }
+    (
+        MinimizeReport {
+            removed_rules,
+            condensed_literals,
+        },
+        tripped,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -434,22 +499,38 @@ pub fn minimize(program: &mut Program) -> MinimizeReport {
 /// *every* value of the lower strata). A SCC bounded at stage k is
 /// reported with its nonrecursive replacement `N_k = U_1 ∪ … ∪ U_k`.
 pub fn bounded_sccs(program: &Program) -> Vec<BoundedScc> {
+    bounded_sccs_with_limits(program, None).0
+}
+
+/// Budget-governed [`bounded_sccs`]: the stage-containment probes run
+/// their nested [`Evaluator`]s under `limits` (one shared meter).
+/// Returns the proofs plus whether the budget tripped; a tripped SCC is
+/// conservatively reported unbounded and remaining SCCs are skipped.
+pub fn bounded_sccs_with_limits(
+    program: &Program,
+    limits: Option<&EvalLimits>,
+) -> (Vec<BoundedScc>, bool) {
+    let mut tripped = false;
     if program.rules.len() > MAX_RULES || program.idb_count() == 0 {
-        return Vec::new();
+        return (Vec::new(), tripped);
     }
     let scc_of = crate::analysis::idb_sccs(program);
     let scc_count = scc_of.iter().map(|&s| s + 1).max().unwrap_or(0);
     let world = TestWorld::new(program);
     let mut out = Vec::new();
     for s in 0..scc_count {
+        if tripped {
+            break;
+        }
         let members: Vec<usize> = (0..program.idb_count())
             .filter(|&p| scc_of[p] == s)
             .collect();
-        if let Some(b) = try_bound_scc(program, &world, &scc_of, s, &members) {
+        if let Some(b) = try_bound_scc(program, &world, &scc_of, s, &members, limits, &mut tripped)
+        {
             out.push(b);
         }
     }
-    out
+    (out, tripped)
 }
 
 /// True if the atom's predicate lies in SCC `s`.
@@ -463,6 +544,8 @@ fn try_bound_scc(
     scc_of: &[usize],
     s: usize,
     members: &[usize],
+    limits: Option<&EvalLimits>,
+    tripped: &mut bool,
 ) -> Option<BoundedScc> {
     // Gather the SCC's rules; every one must be eligible and *linear*
     // (at most one in-SCC body literal).
@@ -518,9 +601,10 @@ fn try_bound_scc(
             return None;
         }
         if next.is_empty()
-            || next
-                .iter()
-                .all(|u| stage_contained(program, world, scc_of, s, &accumulated, u))
+            || next.iter().all(|u| {
+                !*tripped
+                    && stage_contained(program, world, scc_of, s, &accumulated, u, limits, tripped)
+            })
         {
             return Some(BoundedScc {
                 preds: members
@@ -531,6 +615,9 @@ fn try_bound_scc(
                 rules: rule_ids,
                 replacement: accumulated,
             });
+        }
+        if *tripped {
+            return None;
         }
         frontier = next;
     }
@@ -656,6 +743,7 @@ fn rule_key(rule: &Rule) -> String {
 /// program `stages`? Lower intensional predicates are rewritten to their
 /// extensional input slots on both sides, so the containment holds for
 /// every value of the lower strata.
+#[allow(clippy::too_many_arguments)]
 fn stage_contained(
     program: &Program,
     world: &TestWorld,
@@ -663,6 +751,8 @@ fn stage_contained(
     s: usize,
     stages: &[Rule],
     u: &Rule,
+    limits: Option<&EvalLimits>,
+    tripped: &mut bool,
 ) -> bool {
     debug_assert!(!u.body.iter().any(|l| in_scc(l.atom.pred, scc_of, s)));
     let mut test = idb_shell(program);
@@ -676,7 +766,7 @@ fn stage_contained(
         test.rules.push(rewritten);
     }
     let db = world.canonical_db(u);
-    world.derives_head(test, &db, u)
+    world.derives_head(test, &db, u, limits, tripped)
 }
 
 /// Rewrites every bounded SCC nonrecursive, in place: the SCC's rules
@@ -684,9 +774,20 @@ fn stage_contained(
 /// since the new rules have no single source location). Returns the
 /// proofs. Store-identical on every predicate (property-tested).
 pub fn eliminate_bounded_recursion(program: &mut Program) -> Vec<BoundedScc> {
-    let sccs = bounded_sccs(program);
+    eliminate_bounded_recursion_with_limits(program, None).0
+}
+
+/// Budget-governed [`eliminate_bounded_recursion`]: boundedness proofs
+/// run under `limits`. Returns the proofs plus whether the budget
+/// tripped; a tripped SCC keeps its recursion (sound — only *proven*
+/// bounded SCCs are rewritten).
+pub fn eliminate_bounded_recursion_with_limits(
+    program: &mut Program,
+    limits: Option<&EvalLimits>,
+) -> (Vec<BoundedScc>, bool) {
+    let (sccs, tripped) = bounded_sccs_with_limits(program, limits);
     if sccs.is_empty() {
-        return sccs;
+        return (sccs, tripped);
     }
     let mut drop = vec![false; program.rules.len()];
     for scc in &sccs {
@@ -709,7 +810,7 @@ pub fn eliminate_bounded_recursion(program: &mut Program) -> Vec<BoundedScc> {
             }
         }
     }
-    sccs
+    (sccs, tripped)
 }
 
 // ---------------------------------------------------------------------------
@@ -1050,8 +1151,21 @@ pub fn magic_program(program: &Program, outputs: &[IdbId]) -> MagicOutcome {
 /// stay valid across the first two passes because predicates are never
 /// renumbered.
 pub fn optimize(program: &mut Program, outputs: &[IdbId]) -> TransformSummary {
-    let minimized = minimize(program);
-    let bounded = eliminate_bounded_recursion(program);
+    optimize_with_limits(program, outputs, None)
+}
+
+/// Budget-governed [`optimize`]: the containment probes of the first two
+/// passes run under `limits` (one shared meter across all probes); the
+/// magic-set rewrite is purely syntactic and never needs a budget. On a
+/// trip the affected pass degrades to "not applied" and
+/// [`TransformSummary::budget_tripped`] is set.
+pub fn optimize_with_limits(
+    program: &mut Program,
+    outputs: &[IdbId],
+    limits: Option<&EvalLimits>,
+) -> TransformSummary {
+    let (minimized, min_tripped) = minimize_with_limits(program, limits);
+    let (bounded, scc_tripped) = eliminate_bounded_recursion_with_limits(program, limits);
     let magic = magic_program(program, outputs);
     let mut summary = TransformSummary {
         removed_rules: minimized.removed_rules,
@@ -1060,6 +1174,7 @@ pub fn optimize(program: &mut Program, outputs: &[IdbId]) -> TransformSummary {
         magic_applied: false,
         magic_adorned: magic.adorned,
         magic_rules: magic.magic_rules,
+        budget_tripped: min_tripped || scc_tripped,
     };
     if let Some(rewritten) = magic.program {
         if crate::stratify::stratify(&rewritten).is_ok() {
@@ -1313,8 +1428,11 @@ mod probe_magic_const {
     #[test]
     fn magic_with_constant_bound_first_literal() {
         let sig = Arc::new(Signature::from_pairs([("e", 2)]));
-        let mut dom = Domain::anonymous(6);
-        dom.set_name(ElemId(0), "a");
+        let mut dom = Domain::new();
+        dom.insert("a");
+        for i in 1..6 {
+            dom.insert(format!("n{i}"));
+        }
         let mut s = Structure::new(Arc::clone(&sig), dom);
         let e = sig.lookup("e").unwrap();
         for i in 0..5u32 {
@@ -1333,7 +1451,11 @@ mod probe_magic_const {
         let b = demand.evaluate(&s).unwrap();
         let fa = full.program().idb("answer").unwrap();
         let fb = demand.program().idb("answer").unwrap();
-        assert_eq!(a.store.tuples(fa), b.store.tuples(fb), "magic changed the answer");
+        assert_eq!(
+            a.store.tuples(fa),
+            b.store.tuples(fb),
+            "magic changed the answer"
+        );
         assert!(!b.store.tuples(fb).is_empty(), "answer must be nonempty");
     }
 }

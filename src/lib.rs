@@ -45,9 +45,9 @@ pub mod prelude {
         PrimalityContext, ThreeColSolver,
     };
     pub use mdtw_datalog::{
-        analyze, parse_program, stratify, AnalysisOptions, Diagnostic, Engine, EvalOptions,
-        EvalResult, Evaluator, LintCode, PlanCache, ProgramReport, Severity, Span, Stratification,
-        StratificationError,
+        analyze, parse_program, stratify, AnalysisOptions, CancelToken, Diagnostic, Engine,
+        EvalError, EvalLimits, EvalOptions, EvalResult, Evaluator, LimitKind, LintCode, PlanCache,
+        ProgramReport, Severity, Span, Stratification, StratificationError,
     };
     pub use mdtw_decomp::{decompose, Heuristic, NiceOptions, NiceTd, TreeDecomposition, TupleTd};
     pub use mdtw_graph::{encode_graph, Graph};

@@ -180,9 +180,9 @@ fn multi_position_keys_agree_across_engines_arity_3() {
     )
     .unwrap();
 
-    let (naive, naive_stats) = eval_naive(&p, &s);
-    let (scan, scan_stats) = eval_seminaive_scan(&p, &s);
-    let (indexed, indexed_stats) = eval_seminaive(&p, &s);
+    let (naive, naive_stats) = eval_naive(&p, &s).unwrap();
+    let (scan, scan_stats) = eval_seminaive_scan(&p, &s).unwrap();
+    let (indexed, indexed_stats) = eval_seminaive(&p, &s).unwrap();
 
     for name in ["tri", "pin"] {
         let id = p.idb(name).unwrap();
@@ -239,9 +239,9 @@ proptest! {
     ) {
         let s = build_structure(n, &edges, &marks);
         let p = build_program(&raw_rules, &s);
-        let (naive, naive_stats) = eval_naive(&p, &s);
-        let (scan, scan_stats) = eval_seminaive_scan(&p, &s);
-        let (indexed, indexed_stats) = eval_seminaive(&p, &s);
+        let (naive, naive_stats) = eval_naive(&p, &s).unwrap();
+        let (scan, scan_stats) = eval_seminaive_scan(&p, &s).unwrap();
+        let (indexed, indexed_stats) = eval_seminaive(&p, &s).unwrap();
 
         for idb in 0..p.idb_count() {
             let id = IdbId(idb as u32);
@@ -281,14 +281,20 @@ proptest! {
     ) {
         let s = build_structure(n, &edges, &marks);
         let p = build_program(&raw_rules, &s);
-        type FreeFn = fn(&Program, &Structure) -> (mdtw_datalog::IdbStore, mdtw_datalog::EvalStats);
+        type FreeFn = fn(
+            &Program,
+            &Structure,
+        ) -> Result<
+            (mdtw_datalog::IdbStore, mdtw_datalog::EvalStats),
+            mdtw_datalog::EvalError,
+        >;
         let legacy: [(Engine, FreeFn); 3] = [
             (Engine::Naive, eval_naive),
             (Engine::SemiNaiveScan, eval_seminaive_scan),
             (Engine::SemiNaiveIndexed, eval_seminaive),
         ];
         for (engine, free_fn) in legacy {
-            let (free_store, free_stats) = free_fn(&p, &s);
+            let (free_store, free_stats) = free_fn(&p, &s).unwrap();
             let mut session =
                 Evaluator::with_options(p.clone(), EvalOptions::new().engine(engine)).unwrap();
             let cold = session.evaluate(&s).unwrap();
