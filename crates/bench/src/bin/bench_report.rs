@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p mdtw-bench --bin bench_report --release -- \
 //!     [--out PATH] [--sizes N,N,...] [--label LABEL] [--append] \
-//!     [--fuel N] [--timeout-ms N]
+//!     [--fuel N] [--timeout-ms N] [--profiler-overhead] [--profile FILE.json]
 //! ```
 //!
 //! Runs the `join_indexing`/`engine_linearity` workloads, the 3-stratum
@@ -20,19 +20,32 @@
 //! run, nothing trips), so the row measures pure governor overhead;
 //! `--fuel N` / `--timeout-ms N` replace it with a real budget, and a
 //! tripped evaluation records its partial result instead of hanging.
+//!
+//! `--profiler-overhead` measures the profiler ablation instead of the
+//! standard workloads: `linear_tc` and `stratified_reach` at every
+//! `ProfileDetail` level, with the level in the engine column
+//! (`profile_off` / `profile_rules` / `profile_literals`).
+//!
+//! `--profile FILE.json` additionally runs both workloads once at full
+//! literal detail (at the smallest requested size) and writes the
+//! collected `EvalProfile`s to `FILE.json`, after validating that the
+//! emitted JSON round-trips through the parser.
 
 use std::process::ExitCode;
 
 const USAGE: &str =
     "usage: bench_report [--out PATH] [--sizes N,N,...] [--label LABEL] [--append]\n\
-    \x20                   [--fuel N] [--timeout-ms N]\n\
+    \x20                   [--fuel N] [--timeout-ms N] [--profiler-overhead]\n\
+    \x20                   [--profile FILE.json]\n\
     \n\
     --out PATH      output file (default BENCH_joins.json)\n\
     --sizes N,N,..  comma-separated chain sizes (default 1000,2000,4000,8000)\n\
     --label LABEL   record label (default `current`)\n\
     --append        append the record to an existing report file\n\
     --fuel N        budget the governed `budgeted_tc` row to N units of work\n\
-    --timeout-ms N  deadline for the governed `budgeted_tc` row";
+    --timeout-ms N  deadline for the governed `budgeted_tc` row\n\
+    --profiler-overhead  measure the ProfileDetail ablation instead of the workloads\n\
+    --profile FILE  write literal-detail EvalProfiles of the workloads to FILE (JSON)";
 
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("bench_report: {message}\n{USAGE}");
@@ -49,6 +62,8 @@ fn main() -> ExitCode {
     let mut append = false;
     let mut fuel: Option<u64> = None;
     let mut timeout_ms: Option<u64> = None;
+    let mut profiler_overhead = false;
+    let mut profile_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,6 +73,11 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--append" => append = true,
+            "--profiler-overhead" => profiler_overhead = true,
+            "--profile" => match args.next() {
+                Some(p) => profile_out = Some(p),
+                None => return usage_error("--profile requires a path"),
+            },
             "--out" => match args.next() {
                 Some(p) => out_path = p,
                 None => return usage_error("--out requires a path"),
@@ -116,9 +136,28 @@ fn main() -> ExitCode {
     } else {
         None
     };
-    eprintln!("bench_report: measuring sizes {sizes:?} (scan baseline capped at {SCAN_CAP})…");
-    let rows = mdtw_bench::join_report_with_limits(&sizes, SCAN_CAP, limits.as_ref());
+    let rows = if profiler_overhead {
+        eprintln!("bench_report: measuring profiler-overhead ablation at sizes {sizes:?}…");
+        mdtw_bench::profiler_overhead_report(&sizes)
+    } else {
+        eprintln!("bench_report: measuring sizes {sizes:?} (scan baseline capped at {SCAN_CAP})…");
+        mdtw_bench::join_report_with_limits(&sizes, SCAN_CAP, limits.as_ref())
+    };
     let record = mdtw_bench::render_join_record_json(&label, &rows);
+
+    if let Some(profile_path) = &profile_out {
+        let n = sizes.iter().copied().min().expect("sizes is non-empty");
+        let rendered = mdtw_bench::profile_workloads_json(n);
+        if let Err(e) = validate_profiles(&rendered) {
+            eprintln!("bench_report: emitted profile JSON is invalid: {e}");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(profile_path, rendered + "\n") {
+            eprintln!("bench_report: cannot write `{profile_path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("bench_report: wrote workload profiles (n={n}) to {profile_path}");
+    }
 
     let report = if append {
         match std::fs::read_to_string(&out_path) {
@@ -151,6 +190,24 @@ fn main() -> ExitCode {
 
 fn fresh_report(record: &str) -> String {
     format!("{{\"records\": [\n  {record}\n]}}\n")
+}
+
+/// Round-trip check of a `--profile` payload: the rendered text must
+/// parse back through the dependency-free JSON parser, and each entry's
+/// `profile` object must deserialize into an `EvalProfile`.
+fn validate_profiles(rendered: &str) -> Result<(), String> {
+    use mdtw_datalog::lint::json::{self, Json};
+    let value = json::parse(rendered)?;
+    let Json::Arr(items) = &value else {
+        return Err("expected a JSON array of workload profiles".into());
+    };
+    for item in items {
+        let profile = item
+            .get("profile")
+            .ok_or_else(|| "entry is missing its `profile` field".to_owned())?;
+        mdtw_datalog::EvalProfile::from_json(profile)?;
+    }
+    Ok(())
 }
 
 /// Appends `record` to the records array of an existing report. The file

@@ -29,6 +29,50 @@ pub struct Table1Row {
     /// budget (the stand-in for the paper's 512 MB) was exhausted — the
     /// "–" entries of the paper.
     pub mona_micros: Option<f64>,
+    /// Governor checkpoints run by the row's governed datalog
+    /// cross-check (see [`fd_component_readbacks`]).
+    pub limit_checks: usize,
+    /// Fuel the cross-check consumed against its budget.
+    pub fuel_spent: u64,
+}
+
+/// The governed datalog cross-check run per Table 1 row: the connected
+/// component of the queried attribute in the FD incidence graph of the
+/// row's τ-structure encoding (`lh`/`rh` edges between attribute and FD
+/// elements). Attributes outside this component can never influence the
+/// target's primality, so a full-domain component certifies the
+/// generated instance exercises the whole schema — and, since the
+/// evaluation runs under an [`EvalLimits`](mdtw_datalog::EvalLimits)
+/// budget, its meter readbacks give Table 1 rows real
+/// `limit_checks` / `fuel_spent` observability data that scales with the
+/// encoded instance.
+pub const FD_COMPONENT_PROGRAM: &str = "touched(A) :- target(A).\n\
+     touched(F) :- touched(A), lh(F, A).\n\
+     touched(F) :- touched(A), rh(F, A).\n\
+     touched(A) :- touched(F), lh(F, A).\n\
+     touched(A) :- touched(F), rh(F, A).";
+
+/// Evaluates [`FD_COMPONENT_PROGRAM`] (governed, effectively unlimited
+/// fuel) over `structure` extended with a `target/1` relation holding
+/// `target`, and returns `(component_size, limit_checks, fuel_spent)`.
+pub fn fd_component_readbacks(
+    structure: &mdtw_structure::Structure,
+    target: mdtw_structure::ElemId,
+) -> (usize, usize, u64) {
+    use mdtw_datalog::{EvalLimits, EvalOptions, Evaluator};
+    let (mut s, _) = structure.extended([("target", 1)]);
+    let target_p = s.signature().lookup("target").expect("just declared");
+    s.insert(target_p, &[target]);
+    let program = mdtw_datalog::parse_program(FD_COMPONENT_PROGRAM, &s).expect("inline program");
+    let budget = EvalLimits::new().fuel(u64::MAX >> 1);
+    let mut session = Evaluator::with_options(program, EvalOptions::new().limits(budget))
+        .expect("semipositive program");
+    let r = session.evaluate(&s).expect("budget never trips");
+    (
+        r.store.fact_count(),
+        r.stats.limit_checks,
+        r.stats.fuel_spent,
+    )
 }
 
 /// The step budget granted to the MSO baseline per query. Calibrated so
@@ -77,6 +121,9 @@ pub fn measure_row(k: usize, with_mona: bool) -> Table1Row {
         None
     };
 
+    let (_, limit_checks, fuel_spent) =
+        fd_component_readbacks(&inst.encoding.structure, inst.encoding.elem_of_attr(target));
+
     Table1Row {
         tw,
         n_att: inst.schema.attr_count(),
@@ -84,6 +131,8 @@ pub fn measure_row(k: usize, with_mona: bool) -> Table1Row {
         n_tn,
         md_micros,
         mona_micros,
+        limit_checks,
+        fuel_spent,
     }
 }
 
@@ -131,8 +180,9 @@ pub fn render_table1_json(rows: &[Table1Row]) -> String {
         };
         out.push_str(&format!(
             "\n  {{\"tw\": {}, \"n_att\": {}, \"n_fd\": {}, \"n_tn\": {}, \
-             \"md_us\": {:.1}, \"mona_us\": {}}}",
-            r.tw, r.n_att, r.n_fd, r.n_tn, r.md_micros, mona
+             \"md_us\": {:.1}, \"mona_us\": {}, \
+             \"limit_checks\": {}, \"fuel_spent\": {}}}",
+            r.tw, r.n_att, r.n_fd, r.n_tn, r.md_micros, mona, r.limit_checks, r.fuel_spent
         ));
     }
     out.push_str("\n]");
@@ -504,6 +554,82 @@ pub fn join_report_with_limits(
     rows
 }
 
+/// The profiler-overhead ablation (`bench_report --profiler-overhead`):
+/// `linear_tc` and `stratified_reach`, each evaluated at
+/// [`ProfileDetail`](mdtw_datalog::ProfileDetail) `Off`, `Rules`, and
+/// `Literals`, with the detail level recorded in the engine column
+/// (`profile_off`, `profile_rules`, `profile_literals`). The `Off` rows
+/// must sit at parity with the plain `indexed`/`stratified` rows of
+/// [`join_report`] — profiling disabled is a single `Option` test — and
+/// the `Literals` rows bound the cost of full selectivity tracing.
+pub fn profiler_overhead_report(sizes: &[usize]) -> Vec<JoinBenchRow> {
+    use mdtw_datalog::{EvalOptions, Evaluator, ProfileDetail};
+    let mut rows = Vec::new();
+    for &n in sizes {
+        for detail in [
+            ProfileDetail::Off,
+            ProfileDetail::Rules,
+            ProfileDetail::Literals,
+        ] {
+            let engine = format!("profile_{}", detail.as_str());
+            for (workload, (s, p)) in [
+                ("linear_tc", linear_tc_workload(n)),
+                ("stratified_reach", stratified_workload(n)),
+            ] {
+                let mut session = Evaluator::with_options(p, EvalOptions::new().profile(detail))
+                    .expect("stratifiable");
+                let mut eval = || {
+                    let r = session.evaluate(&s).expect("stratifiable");
+                    (r.store.fact_count(), r.stats)
+                };
+                let (facts, _) = eval();
+                let (_, stats) = eval();
+                let nanos = time_eval(|| eval().0);
+                rows.push(JoinBenchRow {
+                    workload: workload.into(),
+                    engine: engine.clone(),
+                    n,
+                    facts,
+                    nanos_per_eval: nanos,
+                    ns_per_fact: nanos / facts.max(1) as f64,
+                    stats,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Profiled evaluations of the `linear_tc` and `stratified_reach`
+/// workloads at full literal detail, rendered as a JSON array of
+/// `{"workload", "n", "profile", "stats"}` objects — the payload of
+/// `bench_report --profile <file.json>`. Serializes through the
+/// dependency-free JSON layer of `mdtw_datalog::lint`, so the emitted
+/// profiles round-trip through
+/// [`EvalProfile::from_json`](mdtw_datalog::EvalProfile::from_json).
+pub fn profile_workloads_json(n: usize) -> String {
+    use mdtw_datalog::lint::{eval_stats_json, json::Json};
+    use mdtw_datalog::{EvalOptions, Evaluator, ProfileDetail};
+    let mut items = Vec::new();
+    for (workload, (s, p)) in [
+        ("linear_tc", linear_tc_workload(n)),
+        ("stratified_reach", stratified_workload(n)),
+    ] {
+        let mut session =
+            Evaluator::with_options(p, EvalOptions::new().profile(ProfileDetail::Literals))
+                .expect("stratifiable");
+        let r = session.evaluate(&s).expect("stratifiable");
+        let profile = r.profile.expect("profiling enabled");
+        items.push(Json::Obj(vec![
+            ("workload".into(), Json::Str(workload.into())),
+            ("n".into(), Json::Num(n as f64)),
+            ("profile".into(), profile.to_json()),
+            ("stats".into(), eval_stats_json(&r.stats)),
+        ]));
+    }
+    Json::Arr(items).render()
+}
+
 /// Escapes a string for embedding in a JSON string literal (quotes,
 /// backslashes, control characters). The workload/engine fields are
 /// internal constants, but the record label comes from the command line.
@@ -533,7 +659,8 @@ pub fn render_join_record_json(label: &str, rows: &[JoinBenchRow]) -> String {
              \"facts\": {}, \"ns_per_eval\": {:.0}, \"ns_per_fact\": {:.1}, \
              \"firings\": {}, \"index_probes\": {}, \"full_scans\": {}, \
              \"tuples_considered\": {}, \"interned_hits\": {}, \
-             \"plan_cache_hits\": {}, \"negative_checks\": {}, \"strata\": {}}}",
+             \"plan_cache_hits\": {}, \"negative_checks\": {}, \"strata\": {}, \
+             \"limit_checks\": {}, \"fuel_spent\": {}}}",
             r.workload,
             r.engine,
             r.n,
@@ -548,6 +675,8 @@ pub fn render_join_record_json(label: &str, rows: &[JoinBenchRow]) -> String {
             r.stats.plan_cache_hits,
             r.stats.negative_checks,
             r.stats.strata,
+            r.stats.limit_checks,
+            r.stats.fuel_spent,
         ));
     }
     out.push_str("\n  ]}");
@@ -587,6 +716,8 @@ mod tests {
             n_tn: 10,
             md_micros: 42.0,
             mona_micros: None,
+            limit_checks: 2,
+            fuel_spent: 11,
         }];
         let s = render_table1(&rows);
         assert!(s.contains("MD(us)"));
@@ -689,6 +820,8 @@ mod tests {
                 n_tn: 10,
                 md_micros: 42.25,
                 mona_micros: Some(7.5),
+                limit_checks: 2,
+                fuel_spent: 11,
             },
             Table1Row {
                 tw: 3,
@@ -697,6 +830,8 @@ mod tests {
                 n_tn: 20,
                 md_micros: 84.0,
                 mona_micros: None,
+                limit_checks: 3,
+                fuel_spent: 23,
             },
         ];
         let s = render_table1_json(&rows);
@@ -704,6 +839,77 @@ mod tests {
         assert!(s.contains("\"md_us\": 42.2") || s.contains("\"md_us\": 42.3"));
         assert!(s.contains("\"mona_us\": 7.5"));
         assert!(s.contains("\"mona_us\": null"));
+        assert!(s.contains("\"limit_checks\": 2"));
+        assert!(s.contains("\"fuel_spent\": 23"));
         assert_eq!(s.matches("{\"tw\"").count(), 2);
+    }
+
+    #[test]
+    fn fd_component_covers_block_tree_instances() {
+        // The generated block-tree schemas are FD-connected from the
+        // queried attribute, and the governed cross-check really spends
+        // fuel and runs checkpoints.
+        let inst = row_instance(2);
+        let target = inst.schema.attr("u0").expect("u0 exists");
+        let (component, limit_checks, fuel_spent) =
+            fd_component_readbacks(&inst.encoding.structure, inst.encoding.elem_of_attr(target));
+        assert_eq!(
+            component,
+            inst.schema.attr_count() + inst.schema.fd_count(),
+            "every attribute and FD element is FD-connected to u0"
+        );
+        assert!(limit_checks > 0);
+        assert!(fuel_spent > 0);
+    }
+
+    #[test]
+    fn profiler_overhead_rows_are_identical_across_detail_levels() {
+        let rows = profiler_overhead_report(&[60]);
+        // 2 workloads × 3 detail levels.
+        assert_eq!(rows.len(), 6);
+        for workload in ["linear_tc", "stratified_reach"] {
+            let per_level: Vec<&JoinBenchRow> =
+                rows.iter().filter(|r| r.workload == workload).collect();
+            assert_eq!(per_level.len(), 3);
+            let off = per_level
+                .iter()
+                .find(|r| r.engine == "profile_off")
+                .expect("off row");
+            for r in &per_level {
+                // Profiling must never change the fixpoint or the work
+                // counters — only observe them.
+                assert_eq!(r.facts, off.facts, "{workload}/{}", r.engine);
+                assert_eq!(r.stats, off.stats, "{workload}/{}", r.engine);
+            }
+        }
+        let json = render_join_record_json("overhead", &rows);
+        assert!(json.contains("\"engine\": \"profile_literals\""));
+        assert!(json.contains("\"limit_checks\": 0"));
+    }
+
+    #[test]
+    fn workload_profiles_round_trip_through_json() {
+        use mdtw_datalog::lint::json::{self, Json};
+        let rendered = profile_workloads_json(24);
+        let value = json::parse(&rendered).expect("emitted profile JSON parses");
+        let Json::Arr(items) = &value else {
+            panic!("expected an array of workload profiles");
+        };
+        assert_eq!(items.len(), 2);
+        for item in items {
+            let profile =
+                mdtw_datalog::EvalProfile::from_json(item.get("profile").expect("profile field"))
+                    .expect("profile round-trips");
+            assert!(!profile.strata.is_empty());
+            // Literal detail: every recorded rule carries selectivity
+            // observations.
+            for s in &profile.strata {
+                for r in &s.rules {
+                    if r.firings > 0 {
+                        assert!(!r.literals.is_empty(), "rule {} has no literals", r.rule);
+                    }
+                }
+            }
+        }
     }
 }

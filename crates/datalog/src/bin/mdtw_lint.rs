@@ -17,6 +17,18 @@
 //! (minimize → eliminate bounded recursion → magic sets) and prints the
 //! rewritten program; with `--json` it lands in an `optimize` field.
 //!
+//! `--explain` renders each file's compiled join plans — join order,
+//! scan-vs-probe access paths, delta splits, and index key positions —
+//! as chosen against a seeded dry-run structure; with `--json` it lands
+//! in an `explain` field.
+//!
+//! `--profile FILE.json` runs a profiled dry-run evaluation of each
+//! input (full literal-level detail, under the same per-file budget as
+//! the semantic tier), prints the hottest rules and the per-stratum
+//! timeline, and writes the collected profiles to `FILE.json` after
+//! validating that they round-trip through the JSON layer; with
+//! `--json` the same data also lands in a `profile` field.
+//!
 //! `--fuel N` and `--timeout-ms N` budget the semantic tier's containment
 //! probes (per file — each file gets a fresh meter). Without them a
 //! built-in fuel ceiling applies, so linting terminates even on
@@ -31,15 +43,17 @@
 
 use mdtw_datalog::analysis::Severity;
 use mdtw_datalog::lint::{
-    file_json, json::Json, lint_source_with_limits, optimize_source_with_limits,
-    render_parse_error, render_pragma_error, LintOutcome, OptimizeOutcome,
+    explain_outcome_json, explain_source, file_json, json, json::Json, lint_source_with_limits,
+    optimize_source_with_limits, profile_outcome_json, profile_source_with_limits,
+    render_parse_error, render_pragma_error, ExplainOutcome, LintOutcome, OptimizeOutcome,
+    ProfileOutcome,
 };
-use mdtw_datalog::EvalLimits;
+use mdtw_datalog::{EvalLimits, EvalProfile, ProfileDetail};
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "usage: mdtw-lint [--json] [--deny-warnings] [--optimize] \
-                     [--fuel N] [--timeout-ms N] FILE.dl...";
+const USAGE: &str = "usage: mdtw-lint [--json] [--deny-warnings] [--optimize] [--explain] \
+                     [--profile OUT.json] [--fuel N] [--timeout-ms N] FILE.dl...";
 
 fn print_help() {
     println!("{USAGE}");
@@ -47,6 +61,8 @@ fn print_help() {
     println!("  --json            machine-readable output (one object per file)");
     println!("  --deny-warnings   treat warning-level findings as errors (exit 1)");
     println!("  --optimize        dry-run the semantic optimizer and print the result");
+    println!("  --explain         render each file's compiled join plans");
+    println!("  --profile OUT     profile a dry-run evaluation, write profiles to OUT (JSON)");
     println!("  --fuel N          budget the semantic probes to N units of work per file");
     println!("  --timeout-ms N    deadline for the semantic probes, per file");
     println!();
@@ -60,6 +76,8 @@ fn main() -> ExitCode {
     let mut json_mode = false;
     let mut deny_warnings = false;
     let mut optimize = false;
+    let mut explain = false;
+    let mut profile_out: Option<String> = None;
     let mut fuel: Option<u64> = None;
     let mut timeout_ms: Option<u64> = None;
     let mut files: Vec<String> = Vec::new();
@@ -69,6 +87,15 @@ fn main() -> ExitCode {
             "--json" => json_mode = true,
             "--deny-warnings" => deny_warnings = true,
             "--optimize" => optimize = true,
+            "--explain" => explain = true,
+            "--profile" => {
+                let Some(value) = args.next() else {
+                    eprintln!("mdtw-lint: `--profile` needs an output file argument");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                };
+                profile_out = Some(value);
+            }
             "--fuel" | "--timeout-ms" => {
                 let Some(value) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
                     eprintln!("mdtw-lint: `{arg}` needs a nonnegative integer argument");
@@ -114,6 +141,7 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     let mut json_files: Vec<Json> = Vec::new();
+    let mut profile_entries: Vec<(String, ProfileOutcome)> = Vec::new();
     for path in &files {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -143,17 +171,47 @@ fn main() -> ExitCode {
             optimize_source_with_limits(&source, file_limits().as_ref())
                 .expect("pragmas validated by lint_source")
         });
+        let explained =
+            explain.then(|| explain_source(&source).expect("pragmas validated by lint_source"));
+        let profiled = profile_out.is_some().then(|| {
+            profile_source_with_limits(&source, ProfileDetail::Literals, file_limits().as_ref())
+                .expect("pragmas validated by lint_source")
+        });
         if json_mode {
-            json_files.push(file_json(path, &outcome, optimized.as_ref()));
+            let mut obj = file_json(path, &outcome, optimized.as_ref());
+            if let Json::Obj(fields) = &mut obj {
+                if let Some(exp) = &explained {
+                    fields.push(("explain".into(), explain_outcome_json(exp)));
+                }
+                if let Some(prof) = &profiled {
+                    fields.push(("profile".into(), profile_outcome_json(prof)));
+                }
+            }
+            json_files.push(obj);
         } else {
             render_human(path, &source, &outcome);
             if let Some(opt) = &optimized {
                 render_optimized(path, opt);
             }
+            if let Some(exp) = &explained {
+                render_explained(path, exp);
+            }
+            if let Some(prof) = &profiled {
+                render_profiled(path, prof);
+            }
+        }
+        if let Some(prof) = profiled {
+            profile_entries.push((path.clone(), prof));
         }
     }
     if json_mode {
         println!("{}", Json::Arr(json_files).render());
+    }
+    if let Some(out_path) = &profile_out {
+        if let Err(msg) = write_profiles(out_path, &profile_entries) {
+            eprintln!("mdtw-lint: {out_path}: {msg}");
+            return ExitCode::from(2);
+        }
     }
     if failed {
         ExitCode::FAILURE
@@ -189,6 +247,93 @@ fn render_human(path: &str, source: &str, outcome: &LintOutcome) {
         },
         report.recursion,
     );
+}
+
+fn render_explained(path: &str, outcome: &ExplainOutcome) {
+    match outcome {
+        ExplainOutcome::Skipped(reason) => {
+            println!("\n{path}: explain skipped: {reason}");
+        }
+        ExplainOutcome::Explained(explanation) => {
+            println!("\n{path}: compiled plans ({} engine)", explanation.engine);
+            for line in explanation.render_text().lines() {
+                println!("  {line}");
+            }
+        }
+    }
+}
+
+fn render_profiled(path: &str, outcome: &ProfileOutcome) {
+    match outcome {
+        ProfileOutcome::Skipped(reason) => {
+            println!("\n{path}: profile skipped: {reason}");
+        }
+        ProfileOutcome::Profiled(dump) => {
+            let total_us = dump.profile.total_nanos() as f64 / 1_000.0;
+            println!(
+                "\n{path}: dry-run profile: {} facts, {} rounds, {} strata, {total_us:.1} us",
+                dump.stats.facts, dump.stats.rounds, dump.stats.strata,
+            );
+            if let Some(kind) = &dump.tripped {
+                let stratum = dump
+                    .profile
+                    .trip_stratum
+                    .map_or_else(String::new, |k| format!(" in stratum {k}"));
+                println!("  budget tripped ({kind}){stratum}; profile covers the partial run");
+            }
+            for s in &dump.profile.strata {
+                println!(
+                    "  stratum {}: {} rounds, {} facts, {:.1} us",
+                    s.index,
+                    s.rounds,
+                    s.facts,
+                    s.nanos as f64 / 1_000.0,
+                );
+            }
+            let hottest = dump.profile.hottest_rules();
+            for rp in hottest.iter().take(3) {
+                println!(
+                    "  hot rule {} ({}): {} firings, {} tuples considered, {:.1} us",
+                    rp.rule,
+                    rp.head,
+                    rp.firings,
+                    rp.tuples_considered,
+                    rp.nanos as f64 / 1_000.0,
+                );
+            }
+        }
+    }
+}
+
+/// Writes the collected per-file profiles to `out_path` as a JSON array
+/// of `{"file", "profile"|"skipped", …}` objects, after checking that
+/// the rendered text re-parses and that every profile object
+/// deserializes back via [`EvalProfile::from_json`].
+fn write_profiles(out_path: &str, entries: &[(String, ProfileOutcome)]) -> Result<(), String> {
+    let arr = Json::Arr(
+        entries
+            .iter()
+            .map(|(file, outcome)| {
+                let mut fields = vec![("file".to_owned(), Json::Str(file.clone()))];
+                if let Json::Obj(rest) = profile_outcome_json(outcome) {
+                    fields.extend(rest);
+                }
+                Json::Obj(fields)
+            })
+            .collect(),
+    );
+    let rendered = arr.render();
+    let reparsed =
+        json::parse(&rendered).map_err(|e| format!("emitted profile JSON does not parse: {e}"))?;
+    if let Json::Arr(items) = &reparsed {
+        for item in items {
+            if let Some(profile) = item.get("profile") {
+                EvalProfile::from_json(profile)
+                    .map_err(|e| format!("emitted profile does not round-trip: {e}"))?;
+            }
+        }
+    }
+    std::fs::write(out_path, rendered + "\n").map_err(|e| e.to_string())
 }
 
 fn render_optimized(path: &str, outcome: &OptimizeOutcome) {

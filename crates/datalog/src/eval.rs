@@ -26,6 +26,7 @@ use crate::ast::{Atom, IdbId, PredRef, Program, Rule, Term, Var};
 use crate::evaluator::EvalError;
 use crate::limits::Governor;
 use crate::plan::{Access, JoinPlan, RulePlans};
+use crate::profile::{LitCount, Profiler};
 use mdtw_structure::fx::{FxHashMap, FxHashSet};
 use mdtw_structure::{ElemId, PosIndex, Relation, Structure};
 use std::sync::Arc;
@@ -169,6 +170,16 @@ pub struct EvalStats {
     /// stratification's stratum count for
     /// [`eval_stratified`](crate::stratify::eval_stratified).
     pub strata: usize,
+    /// Amortized limit checkpoints the resource governor ran (0 when the
+    /// evaluation carried no [`EvalLimits`](crate::limits::EvalLimits)).
+    /// Session-level readback of the shared meter, reported per
+    /// evaluation.
+    pub limit_checks: usize,
+    /// Fuel units the evaluation consumed against its
+    /// [`EvalLimits`](crate::limits::EvalLimits) budget (0 without
+    /// limits). Like [`EvalStats::limit_checks`], a per-evaluation delta
+    /// of the shared meter.
+    pub fuel_spent: u64,
 }
 
 impl EvalStats {
@@ -187,6 +198,8 @@ impl EvalStats {
         self.interned_hits += part.interned_hits;
         self.plan_cache_hits += part.plan_cache_hits;
         self.negative_checks += part.negative_checks;
+        self.limit_checks += part.limit_checks;
+        self.fuel_spent += part.fuel_spent;
     }
 }
 
@@ -227,7 +240,12 @@ pub fn eval_naive(
     structure: &Structure,
 ) -> Result<(IdbStore, EvalStats), EvalError> {
     check_semipositive(program)?;
-    Ok(naive_fixpoint(program, structure, &mut Governor::new(None)))
+    Ok(naive_fixpoint(
+        program,
+        structure,
+        &mut Governor::new(None),
+        None,
+    ))
 }
 
 /// The naive engine proper (shared by the deprecated [`eval_naive`]
@@ -239,7 +257,11 @@ pub(crate) fn naive_fixpoint(
     program: &Program,
     structure: &Structure,
     gov: &mut Governor<'_>,
+    mut prof: Option<&mut Profiler>,
 ) -> (IdbStore, EvalStats) {
+    if let Some(p) = prof.as_deref_mut() {
+        p.begin_stratum(0, program, None);
+    }
     let mut store = IdbStore::new(program);
     let mut stats = EvalStats {
         strata: 1,
@@ -252,14 +274,16 @@ pub(crate) fn naive_fixpoint(
         stats.rounds += 1;
         let mut new_facts: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
         let mut stopped = false;
-        for rule in &program.rules {
-            stopped = for_each_match(
+        for (ri, rule) in program.rules.iter().enumerate() {
+            stopped = profiled_match(
                 rule,
+                ri,
                 structure,
                 &store,
                 None,
                 &mut stats,
                 gov,
+                &mut prof,
                 &mut |head_args| {
                     if let PredRef::Idb(id) = rule.head.pred {
                         if !store.holds(id, &head_args) {
@@ -284,6 +308,12 @@ pub(crate) fn naive_fixpoint(
         if stopped || !changed {
             break;
         }
+    }
+    if let Some(p) = prof {
+        if gov.tripped().is_some() {
+            p.mark_trip(0);
+        }
+        p.end_stratum(stats.rounds, stats.facts);
     }
     (store, stats)
 }
@@ -466,6 +496,7 @@ pub(crate) fn run_seminaive(
         stats,
         &mut scratch,
         &mut Governor::new(None),
+        None,
     )
 }
 
@@ -473,6 +504,12 @@ pub(crate) fn run_seminaive(
 /// buffers. On a governor trip the loop unwinds after folding the staged
 /// derivations in, so the returned store is a sound subset of the least
 /// fixpoint; the caller reads the trip off the governor.
+///
+/// Profiling: the caller opens/closes the stratum
+/// ([`Profiler::begin_stratum`] / [`Profiler::end_stratum`] — it knows
+/// the stratum index and rule-id mapping); this loop accounts the
+/// per-rule passes.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_seminaive_scratch(
     program: &Program,
     structure: &Structure,
@@ -480,6 +517,7 @@ pub(crate) fn run_seminaive_scratch(
     mut stats: EvalStats,
     scratch: &mut SeminaiveScratch,
     gov: &mut Governor<'_>,
+    mut prof: Option<&mut Profiler>,
 ) -> (IdbStore, EvalStats) {
     scratch.reset();
     let SeminaiveScratch {
@@ -496,7 +534,7 @@ pub(crate) fn run_seminaive_scratch(
 
     // Round 0: all rules, unconstrained.
     stats.rounds += 1;
-    for (rule, rp) in program.rules.iter().zip(plans) {
+    for (ri, (rule, rp)) in program.rules.iter().zip(plans).enumerate() {
         let ctx = PlanCtx {
             rule,
             plan: &rp.base,
@@ -504,7 +542,7 @@ pub(crate) fn run_seminaive_scratch(
             structure,
             store: &store,
         };
-        if apply_plan(&ctx, &mut stats, fresh, key, gov) {
+        if profiled_apply(&ctx, ri, &mut stats, fresh, key, gov, &mut prof) {
             break;
         }
     }
@@ -518,7 +556,7 @@ pub(crate) fn run_seminaive_scratch(
             break;
         }
         stats.rounds += 1;
-        'rules: for (rule, rp) in program.rules.iter().zip(plans) {
+        'rules: for (ri, (rule, rp)) in program.rules.iter().zip(plans).enumerate() {
             for (dpos, plan) in &rp.delta {
                 let ctx = PlanCtx {
                     rule,
@@ -527,7 +565,7 @@ pub(crate) fn run_seminaive_scratch(
                     structure,
                     store: &store,
                 };
-                if apply_plan(&ctx, &mut stats, fresh, key, gov) {
+                if profiled_apply(&ctx, ri, &mut stats, fresh, key, gov, &mut prof) {
                     break 'rules;
                 }
             }
@@ -559,6 +597,39 @@ fn merge_round(
     fresh.clear();
 }
 
+/// [`apply_plan`] under the profiler: at `Rules` detail and above, the
+/// pass is timed (on the sampled passes [`Profiler::pass_timer`]
+/// selects) and its [`EvalStats`] delta (plus, at `Literals`, the
+/// per-literal trace) is folded into rule `ri`'s accumulator. With the
+/// profiler off (or at `Strata`) this is exactly one branch on top of
+/// the plain pass — the zero-cost-when-off fast path.
+fn profiled_apply(
+    ctx: &PlanCtx<'_>,
+    ri: usize,
+    stats: &mut EvalStats,
+    out: &mut FreshStore,
+    scratch: &mut Vec<ElemId>,
+    gov: &mut Governor<'_>,
+    prof: &mut Option<&mut Profiler>,
+) -> bool {
+    match prof.as_deref_mut() {
+        Some(p) if p.rules_on() => {
+            let before = *stats;
+            let timer = p.pass_timer(ri);
+            p.begin_pass(ctx.rule.body.len());
+            let stop = apply_plan(ctx, stats, out, scratch, gov, p.trace());
+            p.end_pass(
+                ri,
+                &before,
+                stats,
+                timer.map(|t| t.elapsed().as_nanos() as u64),
+            );
+            stop
+        }
+        _ => apply_plan(ctx, stats, out, scratch, gov, None),
+    }
+}
+
 /// Runs one rule pass; returns `true` when the governor tripped and the
 /// round loop should unwind.
 fn apply_plan(
@@ -567,6 +638,7 @@ fn apply_plan(
     out: &mut FreshStore,
     scratch: &mut Vec<ElemId>,
     gov: &mut Governor<'_>,
+    trace: Option<&mut [LitCount]>,
 ) -> bool {
     let mut bindings: Vec<Option<ElemId>> = vec![None; ctx.rule.var_count as usize];
     for &ni in &ctx.plan.ground_negatives {
@@ -576,7 +648,17 @@ fn apply_plan(
         }
     }
     let execs = resolve_steps(ctx);
-    descend_plan(ctx, &execs, 0, &mut bindings, stats, out, scratch, gov)
+    descend_plan(
+        ctx,
+        &execs,
+        0,
+        &mut bindings,
+        stats,
+        out,
+        scratch,
+        gov,
+        trace,
+    )
 }
 
 /// True if the *atom* of negative literal `ni` holds in the structure
@@ -668,6 +750,7 @@ fn descend_plan(
     out: &mut FreshStore,
     scratch: &mut Vec<ElemId>,
     gov: &mut Governor<'_>,
+    mut trace: Option<&mut [LitCount]>,
 ) -> bool {
     if step_idx == ctx.plan.steps.len() {
         stats.firings += 1;
@@ -690,9 +773,13 @@ fn descend_plan(
                     stats: &mut EvalStats,
                     out: &mut FreshStore,
                     scratch: &mut Vec<ElemId>,
-                    gov: &mut Governor<'_>|
+                    gov: &mut Governor<'_>,
+                    mut trace: Option<&mut [LitCount]>|
      -> bool {
         stats.tuples_considered += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t[step.literal].tuples_in += 1;
+        }
         if gov.work(stats.tuples_considered, stats.facts) {
             return true;
         }
@@ -704,7 +791,20 @@ fn descend_plan(
                 !negative_holds(ctx, ni, bindings, scratch)
             });
             if negatives_ok {
-                stop = descend_plan(ctx, execs, step_idx + 1, bindings, stats, out, scratch, gov);
+                if let Some(t) = trace.as_deref_mut() {
+                    t[step.literal].tuples_out += 1;
+                }
+                stop = descend_plan(
+                    ctx,
+                    execs,
+                    step_idx + 1,
+                    bindings,
+                    stats,
+                    out,
+                    scratch,
+                    gov,
+                    trace,
+                );
             }
         }
         for v in touched {
@@ -723,7 +823,15 @@ fn descend_plan(
                 if exclude.is_some_and(|d| d.contains(tuple)) {
                     continue;
                 }
-                if on_tuple(tuple, bindings, stats, out, scratch, gov) {
+                if on_tuple(
+                    tuple,
+                    bindings,
+                    stats,
+                    out,
+                    scratch,
+                    gov,
+                    trace.as_deref_mut(),
+                ) {
                     return true;
                 }
             }
@@ -747,7 +855,15 @@ fn descend_plan(
                 if exclude.is_some_and(|d| d.contains(tuple)) {
                     continue;
                 }
-                if on_tuple(tuple, bindings, stats, out, scratch, gov) {
+                if on_tuple(
+                    tuple,
+                    bindings,
+                    stats,
+                    out,
+                    scratch,
+                    gov,
+                    trace.as_deref_mut(),
+                ) {
                     return true;
                 }
             }
@@ -785,7 +901,12 @@ pub fn eval_seminaive_scan(
     structure: &Structure,
 ) -> Result<(IdbStore, EvalStats), EvalError> {
     check_semipositive(program)?;
-    Ok(scan_fixpoint(program, structure, &mut Governor::new(None)))
+    Ok(scan_fixpoint(
+        program,
+        structure,
+        &mut Governor::new(None),
+        None,
+    ))
 }
 
 /// The scan engine proper (shared by the deprecated
@@ -797,7 +918,11 @@ pub(crate) fn scan_fixpoint(
     program: &Program,
     structure: &Structure,
     gov: &mut Governor<'_>,
+    mut prof: Option<&mut Profiler>,
 ) -> (IdbStore, EvalStats) {
+    if let Some(p) = prof.as_deref_mut() {
+        p.begin_stratum(0, program, None);
+    }
     let mut store = IdbStore::new(program);
     let mut stats = EvalStats {
         strata: 1,
@@ -805,20 +930,26 @@ pub(crate) fn scan_fixpoint(
     };
 
     if gov.round(stats.tuples_considered, stats.facts) {
+        if let Some(p) = prof {
+            p.mark_trip(0);
+            p.end_stratum(stats.rounds, stats.facts);
+        }
         return (store, stats);
     }
 
     // Round 0: all rules, unconstrained.
     stats.rounds += 1;
     let mut delta: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
-    for rule in &program.rules {
-        let stopped = for_each_match(
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let stopped = profiled_match(
             rule,
+            ri,
             structure,
             &store,
             None,
             &mut stats,
             gov,
+            &mut prof,
             &mut |head_args| {
                 if let PredRef::Idb(id) = rule.head.pred {
                     if !store.holds(id, &head_args) {
@@ -847,7 +978,7 @@ pub(crate) fn scan_fixpoint(
         let delta_set: DeltaSet = frontier.drain(..).collect();
         let mut new_facts: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
         let mut stopped = false;
-        'rules: for rule in &program.rules {
+        'rules: for (ri, rule) in program.rules.iter().enumerate() {
             // One pass per IDB body position: that position must match the
             // delta; other positions use the full store.
             let idb_positions: Vec<usize> = rule
@@ -858,13 +989,15 @@ pub(crate) fn scan_fixpoint(
                 .map(|(i, _)| i)
                 .collect();
             for &pos in &idb_positions {
-                stopped = for_each_match(
+                stopped = profiled_match(
                     rule,
+                    ri,
                     structure,
                     &store,
                     Some((pos, &delta_set)),
                     &mut stats,
                     gov,
+                    &mut prof,
                     &mut |head_args| {
                         if let PredRef::Idb(id) = rule.head.pred {
                             if !store.holds(id, &head_args) {
@@ -888,7 +1021,47 @@ pub(crate) fn scan_fixpoint(
             break;
         }
     }
+    if let Some(p) = prof {
+        if gov.tripped().is_some() {
+            p.mark_trip(0);
+        }
+        p.end_stratum(stats.rounds, stats.facts);
+    }
     (store, stats)
+}
+
+/// [`for_each_match`] under the profiler — the scan/naive twin of
+/// [`profiled_apply`]: one branch when off, sampled-timed pass + stats
+/// delta (and per-literal trace at `Literals`) folded into rule `ri`'s
+/// accumulator when on.
+#[allow(clippy::too_many_arguments)]
+fn profiled_match(
+    rule: &Rule,
+    ri: usize,
+    structure: &Structure,
+    store: &IdbStore,
+    delta: Option<(usize, &DeltaSet)>,
+    stats: &mut EvalStats,
+    gov: &mut Governor<'_>,
+    prof: &mut Option<&mut Profiler>,
+    emit: &mut dyn FnMut(Box<[ElemId]>),
+) -> bool {
+    match prof.as_deref_mut() {
+        Some(p) if p.rules_on() => {
+            let before = *stats;
+            let timer = p.pass_timer(ri);
+            p.begin_pass(rule.body.len());
+            let stop = for_each_match(rule, structure, store, delta, stats, gov, p.trace(), emit);
+            p.end_pass(
+                ri,
+                &before,
+                stats,
+                timer.map(|t| t.elapsed().as_nanos() as u64),
+            );
+            stop
+        }
+        _ => for_each_match(rule, structure, store, delta, stats, gov, None, emit),
+    }
 }
 
 /// Enumerates all substitutions satisfying `rule`'s body and yields the
@@ -897,6 +1070,7 @@ pub(crate) fn scan_fixpoint(
 ///
 /// `delta`: if `Some((pos, set))`, the body literal at `pos` must match a
 /// tuple in `set` (semi-naive restriction).
+#[allow(clippy::too_many_arguments)]
 fn for_each_match(
     rule: &Rule,
     structure: &Structure,
@@ -904,6 +1078,7 @@ fn for_each_match(
     delta: Option<(usize, &DeltaSet)>,
     stats: &mut EvalStats,
     gov: &mut Governor<'_>,
+    trace: Option<&mut [LitCount]>,
     emit: &mut dyn FnMut(Box<[ElemId]>),
 ) -> bool {
     let mut bindings: Vec<Option<ElemId>> = vec![None; rule.var_count as usize];
@@ -936,6 +1111,7 @@ fn for_each_match(
         &mut bindings,
         stats,
         gov,
+        trace,
         emit,
     )
 }
@@ -952,6 +1128,7 @@ fn descend(
     bindings: &mut Vec<Option<ElemId>>,
     stats: &mut EvalStats,
     gov: &mut Governor<'_>,
+    mut trace: Option<&mut [LitCount]>,
     emit: &mut dyn FnMut(Box<[ElemId]>),
 ) -> bool {
     if next == positives.len() {
@@ -987,15 +1164,22 @@ fn descend(
                      bindings: &mut Vec<Option<ElemId>>,
                      stats: &mut EvalStats,
                      gov: &mut Governor<'_>,
+                     mut trace: Option<&mut [LitCount]>,
                      emit: &mut dyn FnMut(Box<[ElemId]>)|
      -> bool {
         stats.tuples_considered += 1;
+        if let Some(t) = trace.as_deref_mut() {
+            t[li].tuples_in += 1;
+        }
         if gov.work(stats.tuples_considered, stats.facts) {
             return true;
         }
         let mut stop = false;
         let mut touched: Vec<Var> = Vec::new();
         if unify(&lit.atom, tuple, bindings, &mut touched) {
+            if let Some(t) = trace.as_deref_mut() {
+                t[li].tuples_out += 1;
+            }
             stop = descend(
                 rule,
                 structure,
@@ -1007,6 +1191,7 @@ fn descend(
                 bindings,
                 stats,
                 gov,
+                trace,
                 emit,
             );
         }
@@ -1024,7 +1209,7 @@ fn descend(
         (PredRef::Edb(p), _) => {
             stats.full_scans += 1;
             for tuple in structure.relation(p).iter() {
-                if try_tuple(tuple, bindings, stats, gov, emit) {
+                if try_tuple(tuple, bindings, stats, gov, trace.as_deref_mut(), emit) {
                     return true;
                 }
             }
@@ -1032,7 +1217,7 @@ fn descend(
         (PredRef::Idb(id), false) => {
             stats.full_scans += 1;
             for tuple in store.rels[id.index()].iter() {
-                if try_tuple(tuple, bindings, stats, gov, emit) {
+                if try_tuple(tuple, bindings, stats, gov, trace.as_deref_mut(), emit) {
                     return true;
                 }
             }
@@ -1040,7 +1225,8 @@ fn descend(
         (PredRef::Idb(id), true) => {
             let (_, set) = delta.expect("delta position implies delta set");
             for (tid, tuple) in set {
-                if *tid == id && try_tuple(tuple, bindings, stats, gov, emit) {
+                if *tid == id && try_tuple(tuple, bindings, stats, gov, trace.as_deref_mut(), emit)
+                {
                     return true;
                 }
             }

@@ -62,6 +62,8 @@ use crate::eval::{
 };
 use crate::ground::{check_quasi_guarded, run_quasi_guarded, FdCatalog, QgError, QgStats};
 use crate::limits::{EvalLimits, Governor, LimitKind};
+use crate::plan::{plan_program_with, StructureStats};
+use crate::profile::{EvalProfile, Explanation, ProfileDetail, Profiler};
 use crate::stratify::{
     run_stratified, stratify, ExtensionMemo, Stratification, StratificationError,
 };
@@ -114,8 +116,9 @@ pub enum StatsDetail {
     /// Only the outcome counters — `facts`, `rounds`, `strata`,
     /// `plan_cache_hits`; the per-access work counters (`firings`,
     /// `index_probes`, `full_scans`, `tuples_considered`,
-    /// `interned_hits`, `negative_checks`) are reported as zero. Useful
-    /// when results are serialized and the work counters would be noise.
+    /// `interned_hits`, `negative_checks`, `limit_checks`, `fuel_spent`)
+    /// are reported as zero. Useful when results are serialized and the
+    /// work counters would be noise.
     Outcome,
 }
 
@@ -141,6 +144,7 @@ pub struct EvalOptions {
     eliminate_bounded: bool,
     magic_sets: bool,
     limits: Option<EvalLimits>,
+    profile: ProfileDetail,
 }
 
 impl EvalOptions {
@@ -257,6 +261,24 @@ impl EvalOptions {
         self.limits = Some(limits);
         self
     }
+
+    /// Selects how much profiling detail evaluations collect (default
+    /// [`ProfileDetail::Off`]). Any level above `Off` attaches an
+    /// [`EvalProfile`] to every [`EvalResult`] — and to the partial
+    /// result of an [`EvalError::LimitExceeded`] trip. Profiling never
+    /// changes what is computed: the store and [`EvalStats`] are
+    /// bit-identical to an unprofiled evaluation (property-tested), and
+    /// `Off` costs one branch per rule pass.
+    ///
+    /// ```
+    /// use mdtw_datalog::{EvalOptions, ProfileDetail};
+    /// let opts = EvalOptions::new().profile(ProfileDetail::Literals);
+    /// # let _ = opts;
+    /// ```
+    pub fn profile(mut self, detail: ProfileDetail) -> Self {
+        self.profile = detail;
+        self
+    }
 }
 
 /// Why an [`Evaluator`] could not be constructed or an evaluation failed.
@@ -359,7 +381,9 @@ impl fmt::Display for EvalError {
                 partial,
             } => write!(
                 f,
-                "evaluation exceeded its {kind} limit after {} facts and {} rounds{}",
+                "evaluation exceeded its {kind} limit in stratum {} after {} facts and {} \
+                 rounds{}",
+                stats.strata,
                 stats.facts,
                 stats.rounds,
                 if partial.is_some() {
@@ -402,6 +426,10 @@ pub struct EvalResult {
     /// Grounding statistics when the quasi-guarded engine ran, `None`
     /// otherwise.
     pub qg: Option<QgStats>,
+    /// The evaluation profile, when the session requested one via
+    /// [`EvalOptions::profile`]; `None` at [`ProfileDetail::Off`]. Boxed:
+    /// profiles are cold data next to the store.
+    pub profile: Option<Box<EvalProfile>>,
 }
 
 /// A reusable evaluation session: one program, analyzed once, evaluated
@@ -419,6 +447,7 @@ pub struct Evaluator {
     pruned_rules: usize,
     transforms: TransformSummary,
     limits: Option<EvalLimits>,
+    profile_detail: ProfileDetail,
     stratification: Arc<Stratification>,
     cache: PlanCache,
     scratch: SeminaiveScratch,
@@ -515,6 +544,7 @@ impl Evaluator {
             pruned_rules,
             transforms,
             limits: options.limits,
+            profile_detail: options.profile,
             stratification,
             cache: PlanCache::new(),
             scratch,
@@ -534,17 +564,25 @@ impl Evaluator {
     /// [`EvalError::LimitExceeded`].
     pub fn evaluate(&mut self, structure: &Structure) -> Result<EvalResult, EvalError> {
         let limits = self.limits.clone();
-        let (store, stats, qg, trip) = match self.engine {
+        // Per-evaluation deltas of the shared meter (the meter is
+        // cumulative across a session's evaluations and the transforms'
+        // nested probes, so absolute readings would mislead).
+        let meter_before = limits.as_ref().map(|l| (l.checks_spent(), l.fuel_spent()));
+        let mut profiler =
+            (self.profile_detail != ProfileDetail::Off).then(|| Profiler::new(self.profile_detail));
+        let (store, mut stats, qg, trip) = match self.engine {
             Engine::Naive => {
                 debug_assert_semipositive(&self.program);
                 let mut gov = Governor::new(limits.as_ref());
-                let (store, stats) = naive_fixpoint(&self.program, structure, &mut gov);
+                let (store, stats) =
+                    naive_fixpoint(&self.program, structure, &mut gov, profiler.as_mut());
                 (store, stats, None, gov.tripped())
             }
             Engine::SemiNaiveScan => {
                 debug_assert_semipositive(&self.program);
                 let mut gov = Governor::new(limits.as_ref());
-                let (store, stats) = scan_fixpoint(&self.program, structure, &mut gov);
+                let (store, stats) =
+                    scan_fixpoint(&self.program, structure, &mut gov, profiler.as_mut());
                 (store, stats, None, gov.tripped())
             }
             Engine::SemiNaiveIndexed => {
@@ -557,6 +595,7 @@ impl Evaluator {
                     &mut self.scratch,
                     &mut self.ext_memo,
                     limits.as_ref(),
+                    profiler.as_mut(),
                 );
                 (store, stats, None, trip)
             }
@@ -566,6 +605,11 @@ impl Evaluator {
                     .as_ref()
                     .expect("QuasiGuarded sessions carry a catalog (checked at construction)");
                 let mut gov = Governor::new(limits.as_ref());
+                // The quasi-guarded pipeline has no per-rule pass
+                // structure; the profiler records the timeline only.
+                if let Some(p) = profiler.as_mut() {
+                    p.begin_stratum_bare(0);
+                }
                 let (store, qg) = run_quasi_guarded(&self.program, structure, catalog, &mut gov)?;
                 let stats = EvalStats {
                     facts: store.fact_count(),
@@ -573,11 +617,22 @@ impl Evaluator {
                     strata: 1,
                     ..EvalStats::default()
                 };
+                if let Some(p) = profiler.as_mut() {
+                    if gov.tripped().is_some() {
+                        p.mark_trip(0);
+                    }
+                    p.end_stratum(stats.rounds, stats.facts);
+                }
                 (store, stats, Some(qg), gov.tripped())
             }
         };
+        if let Some((checks_before, fuel_before)) = meter_before {
+            let meter = limits.as_ref().expect("meter snapshot implies limits");
+            stats.limit_checks = (meter.checks_spent() - checks_before) as usize;
+            stats.fuel_spent = meter.fuel_spent() - fuel_before;
+        }
+        let profile = profiler.map(|p| Box::new(p.finish()));
         if let Some(kind) = trip {
-            let mut stats = stats;
             if self.engine != Engine::SemiNaiveIndexed {
                 // Single-stratum engines complete no stratum on a trip;
                 // the stratified driver already set the completed count.
@@ -585,13 +640,15 @@ impl Evaluator {
             }
             let stats = self.filter_stats(stats);
             // The quasi-guarded engine cannot certify a partial grounding,
-            // so it degrades without a partial result.
+            // so it degrades without a partial result (and, since the
+            // profile rides on the partial, without a profile).
             let partial = (self.engine != Engine::QuasiGuarded).then(|| {
                 Box::new(EvalResult {
                     store,
                     stats,
                     stratification: Arc::clone(&self.stratification),
                     qg: None,
+                    profile,
                 })
             });
             return Err(EvalError::LimitExceeded {
@@ -605,7 +662,33 @@ impl Evaluator {
             stats: self.filter_stats(stats),
             stratification: Arc::clone(&self.stratification),
             qg,
+            profile,
         })
+    }
+
+    /// Renders the session's compiled evaluation strategy — per-stratum
+    /// rule plans with join order, scan-vs-probe access paths, chosen
+    /// probe key positions, and the semi-naive delta splits — as an
+    /// [`Explanation`] (human text via [`Explanation::render_text`], JSON
+    /// via [`Explanation::to_json`]; `mdtw-lint --explain` on the command
+    /// line).
+    ///
+    /// Plans are compiled against `structure`'s statistics exactly as an
+    /// (uncached) evaluation would compile them. One caveat for
+    /// multi-stratum programs: during evaluation, higher strata plan
+    /// against the *extended* structure holding the lower strata's
+    /// materialized relations, whose real cardinalities can shift the
+    /// planner's greedy tie-breaks — the explanation shows the
+    /// base-structure baseline.
+    pub fn explain(&self, structure: &Structure) -> Explanation {
+        let plans = plan_program_with(&self.program, &StructureStats::new(structure));
+        crate::profile::explain_plans(
+            &self.program,
+            &self.stratification,
+            structure,
+            &plans,
+            self.engine.to_string(),
+        )
     }
 
     /// Applies the session's [`StatsDetail`] to raw engine counters.

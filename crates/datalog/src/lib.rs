@@ -62,6 +62,14 @@
 //!   [`lint`](mod@crate::lint);
 //! * [`span`](mod@crate::span) — byte-span + line/column source
 //!   locations, recorded by the parser for every rule, head and literal;
+//! * [`profile`](mod@crate::profile) — the observability layer: a
+//!   zero-cost-when-off profiler threaded through every engine
+//!   ([`EvalOptions::profile`] → [`ProfileDetail`]), collecting a
+//!   structured [`EvalProfile`] (per-stratum timeline, per-rule
+//!   breakdown, per-literal observed selectivities) returned on
+//!   [`EvalResult`] *and* on the partial result of a resource-limit
+//!   trip, plus [`Evaluator::explain`] — the compiled join plans
+//!   rendered as human text or JSON;
 //! * [`transform`](mod@crate::transform) — the semantic optimizer:
 //!   uniform-containment rule minimization, boundedness detection with
 //!   recursion elimination, and the magic-set demand transformation,
@@ -83,6 +91,7 @@ pub mod limits;
 pub mod lint;
 pub mod parser;
 pub mod plan;
+pub mod profile;
 pub mod span;
 pub mod stratify;
 pub mod transform;
@@ -102,6 +111,10 @@ pub use parser::{parse_program, parse_program_lenient, ParseError, ParseErrorKin
 pub use plan::{
     plan_program, plan_program_with, plan_rule, plan_rule_with, Access, CardEstimator, JoinPlan,
     JoinStep, NoEstimates, RulePlans, StructureStats,
+};
+pub use profile::{
+    eval_error_json, EvalProfile, Explanation, LiteralProfile, PlanExplanation, ProfileDetail,
+    RuleExplanation, RuleProfile, StepExplanation, StratumExplanation, StratumProfile,
 };
 pub use span::{RuleSpans, Span};
 pub use stratify::{recursive_idb_scc_count, stratify, Stratification, StratificationError};

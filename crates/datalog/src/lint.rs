@@ -22,12 +22,15 @@
 //! dependency-free `--json` mode that round-trips.
 
 use crate::analysis::{analyze, AnalysisOptions, Diagnostic, LintCode, ProgramReport, Severity};
+use crate::eval::EvalStats;
+use crate::evaluator::{EvalError, EvalOptions, Evaluator};
 use crate::limits::EvalLimits;
 use crate::parser::{is_variable, parse_program, parse_program_lenient, ParseError};
+use crate::profile::{EvalProfile, Explanation, ProfileDetail};
 use crate::span::Span;
 use crate::transform::{optimize_with_limits, TransformSummary};
 use mdtw_structure::fx::FxHashMap;
-use mdtw_structure::{Domain, Signature, Structure};
+use mdtw_structure::{Domain, ElemId, PredId, Signature, Structure};
 use std::fmt;
 use std::sync::Arc;
 
@@ -418,6 +421,172 @@ pub fn optimize_source_with_limits(
         rules_before,
         summary,
     }))
+}
+
+/// What `mdtw-lint --explain` produced for one file: either the
+/// compiled-plan explanation or the reason it was skipped.
+#[derive(Debug)]
+pub enum ExplainOutcome {
+    /// The program parsed strictly, stratified, and its plans compiled.
+    Explained(Box<Explanation>),
+    /// Explanation could not run: parse or stratification failure.
+    /// Carries a human-readable reason.
+    Skipped(String),
+}
+
+/// Compiles and renders the join plans of a `.dl` file for
+/// `mdtw-lint --explain`: pragmas → synthetic structure → strict parse →
+/// [`Evaluator::explain`] against the seeded dry-run structure (see
+/// [`dry_run_structure`]), so access-path choices reflect non-degenerate
+/// relation statistics.
+///
+/// # Errors
+/// A [`PragmaError`] when a `%!` pragma is malformed (matching
+/// [`lint_source`]); parse and stratification failures are reported as
+/// [`ExplainOutcome::Skipped`], not errors.
+pub fn explain_source(source: &str) -> Result<ExplainOutcome, PragmaError> {
+    let decls = scan_pragmas(source)?;
+    let structure = synthetic_structure(source, &decls);
+    let program = match parse_program(source, &structure) {
+        Ok(p) => p,
+        Err(e) => {
+            return Ok(ExplainOutcome::Skipped(format!(
+                "parse error at {}: {}",
+                e.span, e.message
+            )))
+        }
+    };
+    let evaluator = match Evaluator::new(program) {
+        Ok(ev) => ev,
+        Err(e) => return Ok(ExplainOutcome::Skipped(format!("evaluation setup: {e}"))),
+    };
+    Ok(ExplainOutcome::Explained(Box::new(
+        evaluator.explain(&dry_run_structure(&structure)),
+    )))
+}
+
+/// What `mdtw-lint --profile` produced for one file.
+#[derive(Debug)]
+pub enum ProfileOutcome {
+    /// The program parsed strictly and a profiled evaluation ran over the
+    /// seeded dry-run structure.
+    Profiled(Box<ProfileDump>),
+    /// Profiling could not run: parse or stratification failure. Carries
+    /// a human-readable reason.
+    Skipped(String),
+}
+
+/// A profiled dry-run evaluation, for display and `--json` export.
+#[derive(Debug)]
+pub struct ProfileDump {
+    /// The collected evaluation profile.
+    pub profile: EvalProfile,
+    /// The evaluation's work counters.
+    pub stats: EvalStats,
+    /// The limit kind that tripped the dry-run budget, if one did (the
+    /// profile then covers the partial evaluation).
+    pub tripped: Option<String>,
+}
+
+/// Runs a profiled dry-run evaluation of a `.dl` file for
+/// `mdtw-lint --profile`: the program is evaluated at `detail` over the
+/// seeded [`dry_run_structure`] under a fuel budget (`limits`, or
+/// [`DEFAULT_OPTIMIZE_FUEL`]), and the profile — per-stratum timeline,
+/// per-rule breakdown, per-literal selectivities — is returned for
+/// rendering. The dry-run data is synthetic; the numbers show *where* the
+/// program burns work on cyclic EDB data, not production magnitudes.
+///
+/// # Errors
+/// A [`PragmaError`] when a `%!` pragma is malformed; parse and
+/// stratification failures are reported as [`ProfileOutcome::Skipped`].
+pub fn profile_source_with_limits(
+    source: &str,
+    detail: ProfileDetail,
+    limits: Option<&EvalLimits>,
+) -> Result<ProfileOutcome, PragmaError> {
+    let decls = scan_pragmas(source)?;
+    let structure = synthetic_structure(source, &decls);
+    let program = match parse_program(source, &structure) {
+        Ok(p) => p,
+        Err(e) => {
+            return Ok(ProfileOutcome::Skipped(format!(
+                "parse error at {}: {}",
+                e.span, e.message
+            )))
+        }
+    };
+    let budget = limits
+        .cloned()
+        .unwrap_or_else(|| EvalLimits::new().fuel(DEFAULT_OPTIMIZE_FUEL));
+    let mut options = EvalOptions::new().profile(detail).limits(budget);
+    if !decls.outputs.is_empty() {
+        options = options.outputs(decls.outputs.iter().cloned());
+    }
+    let mut evaluator = match Evaluator::with_options(program, options) {
+        Ok(ev) => ev,
+        Err(e) => return Ok(ProfileOutcome::Skipped(format!("evaluation setup: {e}"))),
+    };
+    match evaluator.evaluate(&dry_run_structure(&structure)) {
+        Ok(result) => Ok(ProfileOutcome::Profiled(Box::new(ProfileDump {
+            profile: result.profile.map(|p| *p).unwrap_or_default(),
+            stats: result.stats,
+            tripped: None,
+        }))),
+        Err(EvalError::LimitExceeded {
+            kind,
+            stats,
+            partial,
+        }) => Ok(ProfileOutcome::Profiled(Box::new(ProfileDump {
+            profile: partial
+                .and_then(|p| p.profile)
+                .map(|p| *p)
+                .unwrap_or_default(),
+            stats,
+            tripped: Some(kind.as_str().to_owned()),
+        }))),
+        Err(e) => Ok(ProfileOutcome::Skipped(format!("evaluation: {e}"))),
+    }
+}
+
+/// The structure the `--explain` / `--profile` dry-runs evaluate over:
+/// the synthetic structure's signature and domain (padded to at least
+/// four elements so seeding is possible for files without constants),
+/// with every extensional relation seeded with a cyclic diagonal —
+/// tuples `(i, i+1, …)` modulo the domain size, one per element. Cheap,
+/// deterministic, and enough to make recursive rules actually iterate,
+/// so profiles show real firings and selectivities instead of an empty
+/// round 0.
+pub fn dry_run_structure(synthetic: &Structure) -> Structure {
+    let sig = Arc::clone(synthetic.signature());
+    let mut domain = Domain::new();
+    for i in 0..synthetic.domain().len() {
+        domain.insert(synthetic.domain().name(ElemId(i as u32)));
+    }
+    let mut pad = 0usize;
+    while domain.len() < 4 {
+        let name = format!("_dry{pad}");
+        if domain.lookup(&name).is_none() {
+            domain.insert(name);
+        }
+        pad += 1;
+    }
+    let n = domain.len();
+    let mut out = Structure::new(Arc::clone(&sig), domain);
+    for p in 0..sig.len() {
+        let pred = PredId(p as u32);
+        let arity = sig.arity(pred);
+        if arity == 0 {
+            continue;
+        }
+        let mut tuple = vec![ElemId(0); arity];
+        for i in 0..n {
+            for (k, slot) in tuple.iter_mut().enumerate() {
+                *slot = ElemId(((i + k) % n) as u32);
+            }
+            out.insert(pred, &tuple);
+        }
+    }
+    out
 }
 
 /// A minimal JSON value — parser and printer — so `--json` output
@@ -836,6 +1005,62 @@ pub fn optimize_json(outcome: &OptimizeOutcome) -> Json {
                 Json::Num(dump.summary.magic_rules as f64),
             ),
         ]),
+    }
+}
+
+/// Serializes an [`EvalStats`] counter block for `--json` output; the
+/// field names match the struct fields.
+pub fn eval_stats_json(stats: &EvalStats) -> Json {
+    Json::Obj(vec![
+        ("firings".into(), Json::Num(stats.firings as f64)),
+        ("facts".into(), Json::Num(stats.facts as f64)),
+        ("rounds".into(), Json::Num(stats.rounds as f64)),
+        ("index_probes".into(), Json::Num(stats.index_probes as f64)),
+        ("full_scans".into(), Json::Num(stats.full_scans as f64)),
+        (
+            "tuples_considered".into(),
+            Json::Num(stats.tuples_considered as f64),
+        ),
+        (
+            "negative_checks".into(),
+            Json::Num(stats.negative_checks as f64),
+        ),
+        ("strata".into(), Json::Num(stats.strata as f64)),
+        ("limit_checks".into(), Json::Num(stats.limit_checks as f64)),
+        ("fuel_spent".into(), Json::Num(stats.fuel_spent as f64)),
+    ])
+}
+
+/// Serializes an [`ExplainOutcome`] for `mdtw-lint --explain --json`:
+/// either the [`Explanation::to_json`] object or `{"skipped": reason}`.
+pub fn explain_outcome_json(outcome: &ExplainOutcome) -> Json {
+    match outcome {
+        ExplainOutcome::Explained(explanation) => explanation.to_json(),
+        ExplainOutcome::Skipped(reason) => {
+            Json::Obj(vec![("skipped".into(), Json::Str(reason.clone()))])
+        }
+    }
+}
+
+/// Serializes a [`ProfileOutcome`] for `mdtw-lint --profile --json`:
+/// `{"profile": …, "stats": …, "tripped": …}` (see
+/// [`EvalProfile::to_json`] and [`eval_stats_json`]) or
+/// `{"skipped": reason}`.
+pub fn profile_outcome_json(outcome: &ProfileOutcome) -> Json {
+    match outcome {
+        ProfileOutcome::Profiled(dump) => Json::Obj(vec![
+            ("profile".into(), dump.profile.to_json()),
+            ("stats".into(), eval_stats_json(&dump.stats)),
+            (
+                "tripped".into(),
+                dump.tripped
+                    .as_ref()
+                    .map_or(Json::Null, |k| Json::Str(k.clone())),
+            ),
+        ]),
+        ProfileOutcome::Skipped(reason) => {
+            Json::Obj(vec![("skipped".into(), Json::Str(reason.clone()))])
+        }
     }
 }
 

@@ -38,6 +38,7 @@ use crate::ast::{IdbId, PredRef, Program};
 use crate::cache::{global_plan_cache, plans_for, PlanCache};
 use crate::eval::{run_seminaive_scratch, EvalStats, IdbStore, SeminaiveScratch};
 use crate::limits::{EvalLimits, Governor, LimitKind};
+use crate::profile::Profiler;
 use mdtw_structure::{PredId, Signature, Structure};
 use std::fmt;
 use std::sync::Arc;
@@ -395,6 +396,7 @@ pub fn eval_stratified(
         &mut scratch,
         &mut ExtensionMemo::default(),
         None,
+        None,
     );
     Ok((store, stats))
 }
@@ -432,6 +434,7 @@ pub fn eval_stratified_with_cache(
         Some(cache),
         &mut scratch,
         &mut ExtensionMemo::default(),
+        None,
         None,
     );
     Ok((store, stats))
@@ -531,6 +534,7 @@ impl ExtensionMemo {
 /// completed stratum plus the partial output of the stratum that tripped
 /// (a sound subset of the fixpoint), and `stats.strata` is rewritten to
 /// the *completed*-stratum count.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_stratified(
     program: &Program,
     strat: &Stratification,
@@ -539,6 +543,7 @@ pub(crate) fn run_stratified(
     scratch: &mut SeminaiveScratch,
     memo: &mut ExtensionMemo,
     limits: Option<&EvalLimits>,
+    mut prof: Option<&mut Profiler>,
 ) -> (IdbStore, EvalStats, Option<LimitKind>) {
     if strat.stratum_count() <= 1 {
         // Semipositive fast path: no rewriting, no structure extension.
@@ -550,8 +555,24 @@ pub(crate) fn run_stratified(
             ..EvalStats::default()
         };
         let mut gov = Governor::new(limits);
-        let (store, mut stats) =
-            run_seminaive_scratch(program, structure, &plans, stats, scratch, &mut gov);
+        if let Some(p) = prof.as_deref_mut() {
+            p.begin_stratum(0, program, None);
+        }
+        let (store, mut stats) = run_seminaive_scratch(
+            program,
+            structure,
+            &plans,
+            stats,
+            scratch,
+            &mut gov,
+            prof.as_deref_mut(),
+        );
+        if let Some(p) = prof {
+            if gov.tripped().is_some() {
+                p.mark_trip(0);
+            }
+            p.end_stratum(stats.rounds, stats.facts);
+        }
         if gov.tripped().is_some() {
             stats.strata = 0;
         }
@@ -618,10 +639,26 @@ pub(crate) fn run_stratified(
             // breaks the work counter's monotonicity); the shared meter
             // keeps the budget cumulative across strata.
             let mut gov = Governor::new(limits);
-            let (sub_store, stats) =
-                run_seminaive_scratch(&sub, &ext_structure, &plans, stats, scratch, &mut gov);
+            if let Some(p) = prof.as_deref_mut() {
+                p.begin_stratum(k, &sub, Some(stratum_rules.as_slice()));
+            }
+            let (sub_store, stats) = run_seminaive_scratch(
+                &sub,
+                &ext_structure,
+                &plans,
+                stats,
+                scratch,
+                &mut gov,
+                prof.as_deref_mut(),
+            );
             total.merge_counters(&stats);
             trip = gov.tripped();
+            if let Some(p) = prof.as_deref_mut() {
+                if trip.is_some() {
+                    p.mark_trip(k);
+                }
+                p.end_stratum(stats.rounds, stats.facts);
+            }
 
             // Materialize this stratum's output: into the final store, and
             // into the extended structure for the strata above. A tripped

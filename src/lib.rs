@@ -46,8 +46,9 @@ pub mod prelude {
     };
     pub use mdtw_datalog::{
         analyze, parse_program, stratify, AnalysisOptions, CancelToken, Diagnostic, Engine,
-        EvalError, EvalLimits, EvalOptions, EvalResult, Evaluator, LimitKind, LintCode, PlanCache,
-        ProgramReport, Severity, Span, Stratification, StratificationError,
+        EvalError, EvalLimits, EvalOptions, EvalProfile, EvalResult, Evaluator, Explanation,
+        LimitKind, LintCode, PlanCache, ProfileDetail, ProgramReport, Severity, Span,
+        Stratification, StratificationError,
     };
     pub use mdtw_decomp::{decompose, Heuristic, NiceOptions, NiceTd, TreeDecomposition, TupleTd};
     pub use mdtw_graph::{encode_graph, Graph};
