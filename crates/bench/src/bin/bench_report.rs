@@ -13,7 +13,11 @@
 //! record of rows (ns/eval, ns/derived-fact, work counters) to `--out` (default
 //! `BENCH_joins.json`). With `--append`, the record is appended to the
 //! records array of an existing report file, so before/after measurements
-//! of the same workloads accumulate in one place.
+//! of the same workloads accumulate in one place. I/O problems — an
+//! unwritable output path, or an `--append` target that is not a
+//! bench_report records file — render an error and exit with code 2
+//! (before the measurement runs, where possible) instead of clobbering
+//! or silently rewriting data.
 //!
 //! The `budgeted_tc` row runs the linear-TC workload under an evaluation
 //! budget. By default the budget is effectively unlimited (checkpoints
@@ -49,6 +53,14 @@ const USAGE: &str =
 
 fn usage_error(message: &str) -> ExitCode {
     eprintln!("bench_report: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// An I/O-level failure (unwritable output, corrupt `--append` target):
+/// rendered to stderr, exit code 2 — distinguishable from a measurement
+/// failure and safe to pattern-match in CI.
+fn io_error(message: &str) -> ExitCode {
+    eprintln!("bench_report: {message}");
     ExitCode::from(2)
 }
 
@@ -124,6 +136,28 @@ fn main() -> ExitCode {
         }
     }
 
+    // Resolve the output file *before* the measurement runs: a corrupt
+    // `--append` target or an unreadable path should cost an error
+    // message, not minutes of discarded bench work. A missing file is
+    // fine — the record starts a fresh report.
+    let existing = if append {
+        match std::fs::read_to_string(&out_path) {
+            Ok(text) => {
+                if splice_record(&text, "{}").is_none() {
+                    return io_error(&format!(
+                        "`{out_path}` is not a bench_report records file; refusing to \
+                         append (fix or remove the file, or drop --append to rewrite it)"
+                    ));
+                }
+                Some(text)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return io_error(&format!("cannot read `{out_path}`: {e}")),
+        }
+    } else {
+        None
+    };
+
     let limits = if fuel.is_some() || timeout_ms.is_some() {
         let mut l = mdtw_datalog::EvalLimits::new();
         if let Some(f) = fuel {
@@ -153,30 +187,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         if let Err(e) = std::fs::write(profile_path, rendered + "\n") {
-            eprintln!("bench_report: cannot write `{profile_path}`: {e}");
-            return ExitCode::FAILURE;
+            return io_error(&format!("cannot write `{profile_path}`: {e}"));
         }
         eprintln!("bench_report: wrote workload profiles (n={n}) to {profile_path}");
     }
 
-    let report = if append {
-        match std::fs::read_to_string(&out_path) {
-            Ok(existing) => match splice_record(&existing, &record) {
-                Some(merged) => merged,
-                None => {
-                    eprintln!("bench_report: `{out_path}` is not a bench_report file; rewriting");
-                    fresh_report(&record)
-                }
-            },
-            Err(_) => fresh_report(&record),
-        }
-    } else {
-        fresh_report(&record)
+    let report = match &existing {
+        Some(text) => splice_record(text, &record)
+            .expect("append target validated before the measurement ran"),
+        None => fresh_report(&record),
     };
 
     if let Err(e) = std::fs::write(&out_path, &report) {
-        eprintln!("bench_report: cannot write `{out_path}`: {e}");
-        return ExitCode::FAILURE;
+        return io_error(&format!("cannot write `{out_path}`: {e}"));
     }
     for r in &rows {
         eprintln!(

@@ -306,6 +306,93 @@ pub fn stratified_workload(n: usize) -> (mdtw_structure::Structure, mdtw_datalog
     (s, p)
 }
 
+/// Segment length of the [`incremental_tc_workload`] chain: edges never
+/// cross segment boundaries, so the TC fixpoint is Θ(n·L) rather than
+/// Θ(n²) and the workload stays measurable at n = 8000.
+pub const INCREMENTAL_SEGMENT: usize = 100;
+
+/// The incremental-maintenance workload, built by
+/// [`incremental_tc_workload`]: a segmented chain materialized once as a
+/// [`MaterializedView`](mdtw_datalog::MaterializedView), then maintained
+/// under the two complementary mixed batches.
+#[derive(Debug, Clone)]
+pub struct IncrementalTcWorkload {
+    /// The initial base structure (odd segments carry their flip edge,
+    /// even segments start without theirs).
+    pub structure: mdtw_structure::Structure,
+    /// The base structure after [`Self::batch_a`] — what the `recompute`
+    /// baseline evaluates from scratch.
+    pub mutated: mdtw_structure::Structure,
+    /// [`LINEAR_TC_PROGRAM`] parsed against the workload signature.
+    pub program: mdtw_datalog::Program,
+    /// The forward batch: inserts even-segment flip edges, retracts
+    /// odd-segment ones — ≈1 % of the base facts, half inserts, half
+    /// retracts.
+    pub batch_a: mdtw_datalog::Update,
+    /// The exact inverse of [`Self::batch_a`]; applying A then B returns
+    /// the view to its initial state, so batches can alternate forever.
+    pub batch_b: mdtw_datalog::Update,
+    /// Edges toggled per batch.
+    pub flips: usize,
+    /// Base facts in the initial structure.
+    pub base_facts: usize,
+}
+
+/// Builds the `incremental_tc` workload: a chain of `n` nodes cut into
+/// [`INCREMENTAL_SEGMENT`]-node segments (no edges across boundaries),
+/// with one *flip* edge near the end of each segment — present initially
+/// only in odd segments. Each batch toggles the flip edges of the first
+/// `flips` segments (capped at 1 % of the base facts), so one batch mixes
+/// inserts and retracts and each toggle moves Θ(L) derived TC facts.
+pub fn incremental_tc_workload(n: usize) -> IncrementalTcWorkload {
+    use mdtw_datalog::Update;
+    use mdtw_structure::ElemId;
+    assert!(n >= 4, "the segmented chain needs at least 4 elements");
+    let seg = n.min(INCREMENTAL_SEGMENT);
+    let segments = n / seg;
+    let mut s = chain_structure_for_bench(n, &[("e", 2)]);
+    let e = s.signature().lookup("e").unwrap();
+    let flip_edge = |k: usize| {
+        let p = (k * seg + seg - 2) as u32;
+        [ElemId(p), ElemId(p + 1)]
+    };
+    for i in 0..n - 1 {
+        if (i + 1) % seg == 0 {
+            continue; // no edges across segment boundaries
+        }
+        if i % seg == seg - 2 && (i / seg).is_multiple_of(2) && i / seg < segments {
+            continue; // even segments start without their flip edge
+        }
+        s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+    }
+    let base_facts = s.relation(e).len();
+    let flips = segments.min((base_facts / 100).max(1));
+    let (mut batch_a, mut batch_b) = (Update::new(), Update::new());
+    let mut mutated = s.clone();
+    for k in 0..flips {
+        let t = flip_edge(k);
+        if k.is_multiple_of(2) {
+            batch_a.push_insert(e, &t);
+            batch_b.push_retract(e, &t);
+            mutated.insert(e, &t);
+        } else {
+            batch_a.push_retract(e, &t);
+            batch_b.push_insert(e, &t);
+            mutated.retract(e, &t);
+        }
+    }
+    let program = mdtw_datalog::parse_program(LINEAR_TC_PROGRAM, &s).unwrap();
+    IncrementalTcWorkload {
+        structure: s,
+        mutated,
+        program,
+        batch_a,
+        batch_b,
+        flips,
+        base_facts,
+    }
+}
+
 /// Fail-fast static analysis of every inline workload program, run by the
 /// `table1` and `bench_report` bins before they measure anything.
 ///
@@ -528,6 +615,32 @@ pub fn join_report_with_limits(
             (r.store.fact_count(), r.stats)
         });
 
+        // Incremental maintenance vs. full recomputation: the segmented
+        // chain is materialized once, then each "evaluation" absorbs one
+        // mixed batch (≈1 % of the base facts, half inserts half
+        // retracts, alternating the forward batch and its inverse so the
+        // view oscillates between two states). The `recompute` baseline
+        // evaluates the post-batch structure from scratch through a warm
+        // session; the ratio of the two rows' ns_per_eval is the
+        // maintenance speedup.
+        let w = incremental_tc_workload(n);
+        let mut view = Evaluator::new(w.program.clone())
+            .expect("semipositive")
+            .materialize(&w.structure)
+            .expect("indexed engine");
+        let mut forward = true;
+        measure("incremental_tc", "maintain", n, &mut rows, &mut || {
+            let batch = if forward { &w.batch_a } else { &w.batch_b };
+            forward = !forward;
+            view.apply(batch);
+            (view.store().fact_count(), EvalStats::default())
+        });
+        let mut session = Evaluator::new(w.program.clone()).expect("semipositive");
+        measure("incremental_tc", "recompute", n, &mut rows, &mut || {
+            let r = session.evaluate(&w.mutated).expect("semipositive");
+            (r.store.fact_count(), r.stats)
+        });
+
         // Per-candidate ablation: one evaluation = all K candidates.
         let (candidates, p) = per_candidate_workload(n);
         measure("per_candidate", "session", n, &mut rows, &mut || {
@@ -729,9 +842,9 @@ mod tests {
         let rows = join_report(&[40], 40);
         // indexed + scan on linear_tc, governed on budgeted_tc, indexed
         // on reach_linearity, stratified on stratified_reach, full +
-        // magic on magic_point_query, session + per_call on
-        // per_candidate.
-        assert_eq!(rows.len(), 9);
+        // magic on magic_point_query, maintain + recompute on
+        // incremental_tc, session + per_call on per_candidate.
+        assert_eq!(rows.len(), 11);
         for r in &rows {
             assert!(r.facts > 0);
             assert!(r.ns_per_fact > 0.0);
@@ -787,13 +900,25 @@ mod tests {
             magic.stats.facts,
             full.stats.facts
         );
+        // The maintained view and the from-scratch recomputation agree on
+        // the post-batch fixpoint size (both rows report the state after
+        // the forward batch).
+        let maintain = rows
+            .iter()
+            .find(|r| r.workload == "incremental_tc" && r.engine == "maintain")
+            .expect("maintain row");
+        let recompute = rows
+            .iter()
+            .find(|r| r.workload == "incremental_tc" && r.engine == "recompute")
+            .expect("recompute row");
+        assert_eq!(maintain.facts, recompute.facts, "view diverged");
         let json = render_join_record_json("test", &rows);
         assert!(json.starts_with("{\"label\": \"test\""));
         // Hostile labels are escaped, not interpolated raw.
         let hostile = render_join_record_json("a\"b\\c\n", &rows);
         assert!(hostile.starts_with("{\"label\": \"a\\\"b\\\\c\\u000a\""));
         assert!(json.ends_with("]}"));
-        assert_eq!(json.matches("\"workload\"").count(), 9);
+        assert_eq!(json.matches("\"workload\"").count(), 11);
         // The governed row derives the same fixpoint as the ungoverned
         // linear TC — an unlimited budget never changes the answer.
         let tc = rows
@@ -808,6 +933,39 @@ mod tests {
         assert!(json.contains("\"plan_cache_hits\": 1"));
         assert!(json.contains("\"negative_checks\""));
         assert!(json.contains("\"strata\": 3"));
+    }
+
+    #[test]
+    fn incremental_workload_batches_are_small_and_invertible() {
+        let w = incremental_tc_workload(800);
+        assert!(w.flips >= 2, "a mixed batch needs inserts and retracts");
+        assert_eq!(w.batch_a.len(), w.flips);
+        assert_eq!(w.batch_b.len(), w.flips);
+        // The small-batch contract: ≤ 1 % of the base facts per batch.
+        assert!(
+            w.flips * 100 <= w.base_facts,
+            "{} flips exceed 1 % of {} base facts",
+            w.flips,
+            w.base_facts
+        );
+        // Applying the forward batch moves the fixpoint; applying its
+        // inverse restores it exactly — the oscillation the measured
+        // `maintain` row relies on.
+        let mut view = mdtw_datalog::Evaluator::new(w.program.clone())
+            .expect("semipositive")
+            .materialize(&w.structure)
+            .expect("indexed engine");
+        let initial = view.store().fact_count();
+        view.apply(&w.batch_a);
+        assert_ne!(view.store().fact_count(), initial);
+        let mut recompute = mdtw_datalog::Evaluator::new(w.program.clone()).unwrap();
+        assert_eq!(
+            view.store().fact_count(),
+            recompute.evaluate(&w.mutated).unwrap().store.fact_count(),
+            "maintained fixpoint diverged from scratch evaluation"
+        );
+        view.apply(&w.batch_b);
+        assert_eq!(view.store().fact_count(), initial);
     }
 
     #[test]

@@ -2,8 +2,13 @@
 //!
 //! ```text
 //! usage: mdtw-lint [--json] [--deny-warnings] [--optimize]
-//!                  [--fuel N] [--timeout-ms N] FILE.dl...
+//!                  [--fuel N] [--timeout-ms N] [--version] FILE.dl...
 //! ```
+//!
+//! Every machine-readable envelope (`--json` per-file objects and the
+//! `--profile` output file entries) carries a `schema_version` field
+//! ([`JSON_SCHEMA_VERSION`]); `--version` prints the tool and schema
+//! versions and exits.
 //!
 //! Parses each file leniently against a synthetic structure (extensional
 //! predicates and output predicates come from `%! edb name/arity` and
@@ -46,14 +51,14 @@ use mdtw_datalog::lint::{
     explain_outcome_json, explain_source, file_json, json, json::Json, lint_source_with_limits,
     optimize_source_with_limits, profile_outcome_json, profile_source_with_limits,
     render_parse_error, render_pragma_error, ExplainOutcome, LintOutcome, OptimizeOutcome,
-    ProfileOutcome,
+    ProfileOutcome, JSON_SCHEMA_VERSION,
 };
 use mdtw_datalog::{EvalLimits, EvalProfile, ProfileDetail};
 use std::process::ExitCode;
 use std::time::Duration;
 
 const USAGE: &str = "usage: mdtw-lint [--json] [--deny-warnings] [--optimize] [--explain] \
-                     [--profile OUT.json] [--fuel N] [--timeout-ms N] FILE.dl...";
+                     [--profile OUT.json] [--fuel N] [--timeout-ms N] [--version] FILE.dl...";
 
 fn print_help() {
     println!("{USAGE}");
@@ -65,6 +70,7 @@ fn print_help() {
     println!("  --profile OUT     profile a dry-run evaluation, write profiles to OUT (JSON)");
     println!("  --fuel N          budget the semantic probes to N units of work per file");
     println!("  --timeout-ms N    deadline for the semantic probes, per file");
+    println!("  --version         print the tool version and JSON schema version");
     println!();
     println!("exit status:");
     println!("  0  every file is clean (warnings allowed unless --deny-warnings)");
@@ -110,6 +116,13 @@ fn main() -> ExitCode {
             }
             "-h" | "--help" => {
                 print_help();
+                return ExitCode::SUCCESS;
+            }
+            "-V" | "--version" => {
+                println!(
+                    "mdtw-lint {} (json schema {JSON_SCHEMA_VERSION})",
+                    env!("CARGO_PKG_VERSION")
+                );
                 return ExitCode::SUCCESS;
             }
             _ if arg.starts_with('-') => {
@@ -314,7 +327,13 @@ fn write_profiles(out_path: &str, entries: &[(String, ProfileOutcome)]) -> Resul
         entries
             .iter()
             .map(|(file, outcome)| {
-                let mut fields = vec![("file".to_owned(), Json::Str(file.clone()))];
+                let mut fields = vec![
+                    (
+                        "schema_version".to_owned(),
+                        Json::Num(JSON_SCHEMA_VERSION as f64),
+                    ),
+                    ("file".to_owned(), Json::Str(file.clone())),
+                ];
                 if let Json::Obj(rest) = profile_outcome_json(outcome) {
                     fields.extend(rest);
                 }

@@ -129,6 +129,12 @@ impl IdbStore {
     pub(crate) fn insert_raw(&mut self, pred: IdbId, args: &[ElemId]) {
         self.rels[pred.index()].insert(args);
     }
+
+    /// Direct removal — the DRed overdeletion path of incremental
+    /// maintenance. Returns `false` if the fact was not in the store.
+    pub(crate) fn retract_raw(&mut self, pred: IdbId, args: &[ElemId]) -> bool {
+        self.rels[pred.index()].retract(args)
+    }
 }
 
 /// Evaluation statistics (for the linearity experiments and the
@@ -406,6 +412,11 @@ struct PlanCtx<'a> {
     /// `Some((body index of the delta literal, delta store))` for delta
     /// passes, `None` for the unconstrained round-0 pass.
     delta: Option<(usize, &'a DeltaStore)>,
+    /// `Some((body index, delta relation))` for an *extensional* delta
+    /// pass — the incremental-maintenance seed pass, where one EDB body
+    /// literal enumerates the batch's inserted tuples instead of the full
+    /// base relation. `None` everywhere else.
+    edb_delta: Option<(usize, &'a Relation)>,
     structure: &'a Structure,
     store: &'a IdbStore,
 }
@@ -539,6 +550,7 @@ pub(crate) fn run_seminaive_scratch(
             rule,
             plan: &rp.base,
             delta: None,
+            edb_delta: None,
             structure,
             store: &store,
         };
@@ -549,8 +561,39 @@ pub(crate) fn run_seminaive_scratch(
     // Two delta stores ping-pong across rounds: `delta` is read by the
     // round while `next` collects the survivors, then they swap and the
     // stale one is cleared (arena capacity is retained).
-    merge_round(&mut store, delta, fresh, &mut stats);
+    merge_round(&mut store, delta, fresh, &mut stats, None);
 
+    seminaive_rounds(
+        program, structure, plans, &mut stats, &mut store, delta, next, fresh, key, gov, &mut prof,
+        None,
+    );
+    (store, stats)
+}
+
+/// The delta-driven rounds of semi-naive evaluation: while the frontier
+/// is non-empty, run every rule's delta passes, fold the staged
+/// derivations in, and swap the frontier buffers. Shared between
+/// from-scratch evaluation ([`run_seminaive_scratch`], which seeds the
+/// frontier with round 0's output) and incremental maintenance
+/// ([`run_increment`], which seeds it from a base-relation delta). When
+/// `added` is `Some`, every fact that enters the store is also recorded
+/// in the corresponding sink relation (the maintenance path's net-change
+/// ledger).
+#[allow(clippy::too_many_arguments)]
+fn seminaive_rounds(
+    program: &Program,
+    structure: &Structure,
+    plans: &[RulePlans],
+    stats: &mut EvalStats,
+    store: &mut IdbStore,
+    delta: &mut DeltaStore,
+    next: &mut DeltaStore,
+    fresh: &mut FreshStore,
+    key: &mut Vec<ElemId>,
+    gov: &mut Governor<'_>,
+    prof: &mut Option<&mut Profiler>,
+    mut added: Option<&mut [Relation]>,
+) {
     while delta.count > 0 {
         if gov.round(stats.tuples_considered, stats.facts) {
             break;
@@ -562,28 +605,117 @@ pub(crate) fn run_seminaive_scratch(
                     rule,
                     plan,
                     delta: Some((*dpos, &*delta)),
+                    edb_delta: None,
                     structure,
-                    store: &store,
+                    store,
                 };
-                if profiled_apply(&ctx, ri, &mut stats, fresh, key, gov, &mut prof) {
+                if profiled_apply(&ctx, ri, stats, fresh, key, gov, prof) {
                     break 'rules;
                 }
             }
         }
         next.clear();
-        merge_round(&mut store, next, fresh, &mut stats);
+        merge_round(store, next, fresh, stats, added.as_deref_mut());
         std::mem::swap(delta, next);
     }
-    (store, stats)
+}
+
+/// One incremental re-derivation pass: semi-naive evaluation seeded from
+/// a *base-relation* delta instead of round 0's full rule sweep.
+///
+/// The seed round runs each rule once per changed positive EDB body
+/// literal with that literal reading the batch's inserted tuples
+/// (`edb_delta`, indexed by extensional predicate; an empty relation
+/// means "unchanged"), on the already-updated `structure` — the textbook
+/// semi-naive insertion delta, sound because a rule instantiation with
+/// several inserted EDB tuples merely fires once per changed literal and
+/// the store deduplicates. `seeds` (DRed's rederived survivors and
+/// negation-driven insertions) are staged alongside. From there the
+/// ordinary delta rounds run to fixpoint. Every fact that enters the
+/// store is mirrored into `added`, the maintenance ledger the caller
+/// diffs against the overdeletion set.
+///
+/// On a governor trip the pass unwinds early; the caller must treat the
+/// view as unmaintained and fall back to full re-evaluation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_increment(
+    program: &Program,
+    structure: &Structure,
+    plans: &[RulePlans],
+    edb_plans: &[Vec<(usize, JoinPlan)>],
+    edb_delta: &[Relation],
+    seeds: &[(IdbId, Box<[ElemId]>)],
+    store: &mut IdbStore,
+    scratch: &mut SeminaiveScratch,
+    gov: &mut Governor<'_>,
+    added: &mut [Relation],
+) -> EvalStats {
+    scratch.reset();
+    let SeminaiveScratch {
+        delta,
+        next,
+        fresh,
+        key,
+    } = scratch;
+    let mut stats = EvalStats::default();
+    if gov.round(stats.tuples_considered, stats.facts) {
+        return stats;
+    }
+    stats.rounds += 1;
+    'rules: for (ri, (rule, rule_edb)) in program.rules.iter().zip(edb_plans).enumerate() {
+        for (pos, plan) in rule_edb {
+            let PredRef::Edb(p) = rule.body[*pos].atom.pred else {
+                unreachable!("EDB delta plans target extensional literals")
+            };
+            let drel = &edb_delta[p.index()];
+            if drel.is_empty() {
+                continue;
+            }
+            let ctx = PlanCtx {
+                rule,
+                plan,
+                delta: None,
+                edb_delta: Some((*pos, drel)),
+                structure,
+                store,
+            };
+            if profiled_apply(&ctx, ri, &mut stats, fresh, key, gov, &mut None) {
+                break 'rules;
+            }
+        }
+    }
+    for (id, args) in seeds {
+        fresh.insert(*id, args);
+    }
+    merge_round(store, delta, fresh, &mut stats, Some(added));
+    seminaive_rounds(
+        program,
+        structure,
+        plans,
+        &mut stats,
+        store,
+        delta,
+        next,
+        fresh,
+        key,
+        gov,
+        &mut None,
+        Some(added),
+    );
+    stats
 }
 
 /// Folds a round's staged derivations into the store; survivors (genuinely
 /// new facts) become the next round's delta. Drains the staging store.
+/// When `added` is `Some`, every genuinely new fact is mirrored into the
+/// per-predicate sink relations (incremental maintenance's ledger of
+/// facts added by a re-derivation pass).
 fn merge_round(
     store: &mut IdbStore,
     delta: &mut DeltaStore,
     fresh: &mut FreshStore,
     stats: &mut EvalStats,
+    mut added: Option<&mut [Relation]>,
 ) {
     for (idx, staged) in fresh.rels.iter().enumerate() {
         let id = IdbId(idx as u32);
@@ -591,6 +723,9 @@ fn merge_round(
             if store.rels[idx].insert(args) {
                 stats.facts += 1;
                 delta.insert(id, args);
+                if let Some(sink) = added.as_deref_mut() {
+                    sink[idx].insert(args);
+                }
             }
         }
     }
@@ -702,7 +837,15 @@ fn resolve_steps<'a>(ctx: &PlanCtx<'a>) -> Vec<StepExec<'a>> {
             let lit = &ctx.rule.body[step.literal];
             let mut from_delta = false;
             let (rel, exclude): (&Relation, Option<&Relation>) = match lit.atom.pred {
-                PredRef::Edb(p) => (ctx.structure.relation(p), None),
+                PredRef::Edb(p) => match ctx.edb_delta {
+                    // The incremental seed pass: one EDB literal reads the
+                    // batch's inserted tuples instead of the base relation.
+                    Some((dpos, drel)) if step.literal == dpos => {
+                        from_delta = true;
+                        (drel, None)
+                    }
+                    _ => (ctx.structure.relation(p), None),
+                },
                 PredRef::Idb(id) => match ctx.delta {
                     None => (ctx.store.relation(id), None),
                     Some((dpos, ds)) => {
@@ -1236,8 +1379,9 @@ fn descend(
 }
 
 /// Tries to unify `atom` with `tuple` under the current bindings;
-/// records newly bound variables in `touched`.
-fn unify(
+/// records newly bound variables in `touched`. Shared with the
+/// incremental-maintenance join executor.
+pub(crate) fn unify(
     atom: &Atom,
     tuple: &[ElemId],
     bindings: &mut [Option<ElemId>],
@@ -1280,7 +1424,7 @@ fn unify(
 /// Panics if a variable of the atom is unbound (plan safety guarantees
 /// all are).
 #[inline]
-fn instantiate_into(atom: &Atom, bindings: &[Option<ElemId>], out: &mut Vec<ElemId>) {
+pub(crate) fn instantiate_into(atom: &Atom, bindings: &[Option<ElemId>], out: &mut Vec<ElemId>) {
     out.clear();
     for t in &atom.terms {
         out.push(match t {

@@ -313,6 +313,14 @@ pub enum EvalError {
         /// What the semipositivity check rejected.
         message: String,
     },
+    /// [`Evaluator::materialize`] was called on a session whose engine
+    /// cannot drive incremental maintenance; only
+    /// [`Engine::SemiNaiveIndexed`] compiles the delta-driven rule plans
+    /// the maintenance pipeline replays.
+    UnsupportedIncremental {
+        /// The session's selected engine.
+        engine: Engine,
+    },
     /// A resource limit attached via [`EvalOptions::limits`] tripped
     /// (see [`EvalLimits`]).
     LimitExceeded {
@@ -348,6 +356,10 @@ impl PartialEq for EvalError {
                 EvalError::NotSemipositive { message },
                 EvalError::NotSemipositive { message: m2 },
             ) => message == m2,
+            (
+                EvalError::UnsupportedIncremental { engine },
+                EvalError::UnsupportedIncremental { engine: e2 },
+            ) => engine == e2,
             (EvalError::LimitExceeded { kind, .. }, EvalError::LimitExceeded { kind: k2, .. }) => {
                 kind == k2
             }
@@ -375,6 +387,11 @@ impl fmt::Display for EvalError {
             EvalError::NotSemipositive { message } => {
                 write!(f, "semipositive engine: {message}")
             }
+            EvalError::UnsupportedIncremental { engine } => write!(
+                f,
+                "engine `{engine}` cannot drive incremental maintenance; materialize \
+                 requires Engine::SemiNaiveIndexed"
+            ),
             EvalError::LimitExceeded {
                 kind,
                 stats,
@@ -664,6 +681,45 @@ impl Evaluator {
             qg,
             profile,
         })
+    }
+
+    /// Consumes the session into a long-lived
+    /// [`MaterializedView`](crate::incremental::MaterializedView) over
+    /// `structure`: evaluates to fixpoint once, then hands the program,
+    /// stratification, plan cache, and scratch arenas to the incremental
+    /// maintenance pipeline so subsequent base-relation updates are
+    /// absorbed by delta re-derivation instead of re-evaluation.
+    ///
+    /// Only [`Engine::SemiNaiveIndexed`] compiles the per-rule join
+    /// plans the maintenance passes replay; any other engine choice is
+    /// rejected up front with [`EvalError::UnsupportedIncremental`].
+    /// Errors from the initial evaluation (including
+    /// [`EvalError::LimitExceeded`] when the session carries a budget)
+    /// propagate unchanged.
+    pub fn materialize(
+        mut self,
+        structure: &Structure,
+    ) -> Result<crate::incremental::MaterializedView, EvalError> {
+        if self.engine != Engine::SemiNaiveIndexed {
+            return Err(EvalError::UnsupportedIncremental {
+                engine: self.engine,
+            });
+        }
+        let result = self.evaluate(structure)?;
+        let parts = crate::incremental::SessionParts {
+            program: self.program,
+            stratification: self.stratification,
+            cache: self.cache,
+            cache_enabled: self.cache_enabled,
+            scratch: self.scratch,
+            ext_memo: self.ext_memo,
+            limits: self.limits,
+        };
+        Ok(crate::incremental::MaterializedView::from_session(
+            parts,
+            structure,
+            result.store,
+        ))
     }
 
     /// Renders the session's compiled evaluation strategy — per-stratum

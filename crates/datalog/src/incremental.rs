@@ -1,0 +1,1196 @@
+//! Incremental view maintenance: a long-lived [`MaterializedView`] that
+//! absorbs batched insert/retract deltas by re-derivation instead of
+//! re-evaluation.
+//!
+//! [`Evaluator::materialize`](crate::Evaluator::materialize) evaluates a
+//! program to fixpoint once, then hands its compiled state — the
+//! stratification, per-stratum semipositive sub-programs, plan cache,
+//! and scratch arenas — to a view that serves reads while accepting
+//! [`Update`] batches against the base (extensional) relations:
+//!
+//! * **Insertions** re-derive semi-naively from the delta: each rule
+//!   fires once per changed positive extensional body literal with that
+//!   literal reading only the batch's inserted tuples (compiled
+//!   extensional-delta plans), and the resulting frontier runs the
+//!   ordinary delta rounds through the existing per-rule join plans.
+//! * **Retractions** use classic *DRed* (delete and re-derive):
+//!   an over-deletion pass propagates the retracted tuples through the
+//!   rules to a fixpoint of *possibly* invalidated facts (negative
+//!   literals ignored — a sound over-approximation), the overdeleted
+//!   facts are removed, survivors with an alternative derivation in the
+//!   post state are re-derived, and the insertion frontier re-covers
+//!   everything derivable through them.
+//!
+//! Both run **stratum by stratum**, so stratified negation stays sound:
+//! the net delta of a lower stratum becomes an extensional delta of the
+//! extended structure the strata above were compiled against — an
+//! insertion *through* a negated literal turns into an over-deletion
+//! seed upstairs, a deletion through negation into a re-derivation seed.
+//!
+//! Maintenance is governed like evaluation: the session's
+//! [`EvalLimits`] (fuel, deadline, cancellation) meter every phase, and
+//! a tripped budget triggers the sound fallback — discard the
+//! maintenance state and re-evaluate the post-update base from scratch,
+//! reported via [`UpdateProfile::fell_back`]. The view is never left in
+//! a partially maintained state.
+
+use crate::ast::{IdbId, PredRef, Program, Rule, Term, Var};
+use crate::cache::{plans_for, PlanCache};
+use crate::eval::{instantiate_into, run_increment, unify, IdbStore, SeminaiveScratch};
+use crate::limits::{EvalLimits, Governor, LimitKind};
+use crate::plan::{plan_edb_deltas, JoinPlan, RulePlans, StructureStats};
+use crate::profile::{UpdateProfile, UpdateStratumProfile};
+use crate::stratify::{rewrite_stratum_rules, run_stratified, ExtensionMemo, Stratification};
+use mdtw_structure::{ElemId, PredId, Relation, Signature, Structure};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A batch of base-relation mutations for [`MaterializedView::apply`].
+///
+/// The batch is a *set* update with the usual normalized semantics
+/// `new = (old \ retracts) ∪ inserts`: inserting a tuple already
+/// present is a no-op, retracting an absent tuple is a no-op, and a
+/// tuple both retracted and inserted in the same batch ends up present.
+/// Tuples must be over the view's base signature and existing domain.
+#[derive(Debug, Clone, Default)]
+pub struct Update {
+    inserts: Vec<(PredId, Box<[ElemId]>)>,
+    retracts: Vec<(PredId, Box<[ElemId]>)>,
+}
+
+impl Update {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an insertion, builder-style.
+    pub fn insert(mut self, pred: PredId, tuple: &[ElemId]) -> Self {
+        self.push_insert(pred, tuple);
+        self
+    }
+
+    /// Adds a retraction, builder-style.
+    pub fn retract(mut self, pred: PredId, tuple: &[ElemId]) -> Self {
+        self.push_retract(pred, tuple);
+        self
+    }
+
+    /// Adds an insertion in place (loop-friendly).
+    pub fn push_insert(&mut self, pred: PredId, tuple: &[ElemId]) {
+        self.inserts.push((pred, tuple.into()));
+    }
+
+    /// Adds a retraction in place (loop-friendly).
+    pub fn push_retract(&mut self, pred: PredId, tuple: &[ElemId]) {
+        self.retracts.push((pred, tuple.into()));
+    }
+
+    /// Number of staged mutations (insertions plus retractions).
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.retracts.len()
+    }
+
+    /// True if the batch stages no mutations.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.retracts.is_empty()
+    }
+}
+
+/// The compiled session state [`Evaluator::materialize`]
+/// (crate::Evaluator::materialize) hands off to the view.
+pub(crate) struct SessionParts {
+    pub(crate) program: Program,
+    pub(crate) stratification: Arc<Stratification>,
+    pub(crate) cache: PlanCache,
+    pub(crate) cache_enabled: bool,
+    pub(crate) scratch: SeminaiveScratch,
+    pub(crate) ext_memo: ExtensionMemo,
+    pub(crate) limits: Option<EvalLimits>,
+}
+
+/// A materialized fixpoint kept consistent under batched base-relation
+/// updates; created by [`Evaluator::materialize`](crate::Evaluator::materialize).
+///
+/// The view owns the post-update *extended* structure (base relations
+/// plus the lower-stratum relations higher strata read as extensional),
+/// the derived-fact store, and the per-stratum compiled artifacts:
+/// semipositive sub-programs, their semi-naive join plans, and the
+/// extensional-delta seed plans. Plans are compiled once against the
+/// cardinalities at materialization time; later updates reuse them
+/// (staleness can cost performance, never correctness).
+#[derive(Debug)]
+pub struct MaterializedView {
+    program: Program,
+    strat: Arc<Stratification>,
+    cache: PlanCache,
+    cache_enabled: bool,
+    scratch: SeminaiveScratch,
+    limits: Option<EvalLimits>,
+    memo: ExtensionMemo,
+    base_sig: Arc<Signature>,
+    ext_sig: Arc<Signature>,
+    ext_pred: Vec<Option<PredId>>,
+    subs: Vec<Program>,
+    plans: Vec<Arc<Vec<RulePlans>>>,
+    edb_plans: Vec<Vec<Vec<(usize, JoinPlan)>>>,
+    /// The extended structure in *post* state: base relations plus the
+    /// materialized lower-stratum relations of `ext_pred`.
+    ext: Structure,
+    store: IdbStore,
+    updates_applied: u64,
+}
+
+impl MaterializedView {
+    pub(crate) fn from_session(
+        parts: SessionParts,
+        structure: &Structure,
+        store: IdbStore,
+    ) -> Self {
+        let SessionParts {
+            program,
+            stratification: strat,
+            cache,
+            cache_enabled,
+            scratch,
+            mut ext_memo,
+            limits,
+        } = parts;
+        let base_sig = Arc::clone(structure.signature());
+        let (ext_sig, ext_pred) = {
+            let (sig, preds) = ext_memo.setup(&program, &strat, structure);
+            (sig, preds.to_vec())
+        };
+        let mut ext = structure.extended_shared(&ext_sig);
+        for (i, slot) in ext_pred.iter().enumerate() {
+            if let Some(p) = *slot {
+                for tuple in store.relation(IdbId(i as u32)).iter() {
+                    ext.insert(p, tuple);
+                }
+            }
+        }
+        let cache_opt = cache_enabled.then_some(&cache);
+        let mut subs = Vec::with_capacity(strat.stratum_count());
+        let mut plans = Vec::with_capacity(strat.stratum_count());
+        let mut edb_plans = Vec::with_capacity(strat.stratum_count());
+        for (k, stratum_rules) in strat.strata().iter().enumerate() {
+            let sub = Program {
+                rules: rewrite_stratum_rules(&program, &strat, stratum_rules, k, &ext_pred),
+                idb_names: program.idb_names.clone(),
+                idb_arities: program.idb_arities.clone(),
+                spans: Vec::new(),
+                idb_by_name: program.idb_by_name.clone(),
+            };
+            let (p, _) = plans_for(&sub, &ext, cache_opt);
+            edb_plans.push(plan_edb_deltas(&sub, &StructureStats::new(&ext)));
+            plans.push(p);
+            subs.push(sub);
+        }
+        Self {
+            program,
+            strat,
+            cache,
+            cache_enabled,
+            scratch,
+            limits,
+            memo: ext_memo,
+            base_sig,
+            ext_sig,
+            ext_pred,
+            subs,
+            plans,
+            edb_plans,
+            ext,
+            store,
+            updates_applied: 0,
+        }
+    }
+
+    /// Applies one batched update and maintains the fixpoint, returning
+    /// the per-update [`UpdateProfile`] (overdeletion / re-derivation /
+    /// net-change counters and per-stratum timings).
+    ///
+    /// Maintenance runs under a fresh meter of the session's
+    /// [`EvalLimits`] (the budget is per update, the cancel token is
+    /// shared). If any phase trips, the partially maintained state is
+    /// discarded and the post-update base is re-evaluated from scratch
+    /// without a budget — slower, but sound; [`UpdateProfile::fell_back`]
+    /// names the tripped limit.
+    ///
+    /// # Panics
+    ///
+    /// If a tuple targets a predicate outside the base signature, has
+    /// the wrong arity, or mentions an element outside the domain.
+    pub fn apply(&mut self, update: &Update) -> UpdateProfile {
+        let t0 = Instant::now();
+        let mut profile = UpdateProfile::default();
+        self.updates_applied += 1;
+        let nbase = self.base_sig.len();
+        let next = self.ext_sig.len();
+
+        // Normalize the batch: `new = (old \ R) ∪ I`. `req_ins` is the
+        // *raw* insert set — it suppresses retractions of tuples the
+        // same batch re-inserts. The effective deltas live at extended
+        // predicate ids so lower-stratum net changes can join them.
+        let mut req_ins: Vec<Relation> = (0..nbase)
+            .map(|p| Relation::new(self.base_sig.arity(PredId(p as u32))))
+            .collect();
+        let mut ins: Vec<Relation> = (0..next)
+            .map(|p| Relation::new(self.ext_sig.arity(PredId(p as u32))))
+            .collect();
+        let mut del: Vec<Relation> = (0..next)
+            .map(|p| Relation::new(self.ext_sig.arity(PredId(p as u32))))
+            .collect();
+        for (pred, tuple) in &update.inserts {
+            self.check_target(*pred, tuple);
+            req_ins[pred.index()].insert(tuple);
+        }
+        for (pred, tuple) in &update.retracts {
+            self.check_target(*pred, tuple);
+            if self.ext.holds(*pred, tuple) && !req_ins[pred.index()].contains(tuple) {
+                del[pred.index()].insert(tuple);
+            }
+        }
+        for (i, staged) in req_ins.iter().enumerate() {
+            let p = PredId(i as u32);
+            for tuple in staged.iter() {
+                if !self.ext.holds(p, tuple) {
+                    ins[i].insert(tuple);
+                }
+            }
+        }
+        profile.base_inserted = ins[..nbase].iter().map(Relation::len).sum();
+        profile.base_retracted = del[..nbase].iter().map(Relation::len).sum();
+        if profile.base_inserted == 0 && profile.base_retracted == 0 {
+            profile.total_nanos = t0.elapsed().as_nanos() as u64;
+            return profile;
+        }
+
+        // Apply the base delta physically: the view is now in POST base
+        // state, which is what every exact maintenance join reads.
+        for (i, (dels, inss)) in del.iter().zip(ins.iter()).enumerate().take(nbase) {
+            let p = PredId(i as u32);
+            for tuple in dels.iter() {
+                self.ext.retract(p, tuple);
+            }
+            for tuple in inss.iter() {
+                self.ext.insert(p, tuple);
+            }
+        }
+
+        let limits = self.limits.as_ref().map(EvalLimits::fresh);
+        if let Some(kind) = self.maintain(&mut ins, &mut del, limits.as_ref(), &mut profile) {
+            self.fall_back(kind, &mut profile);
+        }
+        profile.total_nanos = t0.elapsed().as_nanos() as u64;
+        profile
+    }
+
+    /// Validates one staged mutation against the base signature.
+    fn check_target(&self, pred: PredId, tuple: &[ElemId]) {
+        assert!(
+            pred.index() < self.base_sig.len(),
+            "update targets predicate {} outside the base signature",
+            pred.index()
+        );
+        assert_eq!(
+            tuple.len(),
+            self.base_sig.arity(pred),
+            "update tuple arity mismatch for `{}`",
+            self.base_sig.name(pred)
+        );
+    }
+
+    /// The stratum-by-stratum DRed pipeline over the already-applied
+    /// base delta. Returns `Some(kind)` if a budget tripped (the caller
+    /// falls back), `None` on completed maintenance.
+    fn maintain(
+        &mut self,
+        ins: &mut [Relation],
+        del: &mut [Relation],
+        limits: Option<&EvalLimits>,
+        profile: &mut UpdateProfile,
+    ) -> Option<LimitKind> {
+        let idb_count = self.program.idb_count();
+        // One governor with a single monotone work counter spans every
+        // custom phase of the whole update; `run_increment` gets a fresh
+        // governor per stratum because its internal counters restart.
+        let mut gov = Governor::new(limits);
+        let mut work = 0usize;
+        let mut bindings: Vec<Option<ElemId>> = Vec::new();
+        let mut key: Vec<ElemId> = Vec::new();
+        let mut head_buf: Vec<ElemId> = Vec::new();
+
+        for k in 0..self.subs.len() {
+            let st0 = Instant::now();
+            let sub = &self.subs[k];
+            let mut over: Vec<Relation> = self
+                .program
+                .idb_arities
+                .iter()
+                .map(|&a| Relation::new(a))
+                .collect();
+            let mut queue: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
+
+            // Phase 1 — overdelete. Seed every rule from the batch's
+            // deletions at positive extensional literals and insertions
+            // at negated ones (an insert *through* negation deletes),
+            // then propagate through in-stratum intensional literals to
+            // a fixpoint. Joins read post ∪ del on extensional atoms (a
+            // superset of the pre state) and the untouched pre store on
+            // intensional ones; negative literals are ignored. All three
+            // choices over-approximate, which is exactly what DRed needs.
+            for rule in &sub.rules {
+                for (li, lit) in rule.body.iter().enumerate() {
+                    let PredRef::Edb(p) = lit.atom.pred else {
+                        continue;
+                    };
+                    let seed_rel = if lit.positive {
+                        &del[p.index()]
+                    } else {
+                        &ins[p.index()]
+                    };
+                    if seed_rel.is_empty() {
+                        continue;
+                    }
+                    for tuple in seed_rel.iter() {
+                        overdelete_from(
+                            rule,
+                            li,
+                            tuple,
+                            &self.ext,
+                            &self.store,
+                            del,
+                            &mut over,
+                            &mut queue,
+                            &mut bindings,
+                            &mut key,
+                            &mut head_buf,
+                            &mut gov,
+                            &mut work,
+                        );
+                    }
+                    if let Some(kind) = gov.tripped() {
+                        return Some(kind);
+                    }
+                }
+            }
+            let mut qi = 0;
+            while qi < queue.len() {
+                let (fid, fact) = (queue[qi].0, queue[qi].1.clone());
+                qi += 1;
+                for rule in &sub.rules {
+                    for (li, lit) in rule.body.iter().enumerate() {
+                        if !lit.positive || lit.atom.pred != PredRef::Idb(fid) {
+                            continue;
+                        }
+                        overdelete_from(
+                            rule,
+                            li,
+                            &fact,
+                            &self.ext,
+                            &self.store,
+                            del,
+                            &mut over,
+                            &mut queue,
+                            &mut bindings,
+                            &mut key,
+                            &mut head_buf,
+                            &mut gov,
+                            &mut work,
+                        );
+                    }
+                }
+                if let Some(kind) = gov.tripped() {
+                    return Some(kind);
+                }
+            }
+
+            // Phase 2 — physically remove the overdeleted facts.
+            for (i, o) in over.iter().enumerate() {
+                let id = IdbId(i as u32);
+                for fact in o.iter() {
+                    let removed = self.store.retract_raw(id, fact);
+                    debug_assert!(removed, "overdeletion only removes stored facts");
+                }
+            }
+
+            // Phase 3 — re-derive survivors: an overdeleted fact with an
+            // alternative derivation in the post state (extensional atoms
+            // read post only, intensional ones the post-removal store,
+            // negatives checked against post) is seeded back. Facts
+            // derivable only *through* another survivor are re-covered
+            // by the seed frontier's delta rounds in phase 5.
+            let mut seeds: Vec<(IdbId, Box<[ElemId]>)> = Vec::new();
+            for (i, o) in over.iter().enumerate() {
+                if o.is_empty() {
+                    continue;
+                }
+                let id = IdbId(i as u32);
+                for fact in o.iter() {
+                    let survives = sub.rules.iter().any(|rule| {
+                        matches!(rule.head.pred, PredRef::Idb(h) if h == id)
+                            && rederivable(
+                                rule,
+                                fact,
+                                &self.ext,
+                                &self.store,
+                                &mut bindings,
+                                &mut key,
+                                &mut gov,
+                                &mut work,
+                            )
+                    });
+                    if survives {
+                        seeds.push((id, fact.into()));
+                    }
+                }
+                if let Some(kind) = gov.tripped() {
+                    return Some(kind);
+                }
+            }
+
+            // Phase 4 — deletions *through* negation insert: a rule with
+            // a negated extensional literal matching a deleted tuple may
+            // fire now. Exact joins against the post state.
+            for rule in &sub.rules {
+                for (li, lit) in rule.body.iter().enumerate() {
+                    if lit.positive {
+                        continue;
+                    }
+                    let PredRef::Edb(p) = lit.atom.pred else {
+                        unreachable!("stratum sub-programs are semipositive")
+                    };
+                    if del[p.index()].is_empty() {
+                        continue;
+                    }
+                    for tuple in del[p.index()].iter() {
+                        negation_seeds_from(
+                            rule,
+                            li,
+                            tuple,
+                            &self.ext,
+                            &self.store,
+                            &mut seeds,
+                            &mut bindings,
+                            &mut key,
+                            &mut head_buf,
+                            &mut gov,
+                            &mut work,
+                        );
+                    }
+                    if let Some(kind) = gov.tripped() {
+                        return Some(kind);
+                    }
+                }
+            }
+
+            // Phase 5 — the insertion frontier: rules fire once per
+            // changed extensional literal reading the inserted tuples,
+            // the seeds join in, and ordinary semi-naive delta rounds
+            // run to fixpoint. `added` ledgers every fact that entered
+            // the store so the net change can be diffed against `over`.
+            let mut added: Vec<Relation> = self
+                .program
+                .idb_arities
+                .iter()
+                .map(|&a| Relation::new(a))
+                .collect();
+            let mut gov_k = Governor::new(limits);
+            run_increment(
+                sub,
+                &self.ext,
+                &self.plans[k],
+                &self.edb_plans[k],
+                ins,
+                &seeds,
+                &mut self.store,
+                &mut self.scratch,
+                &mut gov_k,
+                &mut added,
+            );
+            if let Some(kind) = gov_k.tripped() {
+                return Some(kind);
+            }
+
+            // Phase 6 — net the stratum out: a fact overdeleted and not
+            // re-added is a net deletion, a fact added and not
+            // overdeleted a net insertion. Both are pushed into the
+            // extended structure and recorded as *extensional* deltas at
+            // the extension predicate ids, which is all the strata above
+            // ever see of this one.
+            let mut sp = UpdateStratumProfile {
+                stratum: k,
+                ..Default::default()
+            };
+            debug_assert_eq!(over.len(), idb_count);
+            for (i, (o, a)) in over.iter().zip(added.iter()).enumerate() {
+                let id = IdbId(i as u32);
+                sp.overdeleted += o.len();
+                for fact in o.iter() {
+                    if self.store.holds(id, fact) {
+                        sp.rederived += 1;
+                    } else {
+                        sp.deleted += 1;
+                        if let Some(p) = self.ext_pred[i] {
+                            self.ext.retract(p, fact);
+                            del[p.index()].insert(fact);
+                        }
+                    }
+                }
+                for fact in a.iter() {
+                    if !o.contains(fact) {
+                        sp.inserted += 1;
+                        if let Some(p) = self.ext_pred[i] {
+                            self.ext.insert(p, fact);
+                            ins[p.index()].insert(fact);
+                        }
+                    }
+                }
+            }
+            sp.nanos = st0.elapsed().as_nanos() as u64;
+            profile.overdeleted += sp.overdeleted;
+            profile.rederived += sp.rederived;
+            profile.inserted += sp.inserted;
+            profile.deleted += sp.deleted;
+            profile.strata.push(sp);
+        }
+        None
+    }
+
+    /// The sound escape hatch: throw the maintenance state away and
+    /// re-evaluate the post-update base from scratch, ungoverned.
+    fn fall_back(&mut self, kind: LimitKind, profile: &mut UpdateProfile) {
+        let base_post = self.ext.restricted(&self.base_sig);
+        let cache_opt = self.cache_enabled.then_some(&self.cache);
+        let (store, _stats, trip) = run_stratified(
+            &self.program,
+            &self.strat,
+            &base_post,
+            cache_opt,
+            &mut self.scratch,
+            &mut self.memo,
+            None,
+            None,
+        );
+        debug_assert!(trip.is_none(), "ungoverned evaluation cannot trip");
+        self.store = store;
+        self.ext = base_post.extended_shared(&self.ext_sig);
+        for (i, slot) in self.ext_pred.iter().enumerate() {
+            if let Some(p) = *slot {
+                for tuple in self.store.relation(IdbId(i as u32)).iter() {
+                    self.ext.insert(p, tuple);
+                }
+            }
+        }
+        profile.fell_back = Some(kind);
+    }
+
+    /// The maintained fixpoint (the serving read path).
+    pub fn store(&self) -> &IdbStore {
+        &self.store
+    }
+
+    /// True if the named intensional predicate holds `args` in the
+    /// maintained fixpoint.
+    pub fn holds(&self, name: &str, args: &[ElemId]) -> bool {
+        self.store.holds_named(name, args)
+    }
+
+    /// The program the view maintains.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The program's stratification.
+    pub fn stratification(&self) -> &Stratification {
+        &self.strat
+    }
+
+    /// The base signature updates are validated against.
+    pub fn base_signature(&self) -> &Arc<Signature> {
+        &self.base_sig
+    }
+
+    /// A snapshot of the current (post-update) base structure. Cheap:
+    /// relations are copy-on-write behind [`Arc`]s.
+    pub fn base_structure(&self) -> Structure {
+        self.ext.restricted(&self.base_sig)
+    }
+
+    /// Number of [`apply`](Self::apply) calls so far (no-ops included).
+    pub fn updates_applied(&self) -> u64 {
+        self.updates_applied
+    }
+}
+
+/// Resolves the primary relation (and the deleted-tuple overlay, in
+/// overdelete mode) a body literal reads during a maintenance join.
+fn dred_sources<'a>(
+    rule: &Rule,
+    li: usize,
+    structure: &'a Structure,
+    store: &'a IdbStore,
+    del: Option<&'a [Relation]>,
+) -> (&'a Relation, Option<&'a Relation>) {
+    match rule.body[li].atom.pred {
+        PredRef::Edb(p) => {
+            let over = del.map(|d| &d[p.index()]).filter(|r| !r.is_empty());
+            (structure.relation(p), over)
+        }
+        PredRef::Idb(id) => (store.relation(id), None),
+    }
+}
+
+/// The runtime-greedy join behind the custom DRed phases: among the
+/// remaining positive body literals, repeatedly picks the one with the
+/// most positions bound at runtime (ties to the smaller relation),
+/// probing the cached secondary indexes — a dynamic analogue of the
+/// compiled plans, which cannot anticipate which literal a maintenance
+/// pass binds first.
+///
+/// `seed` is the already-unified body literal; `del` switches positive
+/// extensional reads to post ∪ deleted (overdelete mode);
+/// `check_negatives` instantiates and tests negated literals against
+/// `structure` at each leaf (exact mode) or skips them entirely
+/// (overdelete mode). `emit` sees the complete bindings and returns
+/// `true` to stop the enumeration (first-witness checks). The return
+/// value is `true` if the enumeration stopped early — via `emit` or a
+/// governor trip, which the caller distinguishes with
+/// [`Governor::tripped`].
+#[allow(clippy::too_many_arguments)]
+fn dred_join(
+    rule: &Rule,
+    seed: Option<usize>,
+    bindings: &mut Vec<Option<ElemId>>,
+    structure: &Structure,
+    store: &IdbStore,
+    del: Option<&[Relation]>,
+    check_negatives: bool,
+    gov: &mut Governor<'_>,
+    work: &mut usize,
+    key: &mut Vec<ElemId>,
+    emit: &mut dyn FnMut(&[Option<ElemId>]) -> bool,
+) -> bool {
+    let mut remaining: Vec<usize> = rule
+        .body
+        .iter()
+        .enumerate()
+        .filter(|(i, l)| Some(*i) != seed && l.positive)
+        .map(|(i, _)| i)
+        .collect();
+    dred_descend(
+        rule,
+        &mut remaining,
+        bindings,
+        structure,
+        store,
+        del,
+        check_negatives,
+        gov,
+        work,
+        key,
+        emit,
+    )
+}
+
+/// One level of [`dred_join`]'s recursion: choose a literal, enumerate
+/// its matches (primary relation, then overlay), recurse.
+#[allow(clippy::too_many_arguments)]
+fn dred_descend(
+    rule: &Rule,
+    remaining: &mut Vec<usize>,
+    bindings: &mut Vec<Option<ElemId>>,
+    structure: &Structure,
+    store: &IdbStore,
+    del: Option<&[Relation]>,
+    check_negatives: bool,
+    gov: &mut Governor<'_>,
+    work: &mut usize,
+    key: &mut Vec<ElemId>,
+    emit: &mut dyn FnMut(&[Option<ElemId>]) -> bool,
+) -> bool {
+    if remaining.is_empty() {
+        if check_negatives {
+            for lit in rule.body.iter().filter(|l| !l.positive) {
+                let PredRef::Edb(p) = lit.atom.pred else {
+                    unreachable!("stratum sub-programs are semipositive")
+                };
+                instantiate_into(&lit.atom, bindings, key);
+                if structure.holds(p, key) {
+                    return false;
+                }
+            }
+        }
+        return emit(bindings);
+    }
+
+    let is_bound = |t: &Term, bindings: &[Option<ElemId>]| match t {
+        Term::Const(_) => true,
+        Term::Var(v) => bindings[v.index()].is_some(),
+    };
+    let (slot, li) = {
+        let best = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &li)| {
+                let atom = &rule.body[li].atom;
+                let bound = atom.terms.iter().filter(|t| is_bound(t, bindings)).count();
+                let (prim, over) = dred_sources(rule, li, structure, store, del);
+                let size = prim.len() + over.map_or(0, Relation::len);
+                (std::cmp::Reverse(bound), size)
+            })
+            .expect("remaining is non-empty");
+        (best.0, *best.1)
+    };
+    remaining.swap_remove(slot);
+
+    let lit = &rule.body[li];
+    let arity = lit.atom.terms.len();
+    let bound_pos: Vec<usize> = (0..arity)
+        .filter(|&p| is_bound(&lit.atom.terms[p], bindings))
+        .collect();
+    let (prim, over) = dred_sources(rule, li, structure, store, del);
+    let mut stop = false;
+    let mut touched: Vec<Var> = Vec::new();
+    'sources: for rel in [Some(prim), over].into_iter().flatten() {
+        if bound_pos.len() == arity {
+            // Fully bound: a membership check, no enumeration.
+            key.clear();
+            for &p in &bound_pos {
+                key.push(match lit.atom.terms[p] {
+                    Term::Const(c) => c,
+                    Term::Var(v) => bindings[v.index()].expect("position is bound"),
+                });
+            }
+            *work += 1;
+            if gov.work(*work, 0) {
+                stop = true;
+                break 'sources;
+            }
+            if rel.contains(key)
+                && dred_descend(
+                    rule,
+                    remaining,
+                    bindings,
+                    structure,
+                    store,
+                    del,
+                    check_negatives,
+                    gov,
+                    work,
+                    key,
+                    emit,
+                )
+            {
+                stop = true;
+                break 'sources;
+            }
+            continue;
+        }
+        let rows: Box<dyn Iterator<Item = u32>> = if bound_pos.is_empty() {
+            Box::new(0..rel.len() as u32)
+        } else {
+            key.clear();
+            for &p in &bound_pos {
+                key.push(match lit.atom.terms[p] {
+                    Term::Const(c) => c,
+                    Term::Var(v) => bindings[v.index()].expect("position is bound"),
+                });
+            }
+            let idx = rel.index_on(&bound_pos);
+            Box::new(rel.rows_matching(&idx, key).to_vec().into_iter())
+        };
+        for row in rows {
+            let tuple = rel.tuple(row);
+            *work += 1;
+            if gov.work(*work, 0) {
+                stop = true;
+                break 'sources;
+            }
+            touched.clear();
+            let descend = unify(&lit.atom, tuple, bindings, &mut touched)
+                && dred_descend(
+                    rule,
+                    remaining,
+                    bindings,
+                    structure,
+                    store,
+                    del,
+                    check_negatives,
+                    gov,
+                    work,
+                    key,
+                    emit,
+                );
+            for &v in &touched {
+                bindings[v.index()] = None;
+            }
+            if descend {
+                stop = true;
+                break 'sources;
+            }
+        }
+    }
+    remaining.push(li);
+    stop
+}
+
+/// Runs one overdeletion seed: unifies body literal `li` of `rule` with
+/// `tuple`, joins the rest over-approximately, and stages every head
+/// fact currently in the store into `over` and the propagation `queue`.
+#[allow(clippy::too_many_arguments)]
+fn overdelete_from(
+    rule: &Rule,
+    li: usize,
+    tuple: &[ElemId],
+    ext: &Structure,
+    store: &IdbStore,
+    del: &[Relation],
+    over: &mut [Relation],
+    queue: &mut Vec<(IdbId, Box<[ElemId]>)>,
+    bindings: &mut Vec<Option<ElemId>>,
+    key: &mut Vec<ElemId>,
+    head_buf: &mut Vec<ElemId>,
+    gov: &mut Governor<'_>,
+    work: &mut usize,
+) {
+    bindings.clear();
+    bindings.resize(rule.var_count as usize, None);
+    let mut touched: Vec<Var> = Vec::new();
+    if !unify(&rule.body[li].atom, tuple, bindings, &mut touched) {
+        return;
+    }
+    let PredRef::Idb(hid) = rule.head.pred else {
+        unreachable!("rule heads are intensional")
+    };
+    dred_join(
+        rule,
+        Some(li),
+        bindings,
+        ext,
+        store,
+        Some(del),
+        false,
+        gov,
+        work,
+        key,
+        &mut |b| {
+            instantiate_into(&rule.head, b, head_buf);
+            if store.holds(hid, head_buf) && over[hid.index()].insert(head_buf) {
+                queue.push((hid, head_buf.as_slice().into()));
+            }
+            false
+        },
+    );
+}
+
+/// True if `rule` re-derives `fact` in the post state (first witness
+/// wins): extensional atoms read post only, intensional atoms the
+/// post-removal store, negatives checked against post.
+#[allow(clippy::too_many_arguments)]
+fn rederivable(
+    rule: &Rule,
+    fact: &[ElemId],
+    ext: &Structure,
+    store: &IdbStore,
+    bindings: &mut Vec<Option<ElemId>>,
+    key: &mut Vec<ElemId>,
+    gov: &mut Governor<'_>,
+    work: &mut usize,
+) -> bool {
+    bindings.clear();
+    bindings.resize(rule.var_count as usize, None);
+    let mut touched: Vec<Var> = Vec::new();
+    if !unify(&rule.head, fact, bindings, &mut touched) {
+        return false;
+    }
+    let mut found = false;
+    dred_join(
+        rule,
+        None,
+        bindings,
+        ext,
+        store,
+        None,
+        true,
+        gov,
+        work,
+        key,
+        &mut |_| {
+            found = true;
+            true
+        },
+    );
+    found && gov.tripped().is_none()
+}
+
+/// Fires `rule` for one tuple deleted under its negated literal `li`
+/// (a deletion *through* negation is an insertion), staging head facts
+/// not yet in the store as seeds.
+#[allow(clippy::too_many_arguments)]
+fn negation_seeds_from(
+    rule: &Rule,
+    li: usize,
+    tuple: &[ElemId],
+    ext: &Structure,
+    store: &IdbStore,
+    seeds: &mut Vec<(IdbId, Box<[ElemId]>)>,
+    bindings: &mut Vec<Option<ElemId>>,
+    key: &mut Vec<ElemId>,
+    head_buf: &mut Vec<ElemId>,
+    gov: &mut Governor<'_>,
+    work: &mut usize,
+) {
+    bindings.clear();
+    bindings.resize(rule.var_count as usize, None);
+    let mut touched: Vec<Var> = Vec::new();
+    if !unify(&rule.body[li].atom, tuple, bindings, &mut touched) {
+        return;
+    }
+    let PredRef::Idb(hid) = rule.head.pred else {
+        unreachable!("rule heads are intensional")
+    };
+    dred_join(
+        rule,
+        Some(li),
+        bindings,
+        ext,
+        store,
+        None,
+        true,
+        gov,
+        work,
+        key,
+        &mut |b| {
+            instantiate_into(&rule.head, b, head_buf);
+            if !store.holds(hid, head_buf) {
+                seeds.push((hid, head_buf.as_slice().into()));
+            }
+            false
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{Engine, EvalError, EvalOptions, EvalResult, Evaluator};
+    use crate::parser::parse_program;
+    use mdtw_structure::Domain;
+
+    fn chain(n: usize) -> Structure {
+        let sig = Arc::new(Signature::from_pairs([("e", 2), ("node", 1), ("first", 1)]));
+        let dom = Domain::anonymous(n);
+        let mut s = Structure::new(sig, dom);
+        let e = s.signature().lookup("e").unwrap();
+        let node = s.signature().lookup("node").unwrap();
+        let first = s.signature().lookup("first").unwrap();
+        for i in 0..n {
+            s.insert(node, &[ElemId(i as u32)]);
+        }
+        for i in 0..n - 1 {
+            s.insert(e, &[ElemId(i as u32), ElemId(i as u32 + 1)]);
+        }
+        s.insert(first, &[ElemId(0)]);
+        s
+    }
+
+    const TC: &str = "path(X, Y) :- e(X, Y).\npath(X, Z) :- path(X, Y), e(Y, Z).";
+    const UNREACH: &str = "reach(X) :- first(X).\n\
+                           reach(Y) :- reach(X), e(X, Y).\n\
+                           unreach(X) :- node(X), !reach(X).";
+
+    /// Pins the view bit-identical to a from-scratch evaluation of its
+    /// own post-update base structure.
+    fn assert_matches_scratch(view: &MaterializedView, ctx: &str) {
+        let base = view.base_structure();
+        let program = view.program().clone();
+        let mut fresh = Evaluator::new(program).unwrap();
+        let EvalResult { store, .. } = fresh.evaluate(&base).unwrap();
+        for i in 0..view.program().idb_count() {
+            let id = IdbId(i as u32);
+            assert_eq!(
+                view.store().tuples(id),
+                store.tuples(id),
+                "{ctx}: predicate `{}` diverged from scratch evaluation",
+                view.program().idb_names[i]
+            );
+        }
+    }
+
+    #[test]
+    fn inserts_rederive_semipositive() {
+        let mut s = chain(6);
+        let e = s.signature().lookup("e").unwrap();
+        // Leave a gap so the insert below connects two components.
+        s.retract(e, &[ElemId(2), ElemId(3)]);
+        let p = parse_program(TC, &s).unwrap();
+        let mut view = Evaluator::new(p).unwrap().materialize(&s).unwrap();
+        let prof = view.apply(&Update::new().insert(e, &[ElemId(2), ElemId(3)]));
+        assert_eq!(prof.base_inserted, 1);
+        assert_eq!(prof.base_retracted, 0);
+        assert!(prof.inserted > 1, "bridging edge derives transitive paths");
+        assert_matches_scratch(&view, "bridge insert");
+    }
+
+    #[test]
+    fn retracts_overdelete_and_rederive() {
+        let mut s = chain(8);
+        let e = s.signature().lookup("e").unwrap();
+        // A shortcut edge gives some overdeleted paths a second
+        // derivation, exercising the survivor re-derivation path.
+        s.insert(e, &[ElemId(1), ElemId(3)]);
+        let p = parse_program(TC, &s).unwrap();
+        let mut view = Evaluator::new(p).unwrap().materialize(&s).unwrap();
+        let prof = view.apply(&Update::new().retract(e, &[ElemId(2), ElemId(3)]));
+        assert_eq!(prof.base_retracted, 1);
+        assert!(prof.overdeleted > 0);
+        assert!(prof.rederived > 0, "shortcut keeps some paths alive");
+        assert!(prof.deleted > 0, "paths into 2 die");
+        assert_matches_scratch(&view, "retract with shortcut");
+    }
+
+    #[test]
+    fn multi_stratum_deltas_cross_negation() {
+        let s = chain(6);
+        let e = s.signature().lookup("e").unwrap();
+        let p = parse_program(UNREACH, &s).unwrap();
+        let mut view = Evaluator::new(p).unwrap().materialize(&s).unwrap();
+        assert!(view.stratification().stratum_count() > 1);
+        // Cutting the chain makes 3..6 unreachable: a deletion below the
+        // negation inserts `unreach` facts above it.
+        let prof = view.apply(&Update::new().retract(e, &[ElemId(2), ElemId(3)]));
+        assert!(view.holds("unreach", &[ElemId(4)]));
+        assert!(prof.strata.len() > 1);
+        assert_matches_scratch(&view, "cut below negation");
+        // Re-inserting the edge deletes them again: an insertion below
+        // the negation overdeletes above it.
+        view.apply(&Update::new().insert(e, &[ElemId(2), ElemId(3)]));
+        assert!(!view.holds("unreach", &[ElemId(4)]));
+        assert_matches_scratch(&view, "heal below negation");
+    }
+
+    #[test]
+    fn empty_and_noop_updates() {
+        let s = chain(5);
+        let e = s.signature().lookup("e").unwrap();
+        let p = parse_program(TC, &s).unwrap();
+        let mut view = Evaluator::new(p).unwrap().materialize(&s).unwrap();
+        let before = view.store().fact_count();
+        let prof = view.apply(&Update::new());
+        assert_eq!(
+            prof,
+            UpdateProfile {
+                total_nanos: prof.total_nanos,
+                ..UpdateProfile::default()
+            }
+        );
+        // Inserting a present tuple and retracting an absent one
+        // normalize to the empty delta.
+        let prof = view.apply(
+            &Update::new()
+                .insert(e, &[ElemId(0), ElemId(1)])
+                .retract(e, &[ElemId(3), ElemId(0)]),
+        );
+        assert_eq!((prof.base_inserted, prof.base_retracted), (0, 0));
+        assert!(prof.strata.is_empty());
+        assert_eq!(view.store().fact_count(), before);
+        assert_eq!(view.updates_applied(), 2);
+        assert_matches_scratch(&view, "no-op batch");
+    }
+
+    #[test]
+    fn retract_everything_empties_the_view() {
+        let s = chain(5);
+        let e = s.signature().lookup("e").unwrap();
+        let p = parse_program(TC, &s).unwrap();
+        let mut view = Evaluator::new(p).unwrap().materialize(&s).unwrap();
+        let mut update = Update::new();
+        for i in 0..4u32 {
+            update.push_retract(e, &[ElemId(i), ElemId(i + 1)]);
+        }
+        let prof = view.apply(&update);
+        assert_eq!(prof.base_retracted, 4);
+        assert_eq!(view.store().fact_count(), 0);
+        assert_eq!(prof.rederived, 0);
+        assert_matches_scratch(&view, "retract everything");
+    }
+
+    #[test]
+    fn same_batch_reinsert_is_normalized() {
+        let s = chain(6);
+        let e = s.signature().lookup("e").unwrap();
+        let p = parse_program(TC, &s).unwrap();
+        let mut view = Evaluator::new(p).unwrap().materialize(&s).unwrap();
+        // Retract + re-insert of the same present tuple must cancel.
+        let prof = view.apply(
+            &Update::new()
+                .retract(e, &[ElemId(1), ElemId(2)])
+                .insert(e, &[ElemId(1), ElemId(2)]),
+        );
+        assert_eq!((prof.base_inserted, prof.base_retracted), (0, 0));
+        assert_matches_scratch(&view, "cancelled retraction");
+    }
+
+    #[test]
+    fn tripped_budget_falls_back_soundly() {
+        let s = chain(30);
+        let e = s.signature().lookup("e").unwrap();
+        let p = parse_program(TC, &s).unwrap();
+        // The cancel token is shared across the per-update fresh meters,
+        // so cancelling after materialization makes every subsequent
+        // apply trip at its first checkpoint — deterministically.
+        let token = crate::limits::CancelToken::new();
+        let limits = EvalLimits::new().cancel_token(token.clone());
+        let mut view = Evaluator::with_options(p, EvalOptions::new().limits(limits))
+            .unwrap()
+            .materialize(&s)
+            .unwrap();
+        token.cancel();
+        let prof = view.apply(&Update::new().retract(e, &[ElemId(10), ElemId(11)]));
+        assert_eq!(prof.fell_back, Some(LimitKind::Cancelled));
+        assert_matches_scratch(&view, "post-fallback");
+        // The fallback (ungoverned by design) leaves the view fully
+        // serviceable: the next update maintains correctly again.
+        let prof = view.apply(&Update::new().insert(e, &[ElemId(10), ElemId(11)]));
+        assert_eq!(prof.fell_back, Some(LimitKind::Cancelled));
+        assert_matches_scratch(&view, "second post-fallback");
+    }
+
+    #[test]
+    fn non_indexed_engines_are_rejected() {
+        let s = chain(4);
+        let p = parse_program(TC, &s).unwrap();
+        let err = Evaluator::with_options(p, EvalOptions::new().engine(Engine::Naive))
+            .unwrap()
+            .materialize(&s)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::UnsupportedIncremental {
+                engine: Engine::Naive
+            }
+        );
+    }
+
+    #[test]
+    fn update_profile_counts_and_json() {
+        let mut s = chain(6);
+        let e = s.signature().lookup("e").unwrap();
+        s.retract(e, &[ElemId(3), ElemId(4)]);
+        let p = parse_program(TC, &s).unwrap();
+        let mut view = Evaluator::new(p).unwrap().materialize(&s).unwrap();
+        let prof = view.apply(
+            &Update::new()
+                .insert(e, &[ElemId(3), ElemId(4)])
+                .retract(e, &[ElemId(0), ElemId(1)]),
+        );
+        assert_eq!((prof.base_inserted, prof.base_retracted), (1, 1));
+        assert_eq!(prof.strata.len(), 1);
+        let json = prof.to_json().render();
+        assert!(json.contains("\"base_inserted\":1"), "{json}");
+        assert!(json.contains("\"fell_back\":null"), "{json}");
+        assert_matches_scratch(&view, "mixed batch");
+    }
+}

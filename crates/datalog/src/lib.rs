@@ -70,6 +70,13 @@
 //!   [`EvalResult`] *and* on the partial result of a resource-limit
 //!   trip, plus [`Evaluator::explain`] — the compiled join plans
 //!   rendered as human text or JSON;
+//! * [`incremental`](mod@crate::incremental) — incremental view
+//!   maintenance: [`Evaluator::materialize`] turns a session into a
+//!   long-lived [`MaterializedView`] that absorbs batched base-relation
+//!   [`Update`]s (inserts *and* retracts) by semi-naive delta
+//!   re-derivation and stratum-by-stratum DRed instead of
+//!   re-evaluation, governed by the same [`EvalLimits`] budgets with a
+//!   sound full-recompute fallback;
 //! * [`transform`](mod@crate::transform) — the semantic optimizer:
 //!   uniform-containment rule minimization, boundedness detection with
 //!   recursion elimination, and the magic-set demand transformation,
@@ -87,6 +94,7 @@ pub mod eval;
 pub mod evaluator;
 pub mod ground;
 pub mod horn;
+pub mod incremental;
 pub mod limits;
 pub mod lint;
 pub mod parser;
@@ -106,6 +114,7 @@ pub use eval::{EvalStats, IdbStore};
 pub use evaluator::{Engine, EvalError, EvalOptions, EvalResult, Evaluator, StatsDetail};
 pub use ground::{ground, FdCatalog, FuncDep, Grounding, QgError, QgStats};
 pub use horn::{HornProgram, HornRule};
+pub use incremental::{MaterializedView, Update};
 pub use limits::{CancelToken, EvalLimits, LimitKind};
 pub use parser::{parse_program, parse_program_lenient, ParseError, ParseErrorKind};
 pub use plan::{
@@ -115,6 +124,7 @@ pub use plan::{
 pub use profile::{
     eval_error_json, EvalProfile, Explanation, LiteralProfile, PlanExplanation, ProfileDetail,
     RuleExplanation, RuleProfile, StepExplanation, StratumExplanation, StratumProfile,
+    UpdateProfile, UpdateStratumProfile,
 };
 pub use span::{RuleSpans, Span};
 pub use stratify::{recursive_idb_scc_count, stratify, Stratification, StratificationError};

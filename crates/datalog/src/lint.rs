@@ -930,12 +930,25 @@ pub fn diagnostic_from_json(value: &Json) -> Option<Diagnostic> {
     })
 }
 
-/// The per-file object of `mdtw-lint --json`: `file`, `diagnostics`
-/// (via [`diagnostic_to_json`]), and either a `parse_error` object or a
+/// Version stamp of every machine-readable envelope `mdtw-lint` emits
+/// (`--json` per-file objects and the `--profile` output file). Bump it
+/// when a field is renamed, removed, or changes meaning — additive
+/// fields keep the version.
+pub const JSON_SCHEMA_VERSION: u64 = 1;
+
+/// The per-file object of `mdtw-lint --json`: `schema_version`
+/// ([`JSON_SCHEMA_VERSION`]), `file`, `diagnostics` (via
+/// [`diagnostic_to_json`]), and either a `parse_error` object or a
 /// `summary` object; with `--optimize`, an `optimize` field built by
 /// [`optimize_json`].
 pub fn file_json(path: &str, outcome: &LintOutcome, optimized: Option<&OptimizeOutcome>) -> Json {
-    let mut fields: Vec<(String, Json)> = vec![("file".into(), Json::Str(path.into()))];
+    let mut fields: Vec<(String, Json)> = vec![
+        (
+            "schema_version".into(),
+            Json::Num(JSON_SCHEMA_VERSION as f64),
+        ),
+        ("file".into(), Json::Str(path.into())),
+    ];
     if let Some(err) = &outcome.parse_error {
         fields.push((
             "parse_error".into(),

@@ -196,6 +196,30 @@ pub fn plan_rule_with(rule: &Rule, est: &dyn CardEstimator) -> RulePlans {
     }
 }
 
+/// Plans the incremental seed passes of every rule: one
+/// `(body literal index, plan)` pair per positive *extensional* body
+/// literal, with that literal forced to the front of the join order —
+/// the EDB twin of [`RulePlans::delta`], used by incremental maintenance
+/// to join a batch's inserted base tuples first (the insertion delta is
+/// the smallest relation of the pass).
+pub(crate) fn plan_edb_deltas(
+    program: &Program,
+    est: &dyn CardEstimator,
+) -> Vec<Vec<(usize, JoinPlan)>> {
+    program
+        .rules
+        .iter()
+        .map(|rule| {
+            rule.body
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| l.positive && matches!(l.atom.pred, PredRef::Edb(_)))
+                .map(|(i, _)| (i, plan_with_first(rule, Some(i), est)))
+                .collect()
+        })
+        .collect()
+}
+
 /// The estimated number of tuples enumerating literal `li` would yield
 /// with the positions in `bp` bound. In the base plan (`first` is
 /// `None`), intensional relations are empty by definition of round 0, so

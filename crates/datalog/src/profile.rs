@@ -805,6 +805,101 @@ pub(crate) fn explain_plans(
     Explanation { engine, strata }
 }
 
+/// Per-stratum breakdown of one incremental maintenance pass
+/// ([`MaterializedView::apply`](crate::incremental::MaterializedView::apply)).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateStratumProfile {
+    /// The stratum index.
+    pub stratum: usize,
+    /// Facts the DRed overdeletion phase removed pending re-derivation.
+    pub overdeleted: usize,
+    /// Overdeleted facts that survived — re-derived from an alternative
+    /// support and restored.
+    pub rederived: usize,
+    /// Facts genuinely added to this stratum by the update.
+    pub inserted: usize,
+    /// Facts genuinely removed from this stratum by the update
+    /// (overdeleted and not re-derived).
+    pub deleted: usize,
+    /// Wall-clock nanoseconds spent maintaining this stratum.
+    pub nanos: u64,
+}
+
+/// What one [`MaterializedView::apply`](crate::incremental::MaterializedView::apply)
+/// did: the normalized base delta, the DRed work, the net change to the
+/// view, per-stratum timings, and whether resource limits forced a
+/// fall-back to full re-evaluation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdateProfile {
+    /// Base facts actually inserted (requested inserts minus those
+    /// already present).
+    pub base_inserted: usize,
+    /// Base facts actually retracted (requested retracts intersected
+    /// with the present facts, minus same-batch re-inserts).
+    pub base_retracted: usize,
+    /// Total derived facts overdeleted across strata.
+    pub overdeleted: usize,
+    /// Total overdeleted facts re-derived (restored).
+    pub rederived: usize,
+    /// Net derived facts added to the view.
+    pub inserted: usize,
+    /// Net derived facts removed from the view.
+    pub deleted: usize,
+    /// Per-stratum breakdown, bottom-up. Empty when the update was a
+    /// no-op or the maintenance fell back before any stratum completed.
+    pub strata: Vec<UpdateStratumProfile>,
+    /// `Some(kind)` when a resource limit tripped mid-maintenance and
+    /// the view fell back to an ungoverned full re-evaluation (the view
+    /// is still exact; the incremental path was abandoned).
+    pub fell_back: Option<crate::limits::LimitKind>,
+    /// Wall-clock nanoseconds for the whole `apply`, fall-back included.
+    pub total_nanos: u64,
+}
+
+impl UpdateProfile {
+    /// Serializes the update profile as JSON (the maintenance twin of
+    /// [`EvalProfile::to_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("base_inserted".into(), Json::Num(self.base_inserted as f64)),
+            (
+                "base_retracted".into(),
+                Json::Num(self.base_retracted as f64),
+            ),
+            ("overdeleted".into(), Json::Num(self.overdeleted as f64)),
+            ("rederived".into(), Json::Num(self.rederived as f64)),
+            ("inserted".into(), Json::Num(self.inserted as f64)),
+            ("deleted".into(), Json::Num(self.deleted as f64)),
+            (
+                "strata".into(),
+                Json::Arr(
+                    self.strata
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("stratum".into(), Json::Num(s.stratum as f64)),
+                                ("overdeleted".into(), Json::Num(s.overdeleted as f64)),
+                                ("rederived".into(), Json::Num(s.rederived as f64)),
+                                ("inserted".into(), Json::Num(s.inserted as f64)),
+                                ("deleted".into(), Json::Num(s.deleted as f64)),
+                                ("nanos".into(), Json::Num(s.nanos as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "fell_back".into(),
+                match self.fell_back {
+                    Some(kind) => Json::Str(kind.as_str().into()),
+                    None => Json::Null,
+                },
+            ),
+            ("total_nanos".into(), Json::Num(self.total_nanos as f64)),
+        ])
+    }
+}
+
 /// Serializes an [`EvalError`] as a machine-readable JSON object — the
 /// error twin of [`EvalProfile::to_json`], used by the `--profile` flags
 /// of `mdtw-lint` and `bench_report`. A

@@ -467,7 +467,7 @@ impl ExtensionMemo {
     /// Returns the extended signature and the per-IDB extension mapping
     /// for `structure`'s signature, recomputing only when the signature
     /// changed since the previous call.
-    fn setup(
+    pub(crate) fn setup(
         &mut self,
         program: &Program,
         strat: &Stratification,
@@ -609,22 +609,7 @@ pub(crate) fn run_stratified(
             // The stratum's semipositive sub-program: this stratum's rules
             // with lower-stratum references rewritten to the materialized
             // extensional predicates.
-            sub.rules = stratum_rules
-                .iter()
-                .map(|&ri| {
-                    let mut rule = program.rules[ri].clone();
-                    for lit in &mut rule.body {
-                        if let PredRef::Idb(id) = lit.atom.pred {
-                            if strat.stratum_of(id) < k {
-                                let p = ext_pred[id.index()]
-                                    .expect("cross-stratum reads are materialized");
-                                lit.atom.pred = PredRef::Edb(p);
-                            }
-                        }
-                    }
-                    rule
-                })
-                .collect();
+            sub.rules = rewrite_stratum_rules(program, strat, stratum_rules, k, ext_pred);
             debug_assert!(
                 sub.check_semipositive().is_ok(),
                 "stratum rewrite must produce a semipositive sub-program"
@@ -688,8 +673,38 @@ pub(crate) fn run_stratified(
     (final_store, total, trip)
 }
 
+/// Rewrites stratum `k`'s rules into a semipositive sub-program: every
+/// body reference to a lower-stratum predicate becomes the extensional
+/// predicate materializing it in the extended structure. Shared between
+/// [`run_stratified`] and the incremental-maintenance pipeline (which
+/// fixes the per-stratum sub-programs once at
+/// [`materialize`](crate::evaluator::Evaluator::materialize) time).
+pub(crate) fn rewrite_stratum_rules(
+    program: &Program,
+    strat: &Stratification,
+    stratum_rules: &[usize],
+    k: usize,
+    ext_pred: &[Option<PredId>],
+) -> Vec<crate::ast::Rule> {
+    stratum_rules
+        .iter()
+        .map(|&ri| {
+            let mut rule = program.rules[ri].clone();
+            for lit in &mut rule.body {
+                if let PredRef::Idb(id) = lit.atom.pred {
+                    if strat.stratum_of(id) < k {
+                        let p = ext_pred[id.index()].expect("cross-stratum reads are materialized");
+                        lit.atom.pred = PredRef::Edb(p);
+                    }
+                }
+            }
+            rule
+        })
+        .collect()
+}
+
 /// The stratum a rule evaluates in: the stratum of its head predicate.
-fn rule_stratum(strat: &Stratification, program: &Program, rule: usize) -> usize {
+pub(crate) fn rule_stratum(strat: &Stratification, program: &Program, rule: usize) -> usize {
     match program.rules[rule].head.pred {
         PredRef::Idb(id) => strat.stratum_of(id),
         PredRef::Edb(_) => unreachable!("stratify rejects EDB heads"),

@@ -17,10 +17,16 @@
 //!   resolved by comparing the probe key with the key positions of a
 //!   bucket's representative row in the arena.
 //!
-//! Rows are append-only, so an `Arc<PosIndex>` snapshot taken before an
-//! insert remains a consistent view of the pre-insert relation (see
-//! [`Relation::index_on`]). [`Relation::clear`] is the one destructive
-//! operation; it drops all cached indexes.
+//! Rows are *swap-remove compact*: [`Relation::insert`] appends, and
+//! [`Relation::retract`] removes a row by moving the last row into its
+//! slot (backward-shift deletion keeps the [`RowTable`] tombstone-free,
+//! and every cached [`PosIndex`] is patched in place), so row ids stay
+//! dense. An `Arc<PosIndex>` snapshot taken before an *insert* remains a
+//! consistent view of the pre-insert relation (see
+//! [`Relation::index_on`]); a retract — like [`Relation::clear`] —
+//! invalidates held snapshots, because the swap renumbers a row id.
+//! Every mutation of the tuple set bumps [`Relation::generation`], so
+//! incremental consumers can detect churn without diffing contents.
 //!
 //! A [`Structure`] holds its relations behind `Arc`s shared
 //! copy-on-write: cloning or [extending](Structure::extended) a structure
@@ -130,6 +136,77 @@ impl RowTable {
         slots[i] = value;
     }
 
+    /// Removes the stored value matching `hash` + `eq`, compacting its
+    /// probe chain by backward-shift deletion (no tombstones: each
+    /// following value moves into the hole iff the hole lies cyclically
+    /// between the value's ideal slot and its current slot, which is
+    /// exactly the invariant linear probing needs). `rehash` recomputes
+    /// the hash of a stored value during the shift. Returns the removed
+    /// value, or `None` if no value matched.
+    fn remove(
+        &mut self,
+        hash: u64,
+        mut eq: impl FnMut(u32) -> bool,
+        mut rehash: impl FnMut(u32) -> u64,
+    ) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut hole = (hash as usize) & mask;
+        loop {
+            let v = self.slots[hole];
+            if v == Self::EMPTY {
+                return None;
+            }
+            if eq(v) {
+                break;
+            }
+            hole = (hole + 1) & mask;
+        }
+        let removed = self.slots[hole];
+        // The table grows at 7/8 occupancy, so an EMPTY slot always
+        // terminates the walk.
+        let mut j = (hole + 1) & mask;
+        loop {
+            let v = self.slots[j];
+            if v == Self::EMPTY {
+                break;
+            }
+            let ideal = (rehash(v) as usize) & mask;
+            if hole.wrapping_sub(ideal) & mask <= j.wrapping_sub(ideal) & mask {
+                self.slots[hole] = v;
+                hole = j;
+            }
+            j = (j + 1) & mask;
+        }
+        self.slots[hole] = Self::EMPTY;
+        self.len -= 1;
+        Some(removed)
+    }
+
+    /// Rewrites the stored value `old` to `new` in place. The caller
+    /// guarantees `old` is present and that `new` has the same content —
+    /// and therefore the same `hash` — as `old` (the swap-remove row/bucket
+    /// renumbering protocol), so the slot itself does not move.
+    fn replace(&mut self, hash: u64, old: u32, new: u32) {
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let v = self.slots[i];
+            assert_ne!(
+                v,
+                Self::EMPTY,
+                "renumbered value must be in its probe chain"
+            );
+            if v == old {
+                self.slots[i] = new;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
     fn clear(&mut self) {
         // An empty table may still have a large retained capacity (e.g. a
         // recycled delta relation after a round that filled it): skip the
@@ -231,6 +308,71 @@ impl PosIndex {
             }
         }
     }
+
+    /// Unregisters `row` and renumbers `last` to `row` — the arena
+    /// swap-remove protocol of [`Relation::retract`]. Must run *before*
+    /// the arena move: both rows' key cells are read from the pre-move
+    /// `arena`. Any bucket member works as its representative (they all
+    /// share the key), so removing a representative needs no special case;
+    /// an emptied bucket is itself swap-removed, with the moved bucket's
+    /// table entry renumbered in place.
+    fn remove_row(&mut self, arena: &[ElemId], arity: usize, row: u32, last: u32) {
+        let hash = hash_elems(self.key_of_row(arena, arity, row));
+        let row_base = row as usize * arity;
+        let b = self
+            .table
+            .find(hash, |b| {
+                let base = self.buckets[b as usize][0] as usize * arity;
+                self.positions
+                    .iter()
+                    .all(|&p| arena[base + p] == arena[row_base + p])
+            })
+            .expect("retracted row is indexed");
+        let bucket = &mut self.buckets[b as usize];
+        let pos = bucket
+            .iter()
+            .position(|&r| r == row)
+            .expect("retracted row is in its key bucket");
+        bucket.swap_remove(pos);
+        if self.buckets[b as usize].is_empty() {
+            let (buckets, positions) = (&self.buckets, &self.positions);
+            self.table.remove(
+                hash,
+                |bb| bb == b,
+                |bb| {
+                    let base = buckets[bb as usize][0] as usize * arity;
+                    hash_elems(positions.iter().map(|&p| arena[base + p]))
+                },
+            );
+            let moved = (self.buckets.len() - 1) as u32;
+            self.buckets.swap_remove(b as usize);
+            if b != moved {
+                // Bucket `moved` now lives at index `b`: patch its entry.
+                let mhash = hash_elems(self.key_of_row(arena, arity, self.buckets[b as usize][0]));
+                self.table.replace(mhash, moved, b);
+            }
+        }
+        if row != last {
+            // The arena swap renames row id `last` to `row`.
+            let lhash = hash_elems(self.key_of_row(arena, arity, last));
+            let last_base = last as usize * arity;
+            let lb = self
+                .table
+                .find(lhash, |bb| {
+                    let base = self.buckets[bb as usize][0] as usize * arity;
+                    self.positions
+                        .iter()
+                        .all(|&p| arena[base + p] == arena[last_base + p])
+                })
+                .expect("surviving row is indexed");
+            let bucket = &mut self.buckets[lb as usize];
+            let pos = bucket
+                .iter()
+                .position(|&r| r == last)
+                .expect("surviving row is in its key bucket");
+            bucket[pos] = row;
+        }
+    }
 }
 
 /// One relation `R^𝒜 ⊆ A^α`: a deduplicated set of tuples with stable
@@ -254,6 +396,9 @@ pub struct Relation {
     arena: Vec<ElemId>,
     /// Deduplication table mapping tuple content to row ids.
     table: RowTable,
+    /// Bumped by every mutation of the tuple set (see
+    /// [`Relation::generation`]).
+    generation: u64,
     /// Secondary indexes by key positions. Behind a lock so `index_on`
     /// can build and cache through `&self` (probes happen mid-join, where
     /// the relation is shared); `Arc` so probers hold the index without
@@ -269,6 +414,7 @@ impl Clone for Relation {
             rows: self.rows,
             arena: self.arena.clone(),
             table: self.table.clone(),
+            generation: self.generation,
             secondary: RwLock::new(self.secondary.read().expect("index cache lock").clone()),
         }
     }
@@ -358,7 +504,78 @@ impl Relation {
         {
             Arc::make_mut(idx).add(arena, arity, row);
         }
+        self.generation += 1;
         (row, true)
+    }
+
+    /// Removes a tuple; returns `true` if it was present.
+    ///
+    /// The removed row is filled by *swap-remove*: the last row's cells
+    /// move into its arena slot, the dedup-table entry is deleted
+    /// by backward-shift (no tombstones) and the moved row's entry is
+    /// renumbered, and every cached secondary index is patched the same
+    /// way — so cached indexes stay warm across retractions. Row ids
+    /// remain dense, but the *identity* of the last row changes; unlike
+    /// inserts, a retract therefore invalidates `Arc<PosIndex>` snapshots
+    /// taken earlier (the same caveat as [`Relation::clear`]).
+    ///
+    /// # Panics
+    /// Panics if the tuple length differs from the relation arity.
+    pub fn retract(&mut self, tuple: &[ElemId]) -> bool {
+        assert_eq!(
+            tuple.len(),
+            self.arity,
+            "tuple arity mismatch: got {}, relation has arity {}",
+            tuple.len(),
+            self.arity
+        );
+        let hash = hash_elems(tuple.iter().copied());
+        let (arena, arity) = (&self.arena, self.arity);
+        let Some(row) = self
+            .table
+            .find(hash, |r| &arena[r as usize * arity..][..arity] == tuple)
+        else {
+            return false;
+        };
+        let last = (self.rows - 1) as u32;
+        // Indexes first: they read both rows' key cells from the pre-move
+        // arena.
+        for idx in self
+            .secondary
+            .get_mut()
+            .expect("index cache lock")
+            .values_mut()
+        {
+            Arc::make_mut(idx).remove_row(arena, arity, row, last);
+        }
+        self.table.remove(
+            hash,
+            |r| r == row,
+            |r| hash_elems(arena[r as usize * arity..][..arity].iter().copied()),
+        );
+        if row != last {
+            let last_hash =
+                hash_elems(self.arena[last as usize * arity..][..arity].iter().copied());
+            let (rb, lb) = (row as usize * arity, last as usize * arity);
+            for k in 0..arity {
+                self.arena[rb + k] = self.arena[lb + k];
+            }
+            self.table.replace(last_hash, last, row);
+        }
+        self.arena.truncate(self.arena.len() - arity);
+        self.rows -= 1;
+        self.generation += 1;
+        true
+    }
+
+    /// A counter bumped by every mutation of the tuple set (each new
+    /// insert, each successful retract, each non-empty
+    /// [`clear`](Relation::clear)). Incremental consumers use it to detect
+    /// relation churn without diffing contents; it survives deep clones,
+    /// so a copy-on-write holder observes its source's history.
+    #[inline]
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Membership test. Hashes the probe tuple's element ids and compares
@@ -395,6 +612,9 @@ impl Relation {
     /// recycles its per-round delta relations this way (and clearing an
     /// already-empty relation is O(1) regardless of retained capacity).
     pub fn clear(&mut self) {
+        if self.rows > 0 {
+            self.generation += 1;
+        }
         self.rows = 0;
         self.arena.clear();
         self.table.clear();
@@ -581,6 +801,25 @@ impl Structure {
         Arc::make_mut(rel).insert(tuple)
     }
 
+    /// Removes a ground tuple from `pred`'s relation; returns `true` if
+    /// it was present ([`Relation::retract`] describes the swap-remove
+    /// mechanics).
+    ///
+    /// Mirrors [`Structure::insert`]'s copy-on-write discipline: on a
+    /// relation still shared with a clone, an *absent* tuple is answered
+    /// by a read-only membership probe, so only a genuine removal
+    /// deep-copies the relation.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn retract(&mut self, pred: PredId, tuple: &[ElemId]) -> bool {
+        let rel = &mut self.relations[pred.index()];
+        if Arc::get_mut(rel).is_none() && !rel.contains(tuple) {
+            return false;
+        }
+        Arc::make_mut(rel).retract(tuple)
+    }
+
     /// Membership test for a ground atom.
     #[inline]
     pub fn holds(&self, pred: PredId, tuple: &[ElemId]) -> bool {
@@ -692,6 +931,36 @@ impl Structure {
             sig: Arc::clone(sig),
             domain: self.domain.clone(),
             relations,
+        }
+    }
+
+    /// The inverse of [`Structure::extended_shared`]: a structure over the
+    /// *prefix* signature `sig`, sharing the domain and the first
+    /// `sig.len()` relations copy-on-write (each an `Arc` bump) and
+    /// dropping the rest. A materialized-view server uses this to recover
+    /// the base-signature view of an extended structure — e.g. to hand a
+    /// post-update EDB back to a from-scratch evaluation.
+    ///
+    /// # Panics
+    /// Panics if `sig` is not a prefix of this structure's signature
+    /// (more predicates, or a mismatched name/arity on the shared prefix).
+    pub fn restricted(&self, sig: &Arc<Signature>) -> Structure {
+        assert!(
+            sig.len() <= self.sig.len(),
+            "restriction signature has more predicates than the base"
+        );
+        for p in sig.preds() {
+            assert!(
+                sig.name(p) == self.sig.name(p) && sig.arity(p) == self.sig.arity(p),
+                "signature is not a prefix of the structure's signature \
+                 (mismatch at predicate `{}`)",
+                sig.name(p)
+            );
+        }
+        Structure {
+            sig: Arc::clone(sig),
+            domain: self.domain.clone(),
+            relations: self.relations[..sig.len()].to_vec(),
         }
     }
 
@@ -1142,6 +1411,163 @@ mod tests {
         assert!(!s.holds(e, &[v[0], v[0]]));
         assert_eq!(s.atom_count(), 6);
         assert_eq!(copy.atom_count(), 7);
+    }
+
+    #[test]
+    fn retract_swaps_last_row_in_and_stays_deduplicated() {
+        let mut rel = Relation::new(2);
+        for i in 0..5u32 {
+            rel.insert(&[ElemId(i), ElemId(i + 10)]);
+        }
+        // Retract a middle row: the last row (4, 14) must move into slot 1.
+        assert!(rel.retract(&[ElemId(1), ElemId(11)]));
+        assert_eq!(rel.len(), 4);
+        assert!(!rel.contains(&[ElemId(1), ElemId(11)]));
+        assert_eq!(rel.tuple(1), &[ElemId(4), ElemId(14)]);
+        assert_eq!(rel.row_of(&[ElemId(4), ElemId(14)]), Some(1));
+        // Retracting the (new) last row needs no swap.
+        assert!(rel.retract(&[ElemId(3), ElemId(13)]));
+        assert_eq!(rel.len(), 3);
+        // An absent tuple is a no-op, and the retracted tuples reinsert
+        // as genuinely new rows.
+        assert!(!rel.retract(&[ElemId(1), ElemId(11)]));
+        assert!(rel.insert(&[ElemId(1), ElemId(11)]));
+        assert_eq!(rel.len(), 4);
+        for (i, t) in rel.iter().enumerate() {
+            assert_eq!(rel.row_of(t), Some(i as u32), "row ids stay dense");
+        }
+    }
+
+    #[test]
+    fn retract_maintains_cached_secondary_indexes() {
+        let mut rel = Relation::new(2);
+        for i in 0..30u32 {
+            rel.insert(&[ElemId(i), ElemId(i % 3)]);
+        }
+        let _ = rel.index_on(&[1]);
+        let _ = rel.index_on(&[0]);
+        // Remove every tuple with key 1 on position 1, one by one.
+        for i in (0..30u32).filter(|i| i % 3 == 1) {
+            assert!(rel.retract(&[ElemId(i), ElemId(1)]));
+        }
+        let idx = rel.index_on(&[1]);
+        assert_eq!(rel.rows_matching(&idx, &[ElemId(1)]).len(), 0);
+        assert_eq!(idx.key_count(), 2, "emptied key bucket is dropped");
+        for key in [0u32, 2] {
+            // Renumbering perturbs bucket order relative to row order, so
+            // compare the probe and the scan as sets.
+            let mut probed: Vec<Vec<ElemId>> = rel
+                .matching(&idx, &[ElemId(key)])
+                .map(<[ElemId]>::to_vec)
+                .collect();
+            let mut scanned: Vec<Vec<ElemId>> = rel
+                .iter()
+                .filter(|t| t[1] == ElemId(key))
+                .map(<[ElemId]>::to_vec)
+                .collect();
+            probed.sort();
+            scanned.sort();
+            assert_eq!(probed, scanned);
+        }
+        let by0 = rel.index_on(&[0]);
+        for t in rel.iter() {
+            assert_eq!(rel.rows_matching(&by0, &[t[0]]).len(), 1);
+        }
+        assert_eq!(by0.buckets().map(<[u32]>::len).sum::<usize>(), rel.len());
+    }
+
+    #[test]
+    fn retract_survives_table_growth_and_refill() {
+        // Interleave enough churn to exercise backward-shift deletion
+        // across several RowTable growths.
+        let mut rel = Relation::new(2);
+        for i in 0..2_000u32 {
+            assert!(rel.insert(&[ElemId(i), ElemId(i.wrapping_mul(31) % 97)]));
+        }
+        for i in (0..2_000u32).step_by(2) {
+            assert!(rel.retract(&[ElemId(i), ElemId(i.wrapping_mul(31) % 97)]));
+        }
+        assert_eq!(rel.len(), 1_000);
+        for i in 0..2_000u32 {
+            let tuple = [ElemId(i), ElemId(i.wrapping_mul(31) % 97)];
+            assert_eq!(rel.contains(&tuple), i % 2 == 1, "tuple {i}");
+            assert_eq!(rel.insert(&tuple), i % 2 == 0, "reinsert {i}");
+        }
+        assert_eq!(rel.len(), 2_000);
+    }
+
+    #[test]
+    fn zero_ary_retract() {
+        let mut rel = Relation::new(0);
+        assert!(!rel.retract(&[]));
+        assert!(rel.insert(&[]));
+        assert!(rel.retract(&[]));
+        assert!(rel.is_empty());
+        assert!(!rel.contains(&[]));
+        assert!(rel.insert(&[]));
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn generation_counts_tuple_set_mutations() {
+        let mut rel = Relation::new(1);
+        assert_eq!(rel.generation(), 0);
+        rel.insert(&[ElemId(1)]);
+        rel.insert(&[ElemId(1)]); // duplicate: no mutation
+        assert_eq!(rel.generation(), 1);
+        rel.retract(&[ElemId(7)]); // absent: no mutation
+        assert_eq!(rel.generation(), 1);
+        rel.retract(&[ElemId(1)]);
+        assert_eq!(rel.generation(), 2);
+        rel.clear(); // already empty: no mutation
+        assert_eq!(rel.generation(), 2);
+        rel.insert(&[ElemId(2)]);
+        rel.clear();
+        assert_eq!(rel.generation(), 4);
+        assert_eq!(rel.clone().generation(), 4, "clones keep the history");
+    }
+
+    #[test]
+    fn structure_retract_is_copy_on_write() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let mut copy = s.clone();
+        // Retracting an absent tuple is a read: sharing stays intact.
+        assert!(!copy.retract(e, &[v[0], v[0]]));
+        assert!(copy.relation(e).shares_storage(s.relation(e)));
+        // A genuine retract un-shares exactly the written relation.
+        assert!(copy.retract(e, &[v[0], v[1]]));
+        assert!(!copy.relation(e).shares_storage(s.relation(e)));
+        assert!(!copy.holds(e, &[v[0], v[1]]));
+        assert!(s.holds(e, &[v[0], v[1]]), "original untouched");
+        assert_eq!(s.atom_count(), 6);
+        assert_eq!(copy.atom_count(), 5);
+    }
+
+    #[test]
+    fn restricted_is_the_inverse_of_extended_shared() {
+        let (s, v) = triangle();
+        let e = s.signature().lookup("e").unwrap();
+        let ext_sig = Arc::new(s.signature().extend_with([("reach", 1)]));
+        let mut ext = s.extended_shared(&ext_sig);
+        let reach = ext.signature().lookup("reach").unwrap();
+        ext.insert(reach, &[v[0]]);
+        let base = ext.restricted(s.signature());
+        assert!(Arc::ptr_eq(base.signature(), s.signature()));
+        assert_eq!(base.signature().len(), 1);
+        assert_eq!(base.atom_count(), 6);
+        assert!(
+            base.relation(e).shares_storage(ext.relation(e)),
+            "restriction shares the prefix relations copy-on-write"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a prefix")]
+    fn restricted_rejects_non_prefix_signatures() {
+        let (s, _) = triangle();
+        let other = Arc::new(Signature::from_pairs([("f", 2)]));
+        let _ = s.restricted(&other);
     }
 
     #[test]

@@ -47,8 +47,8 @@ pub mod prelude {
     pub use mdtw_datalog::{
         analyze, parse_program, stratify, AnalysisOptions, CancelToken, Diagnostic, Engine,
         EvalError, EvalLimits, EvalOptions, EvalProfile, EvalResult, Evaluator, Explanation,
-        LimitKind, LintCode, PlanCache, ProfileDetail, ProgramReport, Severity, Span,
-        Stratification, StratificationError,
+        LimitKind, LintCode, MaterializedView, PlanCache, ProfileDetail, ProgramReport, Severity,
+        Span, Stratification, StratificationError, Update,
     };
     pub use mdtw_decomp::{decompose, Heuristic, NiceOptions, NiceTd, TreeDecomposition, TupleTd};
     pub use mdtw_graph::{encode_graph, Graph};

@@ -1,0 +1,207 @@
+//! Differential property tests for incremental view maintenance: a
+//! [`MaterializedView`] fed random interleaved insert/retract batches
+//! must stay **bit-identical** to a from-scratch `evaluate()` of the
+//! mutated base structure — for a semipositive program (recursion plus
+//! negated extensional atoms in one stratum) and a three-stratum
+//! program whose deltas must cross two negation boundaries. Pinned
+//! edge cases cover the empty-delta no-op and retract-everything.
+
+use mdtw_datalog::{parse_program, Evaluator, IdbId, MaterializedView, Update};
+use mdtw_structure::{Domain, ElemId, PredId, Signature, Structure};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Single stratum: recursion + negation on extensional atoms, so edge
+/// deltas flow through both the positive and the negated side.
+const SEMIPOSITIVE: &str = "t(X, Y) :- e(X, Y).\n\
+                            t(X, Z) :- t(X, Y), e(Y, Z).\n\
+                            nl(X, Y) :- m(X), m(Y), !e(X, Y).";
+
+/// Three strata: `r` (reachability from marks), `u`/`uu` negating `r`,
+/// `z` negating `uu` — a base delta has to propagate across two
+/// derived-negation boundaries as extended-EDB deltas.
+const STRATIFIED: &str = "r(X) :- m(X).\n\
+                          r(Y) :- r(X), e(X, Y).\n\
+                          u(X, Y) :- e(X, Y), !r(Y).\n\
+                          uu(X) :- u(X, Y).\n\
+                          z(X) :- m(X), !uu(X).";
+
+fn build_structure(n: usize, edges: &[(u8, u8)], marks: &[u8]) -> Structure {
+    let sig = Arc::new(Signature::from_pairs([("e", 2), ("m", 1)]));
+    let dom = Domain::anonymous(n);
+    let mut s = Structure::new(sig, dom);
+    let e = s.signature().lookup("e").unwrap();
+    let m = s.signature().lookup("m").unwrap();
+    for &(a, b) in edges {
+        s.insert(
+            e,
+            &[ElemId(a as u32 % n as u32), ElemId(b as u32 % n as u32)],
+        );
+    }
+    for &a in marks {
+        s.insert(m, &[ElemId(a as u32 % n as u32)]);
+    }
+    s
+}
+
+/// One base mutation: insert?/retract (odd = insert), edge?/mark
+/// (odd = edge), endpoints (taken modulo the domain size).
+type Mutation = (u8, u8, u8, u8);
+
+fn sorted_rel(s: &Structure, p: PredId) -> Vec<Vec<ElemId>> {
+    let mut rows: Vec<Vec<ElemId>> = s.relation(p).iter().map(<[ElemId]>::to_vec).collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// The invariant: the view's base equals the independently mutated
+/// structure, and its store is bit-identical (per-predicate sorted
+/// tuple lists) to a cold evaluation of that structure.
+fn assert_view_matches(view: &MaterializedView, expected: &Structure, ctx: &str) {
+    let base = view.base_structure();
+    for i in 0..expected.signature().len() {
+        let p = PredId(i as u32);
+        assert_eq!(
+            sorted_rel(&base, p),
+            sorted_rel(expected, p),
+            "{ctx}: base relation `{}` diverged",
+            expected.signature().name(p)
+        );
+    }
+    let mut fresh = Evaluator::new(view.program().clone()).unwrap();
+    let result = fresh.evaluate(expected).unwrap();
+    for i in 0..view.program().idb_count() {
+        let id = IdbId(i as u32);
+        assert_eq!(
+            view.store().tuples(id),
+            result.store.tuples(id),
+            "{ctx}: derived `{}` diverged from scratch evaluation",
+            view.program().idb_names[i]
+        );
+    }
+}
+
+/// Applies the batches to a view and, in lockstep, to a plain mutable
+/// structure; checks the invariant after every batch.
+fn run_case(source: &str, n: usize, edges: &[(u8, u8)], marks: &[u8], batches: &[Vec<Mutation>]) {
+    let mut expected = build_structure(n, edges, marks);
+    let e = expected.signature().lookup("e").unwrap();
+    let m = expected.signature().lookup("m").unwrap();
+    let program = parse_program(source, &expected).unwrap();
+    let mut view = Evaluator::new(program)
+        .unwrap()
+        .materialize(&expected)
+        .unwrap();
+    assert_view_matches(&view, &expected, "initial materialization");
+    for (bi, batch) in batches.iter().enumerate() {
+        let mut update = Update::new();
+        for &(insert, is_edge, a, b) in batch {
+            let a = ElemId(a as u32 % n as u32);
+            let b = ElemId(b as u32 % n as u32);
+            let (pred, tuple) = if is_edge % 2 == 1 {
+                (e, vec![a, b])
+            } else {
+                (m, vec![a])
+            };
+            if insert % 2 == 1 {
+                update.push_insert(pred, &tuple);
+            } else {
+                update.push_retract(pred, &tuple);
+            }
+        }
+        // Mirror the batch's normalized set semantics on the oracle
+        // structure: retracts first, inserts win.
+        for pass in [0u8, 1] {
+            for &(insert, is_edge, a, b) in batch {
+                if insert % 2 != pass {
+                    continue;
+                }
+                let a = ElemId(a as u32 % n as u32);
+                let b = ElemId(b as u32 % n as u32);
+                match (pass, is_edge % 2 == 1) {
+                    (0, true) => expected.retract(e, &[a, b]),
+                    (0, false) => expected.retract(m, &[a]),
+                    (_, true) => expected.insert(e, &[a, b]),
+                    (_, false) => expected.insert(m, &[a]),
+                };
+            }
+        }
+        view.apply(&update);
+        assert_view_matches(&view, &expected, &format!("after batch {bi}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn semipositive_view_matches_scratch(
+        n in 3usize..=7,
+        edges in vec((0u8..16, 0u8..16), 0..12),
+        marks in vec(0u8..16, 0..5),
+        batches in vec(vec((0u8..2, 0u8..2, 0u8..16, 0u8..16), 0..6), 1..5),
+    ) {
+        run_case(SEMIPOSITIVE, n, &edges, &marks, &batches);
+    }
+
+    #[test]
+    fn stratified_view_matches_scratch(
+        n in 3usize..=7,
+        edges in vec((0u8..16, 0u8..16), 0..12),
+        marks in vec(0u8..16, 0..5),
+        batches in vec(vec((0u8..2, 0u8..2, 0u8..16, 0u8..16), 0..6), 1..5),
+    ) {
+        run_case(STRATIFIED, n, &edges, &marks, &batches);
+    }
+}
+
+#[test]
+fn empty_delta_is_a_noop_for_both_shapes() {
+    for source in [SEMIPOSITIVE, STRATIFIED] {
+        let s = build_structure(5, &[(0, 1), (1, 2), (2, 3)], &[0]);
+        let program = parse_program(source, &s).unwrap();
+        let mut view = Evaluator::new(program).unwrap().materialize(&s).unwrap();
+        let before: Vec<_> = (0..view.program().idb_count())
+            .map(|i| view.store().tuples(IdbId(i as u32)))
+            .collect();
+        let profile = view.apply(&Update::new());
+        assert_eq!(profile.overdeleted + profile.inserted + profile.deleted, 0);
+        assert!(profile.strata.is_empty(), "no-op skips all strata");
+        for (i, tuples) in before.iter().enumerate() {
+            assert_eq!(&view.store().tuples(IdbId(i as u32)), tuples);
+        }
+        assert_view_matches(&view, &s, "empty delta");
+    }
+}
+
+#[test]
+fn retract_everything_for_both_shapes() {
+    for source in [SEMIPOSITIVE, STRATIFIED] {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)];
+        let marks = [0, 2];
+        let mut expected = build_structure(4, &edges, &marks);
+        let e = expected.signature().lookup("e").unwrap();
+        let m = expected.signature().lookup("m").unwrap();
+        let program = parse_program(source, &expected).unwrap();
+        let mut view = Evaluator::new(program)
+            .unwrap()
+            .materialize(&expected)
+            .unwrap();
+        let mut update = Update::new();
+        for &(a, b) in &edges {
+            let (a, b) = (ElemId(u32::from(a)), ElemId(u32::from(b)));
+            update.push_retract(e, &[a, b]);
+            expected.retract(e, &[a, b]);
+        }
+        for &a in &marks {
+            let a = ElemId(u32::from(a));
+            update.push_retract(m, &[a]);
+            expected.retract(m, &[a]);
+        }
+        view.apply(&update);
+        assert_view_matches(&view, &expected, "retract everything");
+        // With an empty base, positive-bodied predicates must be empty.
+        assert!(view.store().tuples(IdbId(0)).is_empty());
+    }
+}

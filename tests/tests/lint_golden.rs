@@ -99,6 +99,7 @@ fn file_json_matches_the_documented_shape() {
     let outcome = lint_source(FIXTURE).unwrap();
     let encoded = file_json("lint_demo.dl", &outcome, None).render();
     let value = json::parse(&encoded).expect("emitted JSON parses");
+    assert_eq!(value.get("schema_version").unwrap().as_usize(), Some(1));
     assert_eq!(value.get("file").unwrap().as_str(), Some("lint_demo.dl"));
     let diags = value.get("diagnostics").unwrap().as_arr().unwrap();
     assert_eq!(diags.len(), 4);
